@@ -1,0 +1,57 @@
+//! Protocol-level benchmarks: one reduced instance of each measurement
+//! behind the paper's figures, so protocol regressions are visible in
+//! `cargo bench`. The full sweeps live in the `experiments` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pepper_sim::experiments::insert_succ::{measure_insert_succ, InsertSuccRun};
+use pepper_sim::experiments::leave::measure_leave;
+use pepper_sim::experiments::scan_range::measure_scan_times;
+use pepper_types::{ProtocolConfig, SystemConfig};
+use std::hint::black_box;
+
+fn bench_insert_succ(c: &mut Criterion) {
+    c.bench_function("fig19_insert_succ_pepper_small", |b| {
+        b.iter(|| {
+            black_box(measure_insert_succ(&InsertSuccRun::paper(
+                SystemConfig::paper_defaults(),
+                12,
+                7,
+            )))
+        })
+    });
+    c.bench_function("fig19_insert_succ_naive_small", |b| {
+        b.iter(|| {
+            black_box(measure_insert_succ(&InsertSuccRun::paper(
+                SystemConfig::paper_defaults().with_protocol(ProtocolConfig::naive()),
+                12,
+                7,
+            )))
+        })
+    });
+}
+
+fn bench_scan_range(c: &mut Criterion) {
+    c.bench_function("fig21_scan_range_small", |b| {
+        b.iter(|| black_box(measure_scan_times(SystemConfig::paper_defaults(), 7, 18, 2)))
+    });
+}
+
+fn bench_leave(c: &mut Criterion) {
+    c.bench_function("fig22_leave_and_merge_small", |b| {
+        b.iter(|| black_box(measure_leave(SystemConfig::paper_defaults(), 7, 18)))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_insert_succ, bench_scan_range, bench_leave
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Micro-benchmarks of the hot data structures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pepper_datastore::ItemStore;
+use pepper_types::{CircularRange, Item, KeyInterval, SearchKey};
+use std::hint::black_box;
+
+fn bench_circular_range(c: &mut Criterion) {
+    let wrapping = CircularRange::new(u64::MAX - 1000, 1000u64);
+    let plain = CircularRange::new(1_000u64, 1_000_000u64);
+    let iv = KeyInterval::new(0, 2_000_000).unwrap();
+    c.bench_function("circular_range_contains", |b| {
+        b.iter(|| {
+            black_box(wrapping.contains(black_box(500u64)))
+                ^ black_box(plain.contains(black_box(500_000u64)))
+        })
+    });
+    c.bench_function("circular_range_intersect_interval", |b| {
+        b.iter(|| black_box(plain.intersect_interval(black_box(&iv))))
+    });
+}
+
+fn bench_item_store(c: &mut Criterion) {
+    let mut store = ItemStore::new();
+    for k in 0..1_000u64 {
+        store.insert(k * 1000, Item::for_key(SearchKey(k * 1000)));
+    }
+    let iv = KeyInterval::new(100_000, 600_000).unwrap();
+    c.bench_function("item_store_range_collect_1k", |b| {
+        b.iter(|| black_box(store.items_in_interval(black_box(&iv))))
+    });
+    c.bench_function("item_store_split_point_1k", |b| {
+        b.iter(|| black_box(store.split_point()))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(1))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_circular_range, bench_item_store
+}
+criterion_main!(benches);

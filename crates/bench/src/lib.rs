@@ -1,0 +1,9 @@
+//! Benchmark harness crate.
+//!
+//! * `benches/microbench.rs` — Criterion micro-benchmarks of the hot data
+//!   structures (circular ranges, the item store, successor-list trimming).
+//! * `benches/figures.rs` — Criterion benchmarks that run one reduced
+//!   instance of each protocol-level measurement (insertSucc, scanRange,
+//!   leave), so regressions in the protocols show up in `cargo bench`.
+//! * `src/main.rs` (the `experiments` binary) — regenerates every table and
+//!   figure of the paper; see `EXPERIMENTS.md`.

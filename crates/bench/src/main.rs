@@ -1,0 +1,53 @@
+//! Regenerates every table/figure of the paper's evaluation.
+//!
+//! Usage:
+//!   cargo run --release -p pepper-bench --bin experiments -- [quick|full] [fig19|fig20|fig21|fig22|fig23|correctness|availability|item-availability|load-balance|all]
+
+use pepper_sim::experiments::{availability, correctness, insert_succ, leave, scan_range, Effort};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let effort = if args.iter().any(|a| a == "full") {
+        Effort::Full
+    } else {
+        Effort::Quick
+    };
+    let which: Vec<&str> = args
+        .iter()
+        .map(|s| s.as_str())
+        .filter(|a| *a != "full" && *a != "quick")
+        .collect();
+    let all = which.is_empty() || which.contains(&"all");
+    let seed = 2026;
+
+    let wants = |name: &str| all || which.contains(&name);
+
+    println!("PEPPER experiment harness (effort: {effort:?}, seed: {seed})\n");
+    if wants("fig19") {
+        println!("{}", insert_succ::figure_19(effort, seed));
+    }
+    if wants("fig20") {
+        println!("{}", insert_succ::figure_20(effort, seed));
+    }
+    if wants("fig21") {
+        println!("{}", scan_range::figure_21(effort, seed));
+    }
+    if wants("fig22") {
+        println!("{}", leave::figure_22(effort, seed));
+    }
+    if wants("fig23") {
+        println!("{}", insert_succ::figure_23(effort, seed));
+    }
+    if wants("correctness") {
+        println!("{}", correctness::query_correctness(effort, seed));
+    }
+    if wants("load-balance") {
+        println!("{}", correctness::load_balance(effort, seed));
+    }
+    if wants("availability") {
+        println!("{}", availability::ring_availability(effort, seed));
+    }
+    if wants("item-availability") {
+        println!("{}", availability::item_availability(effort, seed));
+    }
+}

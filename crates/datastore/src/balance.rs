@@ -1,0 +1,866 @@
+//! Storage balance: splits, merges and redistributions (Section 2.3).
+//!
+//! The protocols here keep every live peer between `sf` and `2·sf` items:
+//!
+//! * **overflow → split**: the peer keeps the lower half of its range, a
+//!   free peer (joined into the ring as this peer's successor by the index
+//!   layer) receives the upper half via a hand-off;
+//! * **underflow → merge/redistribute**: the peer asks its successor; the
+//!   successor either hands over the lower portion of its items
+//!   (redistribute, moving the boundary up) or gives up its entire range and
+//!   becomes a free peer again (full merge, preceded by the availability
+//!   protections of Section 5).
+//!
+//! Every transfer is *copy-then-delete*: the giving side keeps its items and
+//! range until the receiving side has acknowledged the installation, and
+//! both sides apply their range change only while no scan holds their range
+//! lock (see [`crate::state`]). While a transfer is in flight the giving
+//! side parks incoming item inserts/deletes so no item can land in (or
+//! silently vanish from) the moving sub-range.
+
+use pepper_net::{Effects, LayerCtx};
+use pepper_types::{CircularRange, Item, PeerId, PeerValue};
+
+use crate::events::DsEvent;
+use crate::messages::DsMsg;
+use crate::state::{DataStoreState, DeferredWrite, DsStatus};
+
+/// The payload of a full merge grant: the recipient predecessor, the range
+/// being given up, and its items.
+pub type MergeGivePayload = (PeerId, CircularRange, Vec<(u64, Item)>);
+
+impl DataStoreState {
+    // ------------------------------------------------------------------
+    // threshold checks
+    // ------------------------------------------------------------------
+
+    /// Declares an overflow when the store exceeds `2·sf` items.
+    pub(crate) fn check_overflow(&mut self, events: &mut Vec<DsEvent>) {
+        if self.status == DsStatus::Live
+            && !self.rebalancing
+            && self.store.len() > self.cfg.overflow_threshold()
+            && self.store.len() >= 2
+        {
+            self.rebalancing = true;
+            events.push(DsEvent::SplitNeeded {
+                items: self.store.len(),
+            });
+        }
+    }
+
+    /// Declares an underflow when the store drops below `sf` items. A peer
+    /// responsible for the whole circle has nobody to merge with.
+    pub(crate) fn check_underflow(&mut self, events: &mut Vec<DsEvent>) {
+        if self.status == DsStatus::Live
+            && !self.rebalancing
+            && !self.range.is_full()
+            && self.store.len() < self.cfg.underflow_threshold()
+        {
+            self.rebalancing = true;
+            events.push(DsEvent::MergeNeeded {
+                items: self.store.len(),
+            });
+        }
+    }
+
+    /// Re-runs the threshold checks (used by the retry timer and by the
+    /// index layer after external changes).
+    pub fn recheck_balance(&mut self, events: &mut Vec<DsEvent>) {
+        self.check_overflow(events);
+        self.check_underflow(events);
+    }
+
+    /// Aborts an announced rebalance (no free peer available, no successor,
+    /// ring insert failed, …) and schedules a retry.
+    pub fn cancel_rebalance(&mut self, fx: &mut Effects<DsMsg>) {
+        self.rebalancing = false;
+        self.pending_split = None;
+        fx.timer(self.cfg.rebalance_retry_delay, DsMsg::RebalanceRetry);
+    }
+
+    pub(crate) fn on_rebalance_retry(&mut self, _ctx: LayerCtx, events: &mut Vec<DsEvent>) {
+        self.recheck_balance(events);
+    }
+
+    // ------------------------------------------------------------------
+    // split (overflow)
+    // ------------------------------------------------------------------
+
+    /// Plans a split: chooses the boundary and the value for the new peer.
+    ///
+    /// Returns `(new_peer_value, boundary)`: the free peer joins the ring as
+    /// this peer's successor with value `new_peer_value` (this peer's current
+    /// value) and will receive the range `(boundary, new_peer_value]`; this
+    /// peer's value becomes `boundary`.
+    ///
+    /// Returns `None` (and clears the rebalancing flag) when a split is not
+    /// possible (too few items or not live).
+    pub fn begin_split(&mut self) -> Option<(PeerValue, PeerValue)> {
+        if self.status != DsStatus::Live {
+            self.rebalancing = false;
+            return None;
+        }
+        let Some(boundary) = self.store.split_point() else {
+            self.rebalancing = false;
+            return None;
+        };
+        let high = self.range.high();
+        if boundary == high.raw() {
+            self.rebalancing = false;
+            return None;
+        }
+        let moved = if self.range.is_full() {
+            CircularRange::new(boundary, high)
+        } else {
+            match self.range.split_at(boundary) {
+                Some((_keep, moved)) => moved,
+                None => {
+                    self.rebalancing = false;
+                    return None;
+                }
+            }
+        };
+        self.pending_split = Some(moved);
+        Some((high, PeerValue(boundary)))
+    }
+
+    /// Sends the split hand-off to the freshly joined peer. Called by the
+    /// index layer once the ring reports the `insertSucc` as complete. From
+    /// this point until the hand-off is acknowledged, item writes at this
+    /// peer are parked.
+    pub fn send_handoff(
+        &mut self,
+        _ctx: LayerCtx,
+        to: PeerId,
+        fx: &mut Effects<DsMsg>,
+    ) -> Option<CircularRange> {
+        let moved = self.pending_split?;
+        let items = self.store.items_in_range(&moved);
+        self.item_writes_blocked = true;
+        fx.send(
+            to,
+            DsMsg::HandoffInstall {
+                range: moved,
+                items,
+            },
+        );
+        Some(moved)
+    }
+
+    /// New-peer side: install the hand-off (deferred while scans pass).
+    pub(crate) fn on_handoff_install(
+        &mut self,
+        ctx: LayerCtx,
+        from: PeerId,
+        range: CircularRange,
+        items: Vec<(u64, Item)>,
+        fx: &mut Effects<DsMsg>,
+        events: &mut Vec<DsEvent>,
+    ) {
+        self.write_or_defer(
+            ctx,
+            DeferredWrite::InstallHandoff {
+                range,
+                items,
+                splitter: from,
+            },
+            fx,
+            events,
+        );
+    }
+
+    /// Splitter side: the new peer confirmed; drop the moved items and
+    /// shrink the range (deferred while scans pass).
+    pub(crate) fn on_handoff_ack(
+        &mut self,
+        ctx: LayerCtx,
+        fx: &mut Effects<DsMsg>,
+        events: &mut Vec<DsEvent>,
+    ) {
+        let Some(moved) = self.pending_split else {
+            return;
+        };
+        self.write_or_defer(ctx, DeferredWrite::CompleteSplit { moved }, fx, events);
+    }
+
+    // ------------------------------------------------------------------
+    // merge / redistribute (underflow)
+    // ------------------------------------------------------------------
+
+    /// Sends a merge request to the successor. Called by the index layer in
+    /// response to [`DsEvent::MergeNeeded`].
+    pub fn send_merge_request(&mut self, to: PeerId, fx: &mut Effects<DsMsg>) {
+        fx.send(
+            to,
+            DsMsg::MergeRequest {
+                requester_items: self.store.len(),
+                requester_value: self.range.high(),
+            },
+        );
+    }
+
+    /// Successor side: decide between declining, redistributing, or a full
+    /// merge.
+    pub(crate) fn on_merge_request(
+        &mut self,
+        _ctx: LayerCtx,
+        from: PeerId,
+        requester_items: usize,
+        _requester_value: PeerValue,
+        fx: &mut Effects<DsMsg>,
+        events: &mut Vec<DsEvent>,
+    ) {
+        if self.status != DsStatus::Live
+            || self.rebalancing
+            || self.merge_give_to.is_some()
+            || self.item_writes_blocked
+            || self.range.is_full()
+        {
+            fx.send(from, DsMsg::MergeDeclined);
+            return;
+        }
+        let total = self.store.len() + requester_items;
+        if total <= self.cfg.overflow_threshold() {
+            // Full merge: this peer will give up its entire range. The index
+            // layer first runs the availability protections (extra-hop
+            // replication + ring leave) and then calls `send_merge_grant`.
+            self.rebalancing = true;
+            self.merge_give_to = Some(from);
+            events.push(DsEvent::MergeGiveStarted { to: from });
+            return;
+        }
+        // Redistribute: hand the lower portion over so both end up with
+        // roughly `total / 2` items.
+        let give = (total / 2).saturating_sub(requester_items).max(1);
+        let Some(new_boundary) = self.store.redistribute_point(give) else {
+            fx.send(from, DsMsg::MergeDeclined);
+            return;
+        };
+        let moving = CircularRange::new(self.range.low(), new_boundary);
+        let items = self.store.items_in_range(&moving);
+        self.rebalancing = true;
+        self.item_writes_blocked = true;
+        fx.send(
+            from,
+            DsMsg::RedistributeGrant {
+                items,
+                new_boundary: PeerValue(new_boundary),
+            },
+        );
+    }
+
+    /// Requester side: install the redistributed items and move the boundary
+    /// up (deferred while scans pass).
+    pub(crate) fn on_redistribute_grant(
+        &mut self,
+        ctx: LayerCtx,
+        from: PeerId,
+        items: Vec<(u64, Item)>,
+        new_boundary: PeerValue,
+        fx: &mut Effects<DsMsg>,
+        events: &mut Vec<DsEvent>,
+    ) {
+        self.write_or_defer(
+            ctx,
+            DeferredWrite::ApplyRedistribute {
+                items,
+                new_boundary,
+                granter: from,
+            },
+            fx,
+            events,
+        );
+    }
+
+    /// Granter side: the requester installed; drop the granted items and move
+    /// the range's low end up (deferred while scans pass).
+    pub(crate) fn on_redistribute_ack(
+        &mut self,
+        ctx: LayerCtx,
+        new_boundary: PeerValue,
+        fx: &mut Effects<DsMsg>,
+        events: &mut Vec<DsEvent>,
+    ) {
+        self.write_or_defer(
+            ctx,
+            DeferredWrite::FinishRedistribute { new_boundary },
+            fx,
+            events,
+        );
+    }
+
+    /// The payload of a full merge grant (copies; nothing is removed until
+    /// the requester acknowledges). Returns `None` if no merge-give is in
+    /// flight.
+    pub fn merge_give_payload(&self) -> Option<MergeGivePayload> {
+        let to = self.merge_give_to?;
+        Some((to, self.range, self.store.to_vec()))
+    }
+
+    /// Sends the full merge grant to the predecessor. Called by the index
+    /// layer once the availability protections (extra-hop replication and
+    /// ring leave) have completed.
+    pub fn send_merge_grant(&mut self, fx: &mut Effects<DsMsg>) -> Option<PeerId> {
+        let (to, range, items) = self.merge_give_payload()?;
+        self.item_writes_blocked = true;
+        fx.send(
+            to,
+            DsMsg::MergeGrant {
+                range,
+                items,
+                granter_value: range.high(),
+            },
+        );
+        Some(to)
+    }
+
+    /// Aborts an announced merge-give (for example when the ring refuses to
+    /// start a `leave` because another operation is in flight). The requester
+    /// is expected to be told via a `MergeDeclined` by the caller.
+    pub fn cancel_merge_give(&mut self, _fx: &mut Effects<DsMsg>) {
+        self.merge_give_to = None;
+        self.rebalancing = false;
+        self.item_writes_blocked = false;
+    }
+
+    /// Requester side: absorb the granter's range and items (deferred while
+    /// scans pass).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn on_merge_grant(
+        &mut self,
+        ctx: LayerCtx,
+        from: PeerId,
+        range: CircularRange,
+        items: Vec<(u64, Item)>,
+        _granter_value: PeerValue,
+        fx: &mut Effects<DsMsg>,
+        events: &mut Vec<DsEvent>,
+    ) {
+        self.write_or_defer(
+            ctx,
+            DeferredWrite::ApplyMergeGrant {
+                range,
+                items,
+                granter: from,
+            },
+            fx,
+            events,
+        );
+    }
+
+    /// Granter side: the requester absorbed everything; become a free peer
+    /// (deferred while scans pass).
+    pub(crate) fn on_merge_grant_ack(
+        &mut self,
+        ctx: LayerCtx,
+        fx: &mut Effects<DsMsg>,
+        events: &mut Vec<DsEvent>,
+    ) {
+        self.write_or_defer(ctx, DeferredWrite::FinishMergeGive, fx, events);
+    }
+
+    /// Requester side: the successor declined; retry later.
+    pub(crate) fn on_merge_declined(
+        &mut self,
+        _ctx: LayerCtx,
+        fx: &mut Effects<DsMsg>,
+        _events: &mut Vec<DsEvent>,
+    ) {
+        self.rebalancing = false;
+        fx.timer(self.cfg.rebalance_retry_delay, DsMsg::RebalanceRetry);
+    }
+
+    // ------------------------------------------------------------------
+    // deferred-write application
+    // ------------------------------------------------------------------
+
+    /// Applies a (possibly previously deferred) range/item mutation.
+    pub(crate) fn apply_write(
+        &mut self,
+        ctx: LayerCtx,
+        write: DeferredWrite,
+        fx: &mut Effects<DsMsg>,
+        events: &mut Vec<DsEvent>,
+    ) {
+        match write {
+            DeferredWrite::CompleteSplit { moved } => {
+                let removed = self.store.take_range(&moved);
+                for (_, item) in &removed {
+                    events.push(DsEvent::ItemRemoved { item: item.id });
+                }
+                // The kept range is everything up to the boundary.
+                let boundary = moved.low();
+                let new_range = if self.range.is_full() {
+                    CircularRange::new(moved.high(), boundary)
+                } else {
+                    CircularRange::new(self.range.low(), boundary)
+                };
+                self.range = new_range;
+                self.pending_split = None;
+                self.rebalancing = false;
+                events.push(DsEvent::RangeChanged {
+                    range: self.range,
+                    value: self.range.high(),
+                });
+                self.unblock_item_writes(ctx, fx, events);
+                self.recheck_balance(events);
+            }
+            DeferredWrite::InstallHandoff {
+                range,
+                items,
+                splitter,
+            } => {
+                self.status = DsStatus::Live;
+                self.range = range;
+                for (mapped, item) in items {
+                    events.push(DsEvent::ItemStored { item: item.clone() });
+                    self.store.insert(mapped, item);
+                }
+                events.push(DsEvent::RangeChanged {
+                    range: self.range,
+                    value: self.range.high(),
+                });
+                fx.send(splitter, DsMsg::HandoffAck);
+                self.recheck_balance(events);
+            }
+            DeferredWrite::ApplyRedistribute {
+                items,
+                new_boundary,
+                granter,
+            } => {
+                for (mapped, item) in items {
+                    events.push(DsEvent::ItemStored { item: item.clone() });
+                    self.store.insert(mapped, item);
+                }
+                self.range = CircularRange::new(self.range.low(), new_boundary);
+                self.rebalancing = false;
+                events.push(DsEvent::RangeChanged {
+                    range: self.range,
+                    value: self.range.high(),
+                });
+                fx.send(granter, DsMsg::RedistributeAck { new_boundary });
+            }
+            DeferredWrite::FinishRedistribute { new_boundary } => {
+                let moving = CircularRange::new(self.range.low(), new_boundary);
+                let removed = self.store.take_range(&moving);
+                for (_, item) in &removed {
+                    events.push(DsEvent::ItemRemoved { item: item.id });
+                }
+                self.range = CircularRange::new(new_boundary, self.range.high());
+                self.rebalancing = false;
+                events.push(DsEvent::RangeChanged {
+                    range: self.range,
+                    value: self.range.high(),
+                });
+                self.unblock_item_writes(ctx, fx, events);
+                self.recheck_balance(events);
+            }
+            DeferredWrite::ApplyMergeGrant {
+                range,
+                items,
+                granter,
+            } => {
+                for (mapped, item) in items {
+                    events.push(DsEvent::ItemStored { item: item.clone() });
+                    self.store.insert(mapped, item);
+                }
+                self.range = self
+                    .range
+                    .merge_with_successor(&range)
+                    .unwrap_or_else(|| CircularRange::new(self.range.low(), range.high()));
+                self.rebalancing = false;
+                events.push(DsEvent::RangeChanged {
+                    range: self.range,
+                    value: self.range.high(),
+                });
+                events.push(DsEvent::AbsorbedSuccessor { granter });
+                fx.send(granter, DsMsg::MergeGrantAck);
+            }
+            DeferredWrite::FinishMergeGive => {
+                let removed = self.store.drain_all();
+                for (_, item) in &removed {
+                    events.push(DsEvent::ItemRemoved { item: item.id });
+                }
+                let anchor = self.range.high();
+                self.range = CircularRange::empty(anchor);
+                self.status = DsStatus::Free;
+                self.rebalancing = false;
+                self.merge_give_to = None;
+                events.push(DsEvent::BecameFree);
+                self.unblock_item_writes(ctx, fx, events);
+            }
+        }
+    }
+
+    /// Re-dispatches item writes that were parked during a transfer.
+    fn unblock_item_writes(
+        &mut self,
+        ctx: LayerCtx,
+        fx: &mut Effects<DsMsg>,
+        events: &mut Vec<DsEvent>,
+    ) {
+        self.item_writes_blocked = false;
+        let parked = std::mem::take(&mut self.blocked_item_writes);
+        for (from, msg) in parked {
+            self.handle(ctx, from, msg, fx, events);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DsConfig;
+    use crate::messages::QueryId;
+    use pepper_net::{Effect, SimTime};
+    use pepper_types::{Item, SearchKey};
+
+    fn ctx(id: u64) -> LayerCtx {
+        LayerCtx::new(PeerId(id), SimTime::from_secs(1))
+    }
+
+    fn item(k: u64) -> Item {
+        Item::for_key(SearchKey(k))
+    }
+
+    fn live_peer(id: u64, low: u64, high: u64, keys: &[u64]) -> DataStoreState {
+        let mut ds = DataStoreState::new_first(PeerId(id), PeerValue(high), DsConfig::test());
+        ds.range = CircularRange::new(low, high);
+        for &k in keys {
+            ds.store.insert(k, item(k));
+        }
+        ds
+    }
+
+    // -------------------------------------------------------------- split
+
+    #[test]
+    fn split_plan_and_handoff_roundtrip() {
+        // sf = 2; 6 items overflow the peer.
+        let mut q = live_peer(1, 0, 100, &[10, 20, 30, 40, 50, 60]);
+        let mut events = Vec::new();
+        q.check_overflow(&mut events);
+        assert!(q.is_rebalancing());
+
+        let (new_value, boundary) = q.begin_split().unwrap();
+        assert_eq!(new_value, PeerValue(100));
+        assert_eq!(boundary, PeerValue(30));
+
+        // The ring join happens here (index layer); then the hand-off.
+        let mut fx = Effects::new();
+        let moved = q.send_handoff(ctx(1), PeerId(9), &mut fx).unwrap();
+        assert_eq!(moved, CircularRange::new(30u64, 100u64));
+        let handoff = fx.drain();
+        let (range, items) = match &handoff[0] {
+            Effect::Send {
+                to,
+                msg: DsMsg::HandoffInstall { range, items },
+            } => {
+                assert_eq!(*to, PeerId(9));
+                (*range, items.clone())
+            }
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(items.len(), 3); // 40, 50, 60 move
+        // Items are still at the splitter until the ack (copy-then-delete).
+        assert_eq!(q.item_count(), 6);
+
+        // The new peer installs and acks.
+        let mut n = DataStoreState::new_free(PeerId(9), DsConfig::test());
+        n.became_ring_member(PeerValue(100));
+        let mut nfx = Effects::new();
+        let mut nev = Vec::new();
+        n.on_handoff_install(ctx(9), PeerId(1), range, items, &mut nfx, &mut nev);
+        assert_eq!(n.status(), DsStatus::Live);
+        assert_eq!(n.item_count(), 3);
+        assert_eq!(n.range(), CircularRange::new(30u64, 100u64));
+        assert!(nfx.iter().any(|e| matches!(
+            e,
+            Effect::Send { to, msg: DsMsg::HandoffAck } if *to == PeerId(1)
+        )));
+
+        // The splitter completes on the ack.
+        let mut qfx = Effects::new();
+        q.on_handoff_ack(ctx(1), &mut qfx, &mut events);
+        assert_eq!(q.item_count(), 3);
+        assert_eq!(q.range(), CircularRange::new(0u64, 30u64));
+        assert!(!q.is_rebalancing());
+        // Every item is at exactly one of the two peers.
+        for k in [10u64, 20, 30, 40, 50, 60] {
+            let at_q = q.local_items_mapped().iter().any(|(m, _)| *m == k);
+            let at_n = n.local_items_mapped().iter().any(|(m, _)| *m == k);
+            assert!(at_q ^ at_n, "item {k} must be at exactly one peer");
+        }
+    }
+
+    #[test]
+    fn split_of_full_range_peer() {
+        let mut q = live_peer(1, 0, 0, &[]);
+        q.range = CircularRange::full(100u64);
+        for k in [10u64, 20, 30, 40, 50] {
+            q.store.insert(k, item(k));
+        }
+        let (new_value, boundary) = q.begin_split().unwrap();
+        assert_eq!(new_value, PeerValue(100));
+        assert_eq!(boundary, PeerValue(20));
+        let mut fx = Effects::new();
+        let moved = q.send_handoff(ctx(1), PeerId(9), &mut fx).unwrap();
+        assert_eq!(moved, CircularRange::new(20u64, 100u64));
+        let mut events = Vec::new();
+        q.on_handoff_ack(ctx(1), &mut fx, &mut events);
+        assert_eq!(q.range(), CircularRange::new(100u64, 20u64));
+        assert_eq!(q.item_count(), 2);
+    }
+
+    #[test]
+    fn split_with_too_few_items_is_cancelled() {
+        let mut q = live_peer(1, 0, 100, &[10]);
+        q.rebalancing = true;
+        assert!(q.begin_split().is_none());
+        assert!(!q.is_rebalancing());
+    }
+
+    #[test]
+    fn item_writes_are_parked_during_handoff() {
+        let mut q = live_peer(1, 0, 100, &[10, 20, 30, 40, 50, 60]);
+        let mut events = Vec::new();
+        q.check_overflow(&mut events);
+        q.begin_split().unwrap();
+        let mut fx = Effects::new();
+        q.send_handoff(ctx(1), PeerId(9), &mut fx).unwrap();
+
+        // An insert arriving mid-hand-off is parked, not lost and not stored.
+        let mut fx2 = Effects::new();
+        q.handle(
+            ctx(1),
+            PeerId(5),
+            DsMsg::InsertItem {
+                item: item(45),
+                reply_to: PeerId(5),
+            },
+            &mut fx2,
+            &mut events,
+        );
+        assert!(fx2.is_empty());
+        assert_eq!(q.item_count(), 6);
+
+        // After the ack the parked insert is re-dispatched; since 45 is now
+        // outside the shrunk range it bounces back for re-routing.
+        let mut fx3 = Effects::new();
+        q.on_handoff_ack(ctx(1), &mut fx3, &mut events);
+        assert!(fx3.iter().any(|e| matches!(
+            e,
+            Effect::Send { to, msg: DsMsg::NotResponsible { mapped: 45 } } if *to == PeerId(5)
+        )));
+    }
+
+    // ---------------------------------------------------- merge / redistribute
+
+    #[test]
+    fn redistribute_moves_boundary_and_items() {
+        // Requester q owns (0, 30] with 1 item; granter s owns (30, 100] with
+        // 6 items. total = 7 > 2*sf = 4, so s redistributes.
+        let mut q = live_peer(1, 0, 30, &[10]);
+        let mut s = live_peer(2, 30, 100, &[40, 50, 60, 70, 80, 90]);
+        let mut events = Vec::new();
+        q.check_underflow(&mut events);
+        assert!(q.is_rebalancing());
+
+        let mut fx = Effects::new();
+        q.send_merge_request(PeerId(2), &mut fx);
+        let req = fx.drain().remove(0);
+        let (req_items, req_value) = match req {
+            Effect::Send {
+                msg:
+                    DsMsg::MergeRequest {
+                        requester_items,
+                        requester_value,
+                    },
+                ..
+            } => (requester_items, requester_value),
+            other => panic!("unexpected {other:?}"),
+        };
+
+        let mut sfx = Effects::new();
+        let mut sev = Vec::new();
+        s.on_merge_request(ctx(2), PeerId(1), req_items, req_value, &mut sfx, &mut sev);
+        let grant = sfx.drain().remove(0);
+        let (items, new_boundary) = match grant {
+            Effect::Send {
+                to,
+                msg:
+                    DsMsg::RedistributeGrant {
+                        items,
+                        new_boundary,
+                    },
+            } => {
+                assert_eq!(to, PeerId(1));
+                (items, new_boundary)
+            }
+            other => panic!("unexpected {other:?}"),
+        };
+        // total = 7, target ~3 each: s gives 2 items (40, 50), boundary 50.
+        assert_eq!(new_boundary, PeerValue(50));
+        assert_eq!(items.len(), 2);
+        // Copy-then-delete: s still holds them.
+        assert_eq!(s.item_count(), 6);
+
+        // Requester installs and acks.
+        let mut qfx = Effects::new();
+        q.on_redistribute_grant(ctx(1), PeerId(2), items, new_boundary, &mut qfx, &mut events);
+        assert_eq!(q.item_count(), 3);
+        assert_eq!(q.range(), CircularRange::new(0u64, 50u64));
+        assert!(!q.is_rebalancing());
+        assert!(qfx.iter().any(|e| matches!(
+            e,
+            Effect::Send { to, msg: DsMsg::RedistributeAck { .. } } if *to == PeerId(2)
+        )));
+
+        // Granter finishes.
+        let mut sfx2 = Effects::new();
+        s.on_redistribute_ack(ctx(2), new_boundary, &mut sfx2, &mut sev);
+        assert_eq!(s.item_count(), 4);
+        assert_eq!(s.range(), CircularRange::new(50u64, 100u64));
+        assert!(!s.is_rebalancing());
+    }
+
+    #[test]
+    fn small_successor_grants_full_merge() {
+        // total = 1 + 2 = 3 <= 2*sf = 4: full merge.
+        let mut q = live_peer(1, 0, 30, &[10]);
+        let mut s = live_peer(2, 30, 100, &[40, 90]);
+        let mut events = Vec::new();
+        let mut fx = Effects::new();
+
+        s.on_merge_request(ctx(2), PeerId(1), 1, PeerValue(30), &mut fx, &mut events);
+        assert!(fx.is_empty(), "full merge defers the grant to the index layer");
+        assert!(matches!(
+            events[0],
+            DsEvent::MergeGiveStarted { to } if to == PeerId(1)
+        ));
+        assert!(s.is_rebalancing());
+
+        // Index layer has run leave + extra-hop replication; now grant.
+        let mut sfx = Effects::new();
+        assert_eq!(s.send_merge_grant(&mut sfx), Some(PeerId(1)));
+        let (range, items, gvalue) = match sfx.drain().remove(0) {
+            Effect::Send {
+                msg:
+                    DsMsg::MergeGrant {
+                        range,
+                        items,
+                        granter_value,
+                    },
+                ..
+            } => (range, items, granter_value),
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(gvalue, PeerValue(100));
+
+        // Requester absorbs.
+        let mut qfx = Effects::new();
+        let mut qev = Vec::new();
+        q.rebalancing = true;
+        q.on_merge_grant(ctx(1), PeerId(2), range, items, gvalue, &mut qfx, &mut qev);
+        assert_eq!(q.range(), CircularRange::new(0u64, 100u64));
+        assert_eq!(q.item_count(), 3);
+        assert!(qev
+            .iter()
+            .any(|e| matches!(e, DsEvent::AbsorbedSuccessor { granter } if *granter == PeerId(2))));
+        assert!(qfx.iter().any(|e| matches!(
+            e,
+            Effect::Send { to, msg: DsMsg::MergeGrantAck } if *to == PeerId(2)
+        )));
+
+        // Granter becomes free.
+        let mut sev2 = Vec::new();
+        let mut sfx2 = Effects::new();
+        s.on_merge_grant_ack(ctx(2), &mut sfx2, &mut sev2);
+        assert_eq!(s.status(), DsStatus::Free);
+        assert_eq!(s.item_count(), 0);
+        assert!(sev2.iter().any(|e| matches!(e, DsEvent::BecameFree)));
+    }
+
+    #[test]
+    fn busy_successor_declines_and_requester_retries() {
+        let mut s = live_peer(2, 30, 100, &[40, 50, 60, 70, 80]);
+        s.rebalancing = true;
+        let mut fx = Effects::new();
+        let mut events = Vec::new();
+        s.on_merge_request(ctx(2), PeerId(1), 1, PeerValue(30), &mut fx, &mut events);
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            Effect::Send { msg: DsMsg::MergeDeclined, .. }
+        )));
+
+        let mut q = live_peer(1, 0, 30, &[10]);
+        q.rebalancing = true;
+        let mut qfx = Effects::new();
+        q.on_merge_declined(ctx(1), &mut qfx, &mut events);
+        assert!(!q.is_rebalancing());
+        assert!(qfx.iter().any(|e| matches!(e, Effect::Timer { msg: DsMsg::RebalanceRetry, .. })));
+    }
+
+    #[test]
+    fn rebalance_retry_rechecks_thresholds() {
+        let mut q = live_peer(1, 0, 30, &[10]);
+        let mut events = Vec::new();
+        q.on_rebalance_retry(ctx(1), &mut events);
+        assert!(events.iter().any(|e| matches!(e, DsEvent::MergeNeeded { .. })));
+    }
+
+    #[test]
+    fn deferred_merge_grant_waits_for_scan() {
+        let mut q = live_peer(1, 0, 30, &[10]);
+        q.rebalancing = true;
+        q.acquire_scan_lock();
+        let mut fx = Effects::new();
+        let mut events = Vec::new();
+        q.on_merge_grant(
+            ctx(1),
+            PeerId(2),
+            CircularRange::new(30u64, 100u64),
+            vec![(40, item(40))],
+            PeerValue(100),
+            &mut fx,
+            &mut events,
+        );
+        // Nothing applied, no ack sent while the scan lock is held.
+        assert_eq!(q.range(), CircularRange::new(0u64, 30u64));
+        assert!(fx.is_empty());
+        q.release_scan_lock(ctx(1), &mut fx, &mut events);
+        assert_eq!(q.range(), CircularRange::new(0u64, 100u64));
+        assert!(fx.iter().any(|e| matches!(e, Effect::Send { msg: DsMsg::MergeGrantAck, .. })));
+    }
+
+    #[test]
+    fn cancel_rebalance_schedules_retry() {
+        let mut q = live_peer(1, 0, 30, &[10]);
+        q.rebalancing = true;
+        let mut fx = Effects::new();
+        q.cancel_rebalance(&mut fx);
+        assert!(!q.is_rebalancing());
+        assert!(fx.iter().any(|e| matches!(e, Effect::Timer { msg: DsMsg::RebalanceRetry, .. })));
+    }
+
+    #[test]
+    fn merge_request_to_full_range_peer_is_declined() {
+        let mut s = DataStoreState::new_first(PeerId(2), PeerValue(100), DsConfig::test());
+        s.store.insert(40, item(40));
+        let mut fx = Effects::new();
+        let mut events = Vec::new();
+        s.on_merge_request(ctx(2), PeerId(1), 0, PeerValue(30), &mut fx, &mut events);
+        assert!(fx.iter().any(|e| matches!(e, Effect::Send { msg: DsMsg::MergeDeclined, .. })));
+    }
+
+    #[test]
+    fn query_id_is_unused_in_balance_paths() {
+        // Guard that balance handlers never touch query state.
+        let q = live_peer(1, 0, 30, &[10]);
+        assert_eq!(q.open_queries(), 0);
+        let _ = QueryId {
+            origin: PeerId(1),
+            seq: 0,
+        };
+    }
+}

@@ -1,0 +1,110 @@
+//! Data Store configuration.
+
+use std::time::Duration;
+
+use pepper_types::{KeyMap, SystemConfig};
+
+/// Configuration of the Data Store layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DsConfig {
+    /// Storage factor `sf`: a live peer holds between `sf` and `2·sf` items.
+    pub storage_factor: usize,
+    /// Use the PEPPER `scanRange` primitive (hand-over-hand range locks)
+    /// instead of the naive lock-free application scan.
+    pub pepper_scan: bool,
+    /// The map `M : K -> PV` used to place items.
+    pub key_map: KeyMap,
+    /// How long a scan waits for the successor to acknowledge the hand-off
+    /// before retrying / giving up.
+    pub scan_forward_timeout: Duration,
+    /// Maximum number of times a scan hand-off is retried before the scan is
+    /// reported as incomplete.
+    pub scan_max_retries: usize,
+    /// Delay before re-checking an overflow/underflow that could not be
+    /// acted upon immediately (no free peer, lock busy, …).
+    pub rebalance_retry_delay: Duration,
+}
+
+impl DsConfig {
+    /// Derives the Data Store configuration from the system configuration.
+    ///
+    /// The scan hand-off timeout is tied to the ring's ping period: a scan
+    /// forwarded to a peer that has just departed is retried until the ring's
+    /// failure/departure detection has had a chance to update the cached
+    /// successor, so the retry actually reaches a different peer.
+    pub fn from_system(cfg: &SystemConfig) -> Self {
+        DsConfig {
+            storage_factor: cfg.storage_factor,
+            pepper_scan: cfg.protocol.pepper_scan,
+            key_map: cfg.key_map,
+            scan_forward_timeout: cfg.ping_period.max(Duration::from_millis(500)),
+            scan_max_retries: 4,
+            rebalance_retry_delay: Duration::from_millis(500),
+        }
+    }
+
+    /// A small configuration convenient for unit tests (`sf = 2`).
+    pub fn test() -> Self {
+        DsConfig {
+            storage_factor: 2,
+            pepper_scan: true,
+            key_map: KeyMap::order_preserving(),
+            scan_forward_timeout: Duration::from_millis(50),
+            scan_max_retries: 2,
+            rebalance_retry_delay: Duration::from_millis(50),
+        }
+    }
+
+    /// The naive-baseline version of [`DsConfig::test`].
+    pub fn test_naive() -> Self {
+        DsConfig {
+            pepper_scan: false,
+            ..DsConfig::test()
+        }
+    }
+
+    /// Maximum number of items before an overflow is declared (`2·sf`).
+    pub fn overflow_threshold(&self) -> usize {
+        self.storage_factor * 2
+    }
+
+    /// Minimum number of items before an underflow is declared (`sf`).
+    pub fn underflow_threshold(&self) -> usize {
+        self.storage_factor
+    }
+}
+
+impl Default for DsConfig {
+    fn default() -> Self {
+        DsConfig::from_system(&SystemConfig::paper_defaults())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pepper_types::ProtocolConfig;
+
+    #[test]
+    fn derived_from_system() {
+        let c = DsConfig::from_system(&SystemConfig::paper_defaults().with_storage_factor(7));
+        assert_eq!(c.storage_factor, 7);
+        assert_eq!(c.overflow_threshold(), 14);
+        assert_eq!(c.underflow_threshold(), 7);
+        assert!(c.pepper_scan);
+    }
+
+    #[test]
+    fn naive_flag_propagates() {
+        let sys = SystemConfig::paper_defaults().with_protocol(ProtocolConfig::naive());
+        assert!(!DsConfig::from_system(&sys).pepper_scan);
+        assert!(!DsConfig::test_naive().pepper_scan);
+    }
+
+    #[test]
+    fn default_matches_paper() {
+        let c = DsConfig::default();
+        assert_eq!(c.storage_factor, 5);
+        assert_eq!(c.overflow_threshold(), 10);
+    }
+}

@@ -1,0 +1,253 @@
+//! Data Store protocol messages.
+
+use pepper_types::{CircularRange, Item, ItemId, KeyInterval, PeerId, PeerValue};
+
+/// Identifies one range query: the issuing peer plus a per-issuer sequence
+/// number (the paper's subscript `i` on `scanRange_i`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId {
+    /// The peer the query was issued at (and that collects the results).
+    pub origin: PeerId,
+    /// Per-origin sequence number.
+    pub seq: u64,
+}
+
+impl std::fmt::Display for QueryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "q{}:{}", self.origin.raw(), self.seq)
+    }
+}
+
+/// Messages exchanged by the Data Store layer (timers included).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DsMsg {
+    // ---- item insertion / deletion ---------------------------------------
+    /// Store `item` at the receiving peer (which must be responsible for its
+    /// mapped value).
+    InsertItem {
+        /// The item to store.
+        item: Item,
+        /// Peer to acknowledge to (the peer the client issued the insert at).
+        reply_to: PeerId,
+    },
+    /// Acknowledgement of [`DsMsg::InsertItem`].
+    InsertItemAck {
+        /// The stored item's id.
+        item: ItemId,
+    },
+    /// Delete the item with the given mapped value.
+    DeleteItem {
+        /// The mapped value (`M(i.skv)`) of the item to delete.
+        mapped: u64,
+        /// Peer to acknowledge to.
+        reply_to: PeerId,
+    },
+    /// Acknowledgement of [`DsMsg::DeleteItem`]; `found` tells whether the
+    /// item existed.
+    DeleteItemAck {
+        /// The mapped value that was deleted.
+        mapped: u64,
+        /// Whether an item was actually removed.
+        found: bool,
+    },
+    /// The receiving peer is not responsible for the mapped value (stale
+    /// routing); the sender should re-route.
+    NotResponsible {
+        /// The mapped value the request was about.
+        mapped: u64,
+    },
+
+    // ---- PEPPER scanRange --------------------------------------------------
+    /// One hop of a `scanRange`: the receiver must own part of the interval,
+    /// lock its range, acknowledge to `prev`, report its items to the origin
+    /// and forward to its successor if the interval extends past its range.
+    ScanStep {
+        /// Query identity.
+        query: QueryId,
+        /// The full query interval (closed).
+        interval: KeyInterval,
+        /// The peer that forwarded this step and is waiting for the lock
+        /// hand-off acknowledgement (`None` for the first hop).
+        prev: Option<PeerId>,
+        /// Hop counter (0 at the first peer).
+        hop: u32,
+    },
+    /// Lock hand-off acknowledgement: the successor has locked its range, so
+    /// the sender may release its own lock.
+    ScanStepAck {
+        /// Query identity.
+        query: QueryId,
+    },
+    /// Timer guarding a scan hand-off: fires if the successor never
+    /// acknowledged.
+    ScanForwardTimeout {
+        /// Query identity.
+        query: QueryId,
+        /// The successor the step was forwarded to.
+        target: PeerId,
+        /// Retry attempt the guard belongs to.
+        attempt: usize,
+    },
+    /// The first peer of a scan rejected it because the query's lower bound
+    /// is not in its range (stale routing); the origin should re-route.
+    ScanRejected {
+        /// Query identity.
+        query: QueryId,
+    },
+
+    // ---- naive application-level scan ---------------------------------------
+    /// One hop of the naive lock-free scan.
+    NaiveScanStep {
+        /// Query identity.
+        query: QueryId,
+        /// The full query interval (closed).
+        interval: KeyInterval,
+        /// Hop counter.
+        hop: u32,
+    },
+
+    // ---- scan results (delivered to the query origin) -----------------------
+    /// Partial result from one peer of the scan.
+    ScanResult {
+        /// Query identity.
+        query: QueryId,
+        /// Items of this peer that fall in the query interval.
+        items: Vec<Item>,
+        /// The sub-intervals of the query this peer was responsible for.
+        covered: Vec<KeyInterval>,
+        /// Hop index of the reporting peer.
+        hop: u32,
+    },
+    /// The scan has reached the peer owning the query's upper bound.
+    ScanDone {
+        /// Query identity.
+        query: QueryId,
+        /// Total number of hops the scan took.
+        hops: u32,
+    },
+    /// The scan could not be completed (successor failures exhausted the
+    /// retries). The query is reported with whatever was collected.
+    ScanFailed {
+        /// Query identity.
+        query: QueryId,
+    },
+
+    // ---- storage balance: split --------------------------------------------
+    /// Hand-off of the upper half of a splitting peer's range to the freshly
+    /// joined free peer.
+    HandoffInstall {
+        /// The range the new peer becomes responsible for.
+        range: CircularRange,
+        /// The items in that range (mapped value, item).
+        items: Vec<(u64, Item)>,
+    },
+    /// Acknowledgement of [`DsMsg::HandoffInstall`].
+    HandoffAck,
+
+    // ---- storage balance: merge / redistribute -------------------------------
+    /// An underflowing peer asks its successor to merge or redistribute.
+    MergeRequest {
+        /// How many items the requester currently holds.
+        requester_items: usize,
+        /// The requester's current ring value (upper end of its range).
+        requester_value: PeerValue,
+    },
+    /// The successor grants a redistribution: it hands the lower portion of
+    /// its items to the requester; the boundary between the two moves up to
+    /// `new_boundary`.
+    RedistributeGrant {
+        /// The items handed over (copies; the granter removes them only once
+        /// the requester acknowledges).
+        items: Vec<(u64, Item)>,
+        /// The new boundary: the requester's range becomes
+        /// `(.., new_boundary]`, the granter's `(new_boundary, ..]`.
+        new_boundary: PeerValue,
+    },
+    /// The requester has installed the redistributed items.
+    RedistributeAck {
+        /// The boundary that was agreed.
+        new_boundary: PeerValue,
+    },
+    /// The successor grants a full merge: it hands over its entire range and
+    /// all its items, and will leave the ring once acknowledged.
+    MergeGrant {
+        /// The granter's entire range.
+        range: CircularRange,
+        /// All of the granter's items.
+        items: Vec<(u64, Item)>,
+        /// The granter's ring value (the requester's new value).
+        granter_value: PeerValue,
+    },
+    /// The requester has absorbed the granter's range and items.
+    MergeGrantAck,
+    /// The successor declines to merge or redistribute right now (e.g. it is
+    /// itself rebalancing); the requester retries later.
+    MergeDeclined,
+
+    // ---- timers ---------------------------------------------------------------
+    /// Re-check overflow / underflow after a deferred or declined rebalance.
+    RebalanceRetry,
+}
+
+impl DsMsg {
+    /// Short tag used for tracing and statistics.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            DsMsg::InsertItem { .. } => "InsertItem",
+            DsMsg::InsertItemAck { .. } => "InsertItemAck",
+            DsMsg::DeleteItem { .. } => "DeleteItem",
+            DsMsg::DeleteItemAck { .. } => "DeleteItemAck",
+            DsMsg::NotResponsible { .. } => "NotResponsible",
+            DsMsg::ScanStep { .. } => "ScanStep",
+            DsMsg::ScanStepAck { .. } => "ScanStepAck",
+            DsMsg::ScanForwardTimeout { .. } => "ScanForwardTimeout",
+            DsMsg::ScanRejected { .. } => "ScanRejected",
+            DsMsg::NaiveScanStep { .. } => "NaiveScanStep",
+            DsMsg::ScanResult { .. } => "ScanResult",
+            DsMsg::ScanDone { .. } => "ScanDone",
+            DsMsg::ScanFailed { .. } => "ScanFailed",
+            DsMsg::HandoffInstall { .. } => "HandoffInstall",
+            DsMsg::HandoffAck => "HandoffAck",
+            DsMsg::MergeRequest { .. } => "MergeRequest",
+            DsMsg::RedistributeGrant { .. } => "RedistributeGrant",
+            DsMsg::RedistributeAck { .. } => "RedistributeAck",
+            DsMsg::MergeGrant { .. } => "MergeGrant",
+            DsMsg::MergeGrantAck => "MergeGrantAck",
+            DsMsg::MergeDeclined => "MergeDeclined",
+            DsMsg::RebalanceRetry => "RebalanceRetry",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_id_display() {
+        let q = QueryId {
+            origin: PeerId(3),
+            seq: 7,
+        };
+        assert_eq!(q.to_string(), "q3:7");
+    }
+
+    #[test]
+    fn representative_tags() {
+        assert_eq!(
+            DsMsg::ScanStep {
+                query: QueryId {
+                    origin: PeerId(1),
+                    seq: 1
+                },
+                interval: KeyInterval::new(1, 2).unwrap(),
+                prev: None,
+                hop: 0,
+            }
+            .tag(),
+            "ScanStep"
+        );
+        assert_eq!(DsMsg::HandoffAck.tag(), "HandoffAck");
+        assert_eq!(DsMsg::RebalanceRetry.tag(), "RebalanceRetry");
+    }
+}

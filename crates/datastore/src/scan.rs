@@ -1,0 +1,632 @@
+//! `scanRange` (Algorithms 3–7) and the naive application-level scan.
+//!
+//! A PEPPER scan walks the ring hop by hop. Every hop:
+//!
+//! 1. acquires the local range read lock (so the range cannot change under
+//!    the scan),
+//! 2. acknowledges the previous hop (which may then release *its* lock —
+//!    this is the hand-over-hand locking of Algorithm 5),
+//! 3. reports its items in the query interval to the query origin,
+//! 4. either completes the scan (the interval's upper bound is in its range)
+//!    or forwards it to its successor and keeps the lock until the successor
+//!    acknowledges.
+//!
+//! The naive baseline performs the same walk without any locks or
+//! acknowledgements; under concurrent splits/merges/redistributions it can
+//! miss live items (Section 4.2.2), which is what the correctness
+//! experiments measure.
+
+use pepper_net::{Effects, LayerCtx};
+use pepper_types::{Item, KeyInterval, PeerId};
+
+use crate::events::DsEvent;
+use crate::messages::{DsMsg, QueryId};
+use crate::state::{DataStoreState, DsStatus, PendingForward};
+
+/// Hard cap on scan length, guarding against routing loops in badly
+/// inconsistent (naive) rings.
+pub const MAX_SCAN_HOPS: u32 = 1024;
+
+/// How many times a rejected scan start is re-routed before the query is
+/// finalized with whatever has been collected.
+pub const MAX_SCAN_REROUTES: u32 = 5;
+
+impl DataStoreState {
+    fn collect_local(&self, interval: &KeyInterval) -> (Vec<Item>, Vec<KeyInterval>) {
+        let pieces = self.range.intersect_interval(interval);
+        let mut items = Vec::new();
+        for piece in &pieces {
+            items.extend(self.store.items_in_interval(piece));
+        }
+        (items, pieces)
+    }
+
+    /// One hop of the PEPPER `scanRange`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn on_scan_step(
+        &mut self,
+        ctx: LayerCtx,
+        query: QueryId,
+        interval: KeyInterval,
+        prev: Option<PeerId>,
+        hop: u32,
+        fx: &mut Effects<DsMsg>,
+        events: &mut Vec<DsEvent>,
+    ) {
+        if self.status != DsStatus::Live {
+            if prev.is_none() {
+                fx.send(query.origin, DsMsg::ScanRejected { query });
+            }
+            // A forwarded step landing on a departed peer is recovered by the
+            // previous hop's forward timeout.
+            return;
+        }
+        // The first peer must own the query's lower bound (Algorithm 3).
+        if prev.is_none() && !self.range.contains(interval.lo()) {
+            fx.send(query.origin, DsMsg::ScanRejected { query });
+            return;
+        }
+
+        self.acquire_scan_lock();
+        if let Some(p) = prev {
+            fx.send(p, DsMsg::ScanStepAck { query });
+        }
+
+        let (items, covered) = self.collect_local(&interval);
+        fx.send(
+            query.origin,
+            DsMsg::ScanResult {
+                query,
+                items,
+                covered,
+                hop,
+            },
+        );
+
+        if self.range.contains(interval.hi()) || hop >= MAX_SCAN_HOPS {
+            fx.send(query.origin, DsMsg::ScanDone { query, hops: hop });
+            self.release_scan_lock(ctx, fx, events);
+            return;
+        }
+
+        // Forward to the successor, keeping our lock until it acknowledges.
+        match self.succ {
+            Some((succ, _)) if succ != self.id => {
+                fx.send(
+                    succ,
+                    DsMsg::ScanStep {
+                        query,
+                        interval,
+                        prev: Some(self.id),
+                        hop: hop + 1,
+                    },
+                );
+                self.pending_forwards.insert(
+                    query,
+                    PendingForward {
+                        target: succ,
+                        interval,
+                        hop,
+                        attempt: 1,
+                    },
+                );
+                fx.timer(
+                    self.cfg.scan_forward_timeout,
+                    DsMsg::ScanForwardTimeout {
+                        query,
+                        target: succ,
+                        attempt: 1,
+                    },
+                );
+            }
+            _ => {
+                fx.send(query.origin, DsMsg::ScanFailed { query });
+                self.release_scan_lock(ctx, fx, events);
+            }
+        }
+    }
+
+    /// The successor acknowledged the hand-off: release our range lock.
+    pub(crate) fn on_scan_step_ack(
+        &mut self,
+        ctx: LayerCtx,
+        query: QueryId,
+        fx: &mut Effects<DsMsg>,
+        events: &mut Vec<DsEvent>,
+    ) {
+        if self.pending_forwards.remove(&query).is_some() {
+            self.release_scan_lock(ctx, fx, events);
+        }
+    }
+
+    /// The successor did not acknowledge in time: retry via the (possibly
+    /// new) successor or give up.
+    pub(crate) fn on_scan_forward_timeout(
+        &mut self,
+        ctx: LayerCtx,
+        query: QueryId,
+        target: PeerId,
+        attempt: usize,
+        fx: &mut Effects<DsMsg>,
+        events: &mut Vec<DsEvent>,
+    ) {
+        let Some(pending) = self.pending_forwards.get(&query) else {
+            return;
+        };
+        if pending.target != target || pending.attempt != attempt {
+            return; // superseded
+        }
+        let (interval, hop) = (pending.interval, pending.hop);
+        let next_attempt = attempt + 1;
+        let retry_target = match self.succ {
+            Some((succ, _)) if succ != self.id => Some(succ),
+            _ => None,
+        };
+        match retry_target {
+            Some(succ) if attempt < self.cfg.scan_max_retries => {
+                fx.send(
+                    succ,
+                    DsMsg::ScanStep {
+                        query,
+                        interval,
+                        prev: Some(self.id),
+                        hop: hop + 1,
+                    },
+                );
+                self.pending_forwards.insert(
+                    query,
+                    PendingForward {
+                        target: succ,
+                        interval,
+                        hop,
+                        attempt: next_attempt,
+                    },
+                );
+                fx.timer(
+                    self.cfg.scan_forward_timeout,
+                    DsMsg::ScanForwardTimeout {
+                        query,
+                        target: succ,
+                        attempt: next_attempt,
+                    },
+                );
+            }
+            _ => {
+                self.pending_forwards.remove(&query);
+                fx.send(query.origin, DsMsg::ScanFailed { query });
+                self.release_scan_lock(ctx, fx, events);
+            }
+        }
+    }
+
+    /// The first peer rejected the scan (stale routing): ask the index layer
+    /// to re-route, or finalize after too many attempts.
+    pub(crate) fn on_scan_rejected(
+        &mut self,
+        ctx: LayerCtx,
+        query: QueryId,
+        events: &mut Vec<DsEvent>,
+    ) {
+        let Some(progress) = self.queries.get_mut(&query) else {
+            return;
+        };
+        progress.reroutes += 1;
+        if progress.reroutes > MAX_SCAN_REROUTES {
+            self.finalize_query(ctx, query, events);
+        } else {
+            events.push(DsEvent::QueryRejected { query });
+        }
+    }
+
+    /// One hop of the naive, lock-free application-level scan.
+    pub(crate) fn on_naive_scan_step(
+        &mut self,
+        _ctx: LayerCtx,
+        query: QueryId,
+        interval: KeyInterval,
+        hop: u32,
+        fx: &mut Effects<DsMsg>,
+        _events: &mut Vec<DsEvent>,
+    ) {
+        if self.status != DsStatus::Live {
+            // The naive scan has no recovery: the origin's timeout finalizes
+            // the query with whatever was collected.
+            return;
+        }
+        let (items, covered) = self.collect_local(&interval);
+        fx.send(
+            query.origin,
+            DsMsg::ScanResult {
+                query,
+                items,
+                covered,
+                hop,
+            },
+        );
+        if self.range.contains(interval.hi()) || hop >= MAX_SCAN_HOPS {
+            fx.send(query.origin, DsMsg::ScanDone { query, hops: hop });
+            return;
+        }
+        match self.succ {
+            Some((succ, _)) if succ != self.id => {
+                fx.send(
+                    succ,
+                    DsMsg::NaiveScanStep {
+                        query,
+                        interval,
+                        hop: hop + 1,
+                    },
+                );
+            }
+            _ => {
+                fx.send(query.origin, DsMsg::ScanFailed { query });
+            }
+        }
+    }
+
+    /// Partial result arriving at the query origin.
+    pub(crate) fn on_scan_result(
+        &mut self,
+        query: QueryId,
+        items: Vec<Item>,
+        covered: Vec<KeyInterval>,
+        hop: u32,
+    ) {
+        if let Some(progress) = self.queries.get_mut(&query) {
+            progress.items.extend(items);
+            progress.covered.extend(covered);
+            progress.hops = progress.hops.max(hop);
+        }
+    }
+
+    /// Scan completion arriving at the query origin.
+    pub(crate) fn on_scan_done(
+        &mut self,
+        ctx: LayerCtx,
+        query: QueryId,
+        hops: u32,
+        events: &mut Vec<DsEvent>,
+    ) {
+        if let Some(progress) = self.queries.get_mut(&query) {
+            progress.hops = progress.hops.max(hops);
+        }
+        self.finalize_query(ctx, query, events);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DsConfig;
+    use crate::state::DeferredWrite;
+    use pepper_net::{Effect, SimTime};
+    use pepper_types::{CircularRange, PeerValue, SearchKey};
+
+    fn ctx(id: u64) -> LayerCtx {
+        LayerCtx::new(PeerId(id), SimTime::from_secs(1))
+    }
+
+    fn item(k: u64) -> Item {
+        Item::for_key(SearchKey(k))
+    }
+
+    fn live_peer(id: u64, low: u64, high: u64, keys: &[u64]) -> DataStoreState {
+        let mut ds = DataStoreState::new_first(PeerId(id), PeerValue(high), DsConfig::test());
+        ds.range = CircularRange::new(low, high);
+        for &k in keys {
+            ds.store.insert(k, item(k));
+        }
+        ds
+    }
+
+    fn qid(origin: u64, seq: u64) -> QueryId {
+        QueryId {
+            origin: PeerId(origin),
+            seq,
+        }
+    }
+
+    #[test]
+    fn single_peer_scan_completes_in_zero_hops() {
+        let mut p = live_peer(1, 0, 100, &[10, 20, 30]);
+        let mut fx = Effects::new();
+        let mut events = Vec::new();
+        let interval = KeyInterval::new(15, 35).unwrap();
+        p.on_scan_step(ctx(1), qid(9, 0), interval, None, 0, &mut fx, &mut events);
+        let effects = fx.drain();
+        // Result with items 20 and 30, then done; the lock is released.
+        let result_items: Vec<u64> = effects
+            .iter()
+            .find_map(|e| match e {
+                Effect::Send {
+                    msg: DsMsg::ScanResult { items, .. },
+                    ..
+                } => Some(items.iter().map(|i| i.skv.raw()).collect()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(result_items, vec![20, 30]);
+        assert!(effects
+            .iter()
+            .any(|e| matches!(e, Effect::Send { msg: DsMsg::ScanDone { hops: 0, .. }, .. })));
+        assert_eq!(p.scan_locks(), 0);
+    }
+
+    #[test]
+    fn first_peer_rejects_when_not_owner_of_lower_bound() {
+        let mut p = live_peer(1, 50, 100, &[60]);
+        let mut fx = Effects::new();
+        let mut events = Vec::new();
+        let interval = KeyInterval::new(10, 70).unwrap();
+        p.on_scan_step(ctx(1), qid(9, 0), interval, None, 0, &mut fx, &mut events);
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            Effect::Send { to, msg: DsMsg::ScanRejected { .. } } if *to == PeerId(9)
+        )));
+        assert_eq!(p.scan_locks(), 0);
+    }
+
+    #[test]
+    fn multi_hop_scan_forwards_and_holds_lock_until_ack() {
+        let mut p = live_peer(1, 0, 50, &[10, 40]);
+        p.set_successor(PeerId(2), PeerValue(100));
+        let mut fx = Effects::new();
+        let mut events = Vec::new();
+        let interval = KeyInterval::new(5, 90).unwrap();
+        p.on_scan_step(ctx(1), qid(9, 3), interval, None, 0, &mut fx, &mut events);
+        let effects = fx.drain();
+        // Forwarded to the successor with hop + 1 and prev = self.
+        assert!(effects.iter().any(|e| matches!(
+            e,
+            Effect::Send { to, msg: DsMsg::ScanStep { prev: Some(prev), hop: 1, .. } }
+                if *to == PeerId(2) && *prev == PeerId(1)
+        )));
+        // A hand-off timeout guard was armed and the lock is still held.
+        assert!(effects.iter().any(|e| matches!(
+            e,
+            Effect::Timer { msg: DsMsg::ScanForwardTimeout { .. }, .. }
+        )));
+        assert_eq!(p.scan_locks(), 1);
+
+        // The successor acknowledges: the lock is released.
+        p.on_scan_step_ack(ctx(1), qid(9, 3), &mut fx, &mut events);
+        assert_eq!(p.scan_locks(), 0);
+    }
+
+    #[test]
+    fn forwarded_step_acknowledges_previous_hop() {
+        let mut p2 = live_peer(2, 50, 100, &[60, 90]);
+        let mut fx = Effects::new();
+        let mut events = Vec::new();
+        let interval = KeyInterval::new(5, 90).unwrap();
+        p2.on_scan_step(
+            ctx(2),
+            qid(9, 3),
+            interval,
+            Some(PeerId(1)),
+            1,
+            &mut fx,
+            &mut events,
+        );
+        let effects = fx.drain();
+        assert!(effects.iter().any(|e| matches!(
+            e,
+            Effect::Send { to, msg: DsMsg::ScanStepAck { .. } } if *to == PeerId(1)
+        )));
+        // 90 is in p2's range: the scan is done there.
+        assert!(effects.iter().any(|e| matches!(
+            e,
+            Effect::Send { msg: DsMsg::ScanDone { hops: 1, .. }, .. }
+        )));
+        assert_eq!(p2.scan_locks(), 0);
+    }
+
+    #[test]
+    fn deferred_range_change_applies_after_scan_ack() {
+        // A redistribute grant arrives while the peer is mid-scan (lock held
+        // waiting for the successor's ack): the range change waits.
+        let mut p = live_peer(1, 0, 50, &[10, 40]);
+        p.set_successor(PeerId(2), PeerValue(100));
+        p.rebalancing = true;
+        let mut fx = Effects::new();
+        let mut events = Vec::new();
+        let interval = KeyInterval::new(5, 90).unwrap();
+        p.on_scan_step(ctx(1), qid(9, 0), interval, None, 0, &mut fx, &mut events);
+        assert_eq!(p.scan_locks(), 1);
+
+        p.write_or_defer(
+            ctx(1),
+            DeferredWrite::ApplyRedistribute {
+                items: vec![(60, item(60))],
+                new_boundary: PeerValue(60),
+                granter: PeerId(2),
+            },
+            &mut fx,
+            &mut events,
+        );
+        assert_eq!(p.range(), CircularRange::new(0u64, 50u64));
+        // Ack from the successor releases the lock and applies the change.
+        p.on_scan_step_ack(ctx(1), qid(9, 0), &mut fx, &mut events);
+        assert_eq!(p.range(), CircularRange::new(0u64, 60u64));
+        assert!(p.store.contains(60));
+    }
+
+    #[test]
+    fn forward_timeout_retries_then_gives_up() {
+        let mut p = live_peer(1, 0, 50, &[10]);
+        p.set_successor(PeerId(2), PeerValue(100));
+        let mut fx = Effects::new();
+        let mut events = Vec::new();
+        let interval = KeyInterval::new(5, 90).unwrap();
+        p.on_scan_step(ctx(1), qid(9, 0), interval, None, 0, &mut fx, &mut events);
+        fx.drain();
+
+        // First timeout: the successor has changed (failure handled by the
+        // ring); the scan is re-forwarded to the new successor.
+        p.set_successor(PeerId(3), PeerValue(100));
+        p.on_scan_forward_timeout(ctx(1), qid(9, 0), PeerId(2), 1, &mut fx, &mut events);
+        let effects = fx.drain();
+        assert!(effects.iter().any(|e| matches!(
+            e,
+            Effect::Send { to, msg: DsMsg::ScanStep { .. } } if *to == PeerId(3)
+        )));
+        assert_eq!(p.scan_locks(), 1);
+
+        // Exhausting the retries reports failure and releases the lock.
+        p.on_scan_forward_timeout(ctx(1), qid(9, 0), PeerId(3), 2, &mut fx, &mut events);
+        let effects = fx.drain();
+        assert!(effects.iter().any(|e| matches!(
+            e,
+            Effect::Send { to, msg: DsMsg::ScanFailed { .. } } if *to == PeerId(9)
+        )));
+        assert_eq!(p.scan_locks(), 0);
+
+        // A stale timeout afterwards is ignored.
+        p.on_scan_forward_timeout(ctx(1), qid(9, 0), PeerId(3), 2, &mut fx, &mut events);
+        assert_eq!(p.scan_locks(), 0);
+    }
+
+    #[test]
+    fn naive_scan_reports_and_forwards_without_locks() {
+        let mut p = live_peer(1, 0, 50, &[10, 40]);
+        p.set_successor(PeerId(2), PeerValue(100));
+        let mut fx = Effects::new();
+        let mut events = Vec::new();
+        let interval = KeyInterval::new(5, 90).unwrap();
+        p.on_naive_scan_step(ctx(1), qid(9, 0), interval, 0, &mut fx, &mut events);
+        let effects = fx.drain();
+        assert!(effects.iter().any(|e| matches!(
+            e,
+            Effect::Send { msg: DsMsg::ScanResult { .. }, .. }
+        )));
+        assert!(effects.iter().any(|e| matches!(
+            e,
+            Effect::Send { to, msg: DsMsg::NaiveScanStep { hop: 1, .. } } if *to == PeerId(2)
+        )));
+        assert_eq!(p.scan_locks(), 0);
+    }
+
+    #[test]
+    fn scan_rejection_requests_rerouting_then_gives_up() {
+        let mut issuer = live_peer(9, 0, 100, &[]);
+        let mut fx = Effects::new();
+        let (id, _) = issuer
+            .register_query(ctx(9), pepper_types::RangeQuery::closed(10u64, 20u64), &mut fx)
+            .unwrap();
+        let mut events = Vec::new();
+        for _ in 0..MAX_SCAN_REROUTES {
+            issuer.on_scan_rejected(ctx(9), id, &mut events);
+        }
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e, DsEvent::QueryRejected { .. }))
+                .count(),
+            MAX_SCAN_REROUTES as usize
+        );
+        // One more rejection finalizes the query as incomplete.
+        issuer.on_scan_rejected(ctx(9), id, &mut events);
+        assert!(events.iter().any(|e| matches!(
+            e,
+            DsEvent::QueryCompleted { complete: false, .. }
+        )));
+        assert_eq!(issuer.open_queries(), 0);
+    }
+
+    #[test]
+    fn results_accumulate_and_done_finalizes() {
+        let mut issuer = live_peer(9, 0, 100, &[]);
+        let mut fx = Effects::new();
+        let (id, _) = issuer
+            .register_query(ctx(9), pepper_types::RangeQuery::closed(10u64, 60u64), &mut fx)
+            .unwrap();
+        issuer.on_scan_result(
+            id,
+            vec![item(15)],
+            vec![KeyInterval::new(10, 30).unwrap()],
+            0,
+        );
+        issuer.on_scan_result(
+            id,
+            vec![item(45), item(15)],
+            vec![KeyInterval::new(31, 60).unwrap()],
+            1,
+        );
+        let mut events = Vec::new();
+        issuer.on_scan_done(ctx(9), id, 1, &mut events);
+        match &events[0] {
+            DsEvent::QueryCompleted {
+                items,
+                hops,
+                complete,
+                ..
+            } => {
+                // Duplicates are removed, items sorted by key.
+                assert_eq!(items.iter().map(|i| i.skv.raw()).collect::<Vec<_>>(), vec![15, 45]);
+                assert_eq!(*hops, 1);
+                assert!(complete);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incomplete_coverage_is_reported() {
+        let mut issuer = live_peer(9, 0, 100, &[]);
+        let mut fx = Effects::new();
+        let (id, _) = issuer
+            .register_query(ctx(9), pepper_types::RangeQuery::closed(10u64, 60u64), &mut fx)
+            .unwrap();
+        issuer.on_scan_result(id, vec![item(15)], vec![KeyInterval::new(10, 30).unwrap()], 0);
+        let mut events = Vec::new();
+        // The scan "finished" but a sub-range was skipped (naive scan over an
+        // inconsistent ring): completeness is false.
+        issuer.on_scan_done(ctx(9), id, 2, &mut events);
+        assert!(events.iter().any(|e| matches!(
+            e,
+            DsEvent::QueryCompleted { complete: false, .. }
+        )));
+    }
+
+    #[test]
+    fn scan_step_on_free_peer_is_dropped_or_rejected() {
+        let mut free = DataStoreState::new_free(PeerId(3), DsConfig::test());
+        let mut fx = Effects::new();
+        let mut events = Vec::new();
+        let interval = KeyInterval::new(5, 90).unwrap();
+        // First hop: rejected back to the origin.
+        free.on_scan_step(ctx(3), qid(9, 0), interval, None, 0, &mut fx, &mut events);
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            Effect::Send { msg: DsMsg::ScanRejected { .. }, .. }
+        )));
+        // Forwarded hop: silently dropped (recovered by the sender timeout).
+        let mut fx2 = Effects::new();
+        free.on_scan_step(
+            ctx(3),
+            qid(9, 0),
+            interval,
+            Some(PeerId(1)),
+            1,
+            &mut fx2,
+            &mut events,
+        );
+        assert!(fx2.is_empty());
+    }
+
+    #[test]
+    fn naive_scan_on_departed_peer_is_silently_lost() {
+        let mut free = DataStoreState::new_free(PeerId(3), DsConfig::test_naive());
+        let mut fx = Effects::new();
+        let mut events = Vec::new();
+        free.on_naive_scan_step(
+            ctx(3),
+            qid(9, 0),
+            KeyInterval::new(5, 90).unwrap(),
+            1,
+            &mut fx,
+            &mut events,
+        );
+        assert!(fx.is_empty());
+    }
+}

@@ -1,0 +1,923 @@
+//! The Data Store state machine: storage, range locking, item insertion and
+//! deletion, and the top-level message dispatch.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use pepper_net::{Effects, LayerCtx, SimTime};
+use pepper_types::{CircularRange, Item, KeyInterval, PeerId, PeerValue, RangeQuery};
+
+use crate::config::DsConfig;
+use crate::events::DsEvent;
+use crate::messages::{DsMsg, QueryId};
+use crate::store::ItemStore;
+
+/// Whether the peer currently stores data (is part of the ring) or is a free
+/// peer waiting to be used by a split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DsStatus {
+    /// Free peer: holds no items, not responsible for any range.
+    Free,
+    /// Live peer: responsible for a range of the value space.
+    Live,
+}
+
+/// A range/item mutation that must wait until all in-flight scans through
+/// this peer have released their read lock on the range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum DeferredWrite {
+    /// Splitter side: the new peer installed the hand-off; drop the moved
+    /// items and shrink the range.
+    CompleteSplit {
+        /// The range that was handed to the new peer.
+        moved: CircularRange,
+    },
+    /// New-peer side: install the hand-off received from the splitter.
+    InstallHandoff {
+        /// The range this peer becomes responsible for.
+        range: CircularRange,
+        /// The items in that range.
+        items: Vec<(u64, Item)>,
+        /// The splitter, to be acknowledged once installed.
+        splitter: PeerId,
+    },
+    /// Requester side of a redistribution: install the granted items and move
+    /// the boundary up.
+    ApplyRedistribute {
+        /// Items granted by the successor.
+        items: Vec<(u64, Item)>,
+        /// The new boundary between requester and granter.
+        new_boundary: PeerValue,
+        /// The granter, to be acknowledged once installed.
+        granter: PeerId,
+    },
+    /// Granter side of a redistribution: the requester installed the items;
+    /// drop them here and move the range's low end up.
+    FinishRedistribute {
+        /// The agreed boundary.
+        new_boundary: PeerValue,
+    },
+    /// Requester side of a full merge: absorb the granter's range and items.
+    ApplyMergeGrant {
+        /// The granter's range.
+        range: CircularRange,
+        /// The granter's items.
+        items: Vec<(u64, Item)>,
+        /// The granter, to be acknowledged once absorbed.
+        granter: PeerId,
+    },
+    /// Granter side of a full merge: the requester absorbed everything; this
+    /// peer becomes free.
+    FinishMergeGive,
+}
+
+/// Bookkeeping for a scan hand-off awaiting the successor's acknowledgement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct PendingForward {
+    pub target: PeerId,
+    pub interval: KeyInterval,
+    pub hop: u32,
+    pub attempt: usize,
+}
+
+/// Progress of a range query issued at this peer.
+#[derive(Debug, Clone)]
+pub struct QueryProgress {
+    /// The normalized query interval.
+    pub interval: KeyInterval,
+    /// Items collected so far.
+    pub items: Vec<Item>,
+    /// Sub-intervals covered so far.
+    pub covered: Vec<KeyInterval>,
+    /// Virtual time the query was issued.
+    pub started: SimTime,
+    /// Highest hop count reported.
+    pub hops: u32,
+    /// Whether the query uses the PEPPER `scanRange` (vs the naive scan).
+    pub pepper: bool,
+    /// How many times the scan start has been rejected and re-routed.
+    pub reroutes: u32,
+}
+
+/// The per-peer Data Store state machine.
+#[derive(Debug, Clone)]
+pub struct DataStoreState {
+    pub(crate) id: PeerId,
+    pub(crate) status: DsStatus,
+    pub(crate) range: CircularRange,
+    pub(crate) store: ItemStore,
+    pub(crate) cfg: DsConfig,
+    pub(crate) succ: Option<(PeerId, PeerValue)>,
+    // scan locking
+    pub(crate) scan_locks: usize,
+    pub(crate) deferred: Vec<DeferredWrite>,
+    pub(crate) pending_forwards: HashMap<QueryId, PendingForward>,
+    // queries issued at this peer
+    pub(crate) queries: HashMap<QueryId, QueryProgress>,
+    pub(crate) next_query_seq: u64,
+    // rebalance bookkeeping
+    pub(crate) rebalancing: bool,
+    pub(crate) merge_give_to: Option<PeerId>,
+    /// The sub-range promised to a free peer by an in-flight split (set by
+    /// `begin_split`, cleared when the hand-off is acknowledged).
+    pub(crate) pending_split: Option<CircularRange>,
+    /// While a two-sided transfer (split hand-off, redistribute, merge) is in
+    /// flight on the giving side, item inserts/deletes targeting this peer
+    /// are parked here and re-dispatched once the transfer completes, so no
+    /// item can land in (or vanish from) the sub-range that is moving.
+    pub(crate) item_writes_blocked: bool,
+    pub(crate) blocked_item_writes: Vec<(PeerId, DsMsg)>,
+}
+
+impl DataStoreState {
+    /// Creates the Data Store of the very first peer: live and responsible
+    /// for the full value space.
+    pub fn new_first(id: PeerId, value: PeerValue, cfg: DsConfig) -> Self {
+        DataStoreState {
+            id,
+            status: DsStatus::Live,
+            range: CircularRange::full(value),
+            store: ItemStore::new(),
+            cfg,
+            succ: None,
+            scan_locks: 0,
+            deferred: Vec::new(),
+            pending_forwards: HashMap::new(),
+            queries: HashMap::new(),
+            next_query_seq: 0,
+            rebalancing: false,
+            merge_give_to: None,
+            pending_split: None,
+            item_writes_blocked: false,
+            blocked_item_writes: Vec::new(),
+        }
+    }
+
+    /// Creates the Data Store of a free peer.
+    pub fn new_free(id: PeerId, cfg: DsConfig) -> Self {
+        DataStoreState {
+            id,
+            status: DsStatus::Free,
+            range: CircularRange::empty(0u64),
+            store: ItemStore::new(),
+            cfg,
+            succ: None,
+            scan_locks: 0,
+            deferred: Vec::new(),
+            pending_forwards: HashMap::new(),
+            queries: HashMap::new(),
+            next_query_seq: 0,
+            rebalancing: false,
+            merge_give_to: None,
+            pending_split: None,
+            item_writes_blocked: false,
+            blocked_item_writes: Vec::new(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // accessors
+    // ------------------------------------------------------------------
+
+    /// This peer's id.
+    pub fn id(&self) -> PeerId {
+        self.id
+    }
+
+    /// Whether the peer is live or free.
+    pub fn status(&self) -> DsStatus {
+        self.status
+    }
+
+    /// The range this peer is responsible for.
+    pub fn range(&self) -> CircularRange {
+        self.range
+    }
+
+    /// The upper end of the responsibility range (the peer's ring value).
+    pub fn value(&self) -> PeerValue {
+        self.range.high()
+    }
+
+    /// Number of items stored.
+    pub fn item_count(&self) -> usize {
+        self.store.len()
+    }
+
+    /// The items stored at this peer (the paper's `getLocalItems`).
+    pub fn local_items(&self) -> Vec<Item> {
+        self.store.to_vec().into_iter().map(|(_, i)| i).collect()
+    }
+
+    /// The items stored at this peer together with their mapped values.
+    pub fn local_items_mapped(&self) -> Vec<(u64, Item)> {
+        self.store.to_vec()
+    }
+
+    /// The Data Store configuration.
+    pub fn config(&self) -> &DsConfig {
+        &self.cfg
+    }
+
+    /// Whether a rebalance (split/merge/redistribute) is currently in flight.
+    pub fn is_rebalancing(&self) -> bool {
+        self.rebalancing
+    }
+
+    /// Number of read locks currently held by in-flight scans.
+    pub fn scan_locks(&self) -> usize {
+        self.scan_locks
+    }
+
+    /// Updates the cached successor (called by the composed peer on ring
+    /// `NewSuccessor` events).
+    pub fn set_successor(&mut self, peer: PeerId, value: PeerValue) {
+        self.succ = Some((peer, value));
+    }
+
+    /// The cached successor.
+    pub fn successor(&self) -> Option<(PeerId, PeerValue)> {
+        self.succ
+    }
+
+    /// Maps a search key to its placement value using the configured map.
+    pub fn map_key(&self, item: &Item) -> u64 {
+        self.cfg.key_map.map(item.skv).raw()
+    }
+
+    /// Information about a query issued at this peer (used by the composed
+    /// peer for re-routing rejected scans).
+    pub fn query_info(&self, query: QueryId) -> Option<(KeyInterval, bool)> {
+        self.queries.get(&query).map(|q| (q.interval, q.pepper))
+    }
+
+    /// Number of queries currently in flight at this peer.
+    pub fn open_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    // ------------------------------------------------------------------
+    // lifecycle driven by the composed peer
+    // ------------------------------------------------------------------
+
+    /// Installs the initial range of a peer that has just joined the ring via
+    /// a split (before the hand-off arrives it owns an empty range anchored
+    /// at its value).
+    pub fn became_ring_member(&mut self, value: PeerValue) {
+        if self.status == DsStatus::Free {
+            self.status = DsStatus::Live;
+            self.range = CircularRange::empty(value);
+        }
+    }
+
+    /// Extends this peer's responsibility to start right after `pred_value`.
+    /// Called by the composed peer when the ring reports a new predecessor
+    /// (typically after the predecessor failed). The range is only ever
+    /// *extended*; shrinking happens exclusively through explicit hand-offs.
+    ///
+    /// Returns the newly acquired sub-range (to be revived from replicas), if
+    /// the range actually grew.
+    pub fn extend_low_to(
+        &mut self,
+        pred_value: PeerValue,
+        events: &mut Vec<DsEvent>,
+    ) -> Option<CircularRange> {
+        if self.status != DsStatus::Live || self.range.is_full() {
+            return None;
+        }
+        let current = self.range;
+        if current.low() == pred_value {
+            return None;
+        }
+        // Only extend: the new low must lie outside the current range,
+        // otherwise the "new" predecessor claims part of what we own and we
+        // ignore it (hand-offs are the only way to shrink).
+        if !current.is_empty() && current.contains(pred_value) {
+            return None;
+        }
+        let acquired = if current.is_empty() {
+            CircularRange::new(pred_value, current.high())
+        } else {
+            CircularRange::new(pred_value, current.low())
+        };
+        if acquired.is_empty() {
+            return None;
+        }
+        self.range = CircularRange::new(pred_value, current.high());
+        events.push(DsEvent::RangeChanged {
+            range: self.range,
+            value: self.range.high(),
+        });
+        Some(acquired)
+    }
+
+    /// Inserts items revived from replicas (after a predecessor failure).
+    pub fn install_revived(&mut self, items: Vec<(u64, Item)>, events: &mut Vec<DsEvent>) {
+        for (mapped, item) in items {
+            if self.range.contains(mapped) && !self.store.contains(mapped) {
+                events.push(DsEvent::ItemStored { item: item.clone() });
+                self.store.insert(mapped, item);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // range-lock machinery
+    // ------------------------------------------------------------------
+
+    pub(crate) fn acquire_scan_lock(&mut self) {
+        self.scan_locks += 1;
+    }
+
+    pub(crate) fn release_scan_lock(
+        &mut self,
+        ctx: LayerCtx,
+        fx: &mut Effects<DsMsg>,
+        events: &mut Vec<DsEvent>,
+    ) {
+        debug_assert!(self.scan_locks > 0, "releasing a lock that is not held");
+        self.scan_locks = self.scan_locks.saturating_sub(1);
+        if self.scan_locks == 0 {
+            self.apply_deferred(ctx, fx, events);
+        }
+    }
+
+    /// Either applies a range/item mutation immediately (no scans in flight)
+    /// or defers it until the last scan lock is released. With the naive
+    /// protocols there are no locks, so writes always apply immediately.
+    pub(crate) fn write_or_defer(
+        &mut self,
+        ctx: LayerCtx,
+        write: DeferredWrite,
+        fx: &mut Effects<DsMsg>,
+        events: &mut Vec<DsEvent>,
+    ) {
+        if self.scan_locks > 0 {
+            self.deferred.push(write);
+        } else {
+            self.apply_write(ctx, write, fx, events);
+        }
+    }
+
+    pub(crate) fn apply_deferred(
+        &mut self,
+        ctx: LayerCtx,
+        fx: &mut Effects<DsMsg>,
+        events: &mut Vec<DsEvent>,
+    ) {
+        let pending = std::mem::take(&mut self.deferred);
+        for write in pending {
+            self.apply_write(ctx, write, fx, events);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // item insertion / deletion
+    // ------------------------------------------------------------------
+
+    fn on_insert_item(
+        &mut self,
+        _ctx: LayerCtx,
+        item: Item,
+        reply_to: PeerId,
+        fx: &mut Effects<DsMsg>,
+        events: &mut Vec<DsEvent>,
+    ) {
+        if self.item_writes_blocked {
+            self.blocked_item_writes
+                .push((reply_to, DsMsg::InsertItem { item, reply_to }));
+            return;
+        }
+        let mapped = self.map_key(&item);
+        if self.status != DsStatus::Live || !self.range.contains(mapped) {
+            fx.send(reply_to, DsMsg::NotResponsible { mapped });
+            return;
+        }
+        events.push(DsEvent::ItemStored { item: item.clone() });
+        fx.send(reply_to, DsMsg::InsertItemAck { item: item.id });
+        self.store.insert(mapped, item);
+        self.check_overflow(events);
+    }
+
+    fn on_delete_item(
+        &mut self,
+        _ctx: LayerCtx,
+        mapped: u64,
+        reply_to: PeerId,
+        fx: &mut Effects<DsMsg>,
+        events: &mut Vec<DsEvent>,
+    ) {
+        if self.item_writes_blocked {
+            self.blocked_item_writes
+                .push((reply_to, DsMsg::DeleteItem { mapped, reply_to }));
+            return;
+        }
+        if self.status != DsStatus::Live || !self.range.contains(mapped) {
+            fx.send(reply_to, DsMsg::NotResponsible { mapped });
+            return;
+        }
+        let removed = self.store.remove(mapped);
+        if let Some(item) = &removed {
+            events.push(DsEvent::ItemRemoved { item: item.id });
+        }
+        fx.send(
+            reply_to,
+            DsMsg::DeleteItemAck {
+                mapped,
+                found: removed.is_some(),
+            },
+        );
+        self.check_underflow(events);
+    }
+
+    // ------------------------------------------------------------------
+    // query registration (issuer side)
+    // ------------------------------------------------------------------
+
+    /// Registers a range query issued at this peer. The composed peer is
+    /// responsible for routing the first [`DsMsg::ScanStep`] (or
+    /// [`DsMsg::NaiveScanStep`]) to the peer owning the query's lower bound.
+    ///
+    /// Returns the query id and the normalized interval, or `None` when the
+    /// query denotes an empty range.
+    pub fn register_query(
+        &mut self,
+        ctx: LayerCtx,
+        query: RangeQuery,
+        fx: &mut Effects<DsMsg>,
+    ) -> Option<(QueryId, KeyInterval)> {
+        let interval = query.normalize()?;
+        let id = QueryId {
+            origin: self.id,
+            seq: self.next_query_seq,
+        };
+        self.next_query_seq += 1;
+        self.queries.insert(
+            id,
+            QueryProgress {
+                interval,
+                items: Vec::new(),
+                covered: Vec::new(),
+                started: ctx.now,
+                hops: 0,
+                pepper: self.cfg.pepper_scan,
+                reroutes: 0,
+            },
+        );
+        // Safety net: finalize the query even if the scan dies somewhere.
+        fx.timer(self.cfg.query_timeout(), DsMsg::ScanFailed { query: id });
+        Some((id, interval))
+    }
+
+    pub(crate) fn finalize_query(
+        &mut self,
+        ctx: LayerCtx,
+        query: QueryId,
+        events: &mut Vec<DsEvent>,
+    ) {
+        let Some(progress) = self.queries.remove(&query) else {
+            return;
+        };
+        let complete = intervals_cover(progress.interval, &progress.covered);
+        let mut items = progress.items;
+        items.sort_by_key(|i| i.skv);
+        items.dedup_by_key(|i| i.id);
+        events.push(DsEvent::QueryCompleted {
+            query,
+            items,
+            hops: progress.hops,
+            elapsed: ctx.now - progress.started,
+            complete,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // dispatch
+    // ------------------------------------------------------------------
+
+    /// Handles a Data Store message.
+    pub fn handle(
+        &mut self,
+        ctx: LayerCtx,
+        from: PeerId,
+        msg: DsMsg,
+        fx: &mut Effects<DsMsg>,
+        events: &mut Vec<DsEvent>,
+    ) {
+        match msg {
+            DsMsg::InsertItem { item, reply_to } => {
+                self.on_insert_item(ctx, item, reply_to, fx, events)
+            }
+            DsMsg::InsertItemAck { item } => events.push(DsEvent::InsertAcked { item }),
+            DsMsg::DeleteItem { mapped, reply_to } => {
+                self.on_delete_item(ctx, mapped, reply_to, fx, events)
+            }
+            DsMsg::DeleteItemAck { mapped, found } => {
+                events.push(DsEvent::DeleteAcked { mapped, found })
+            }
+            DsMsg::NotResponsible { mapped } => events.push(DsEvent::Rerouted { mapped }),
+
+            DsMsg::ScanStep {
+                query,
+                interval,
+                prev,
+                hop,
+            } => self.on_scan_step(ctx, query, interval, prev, hop, fx, events),
+            DsMsg::ScanStepAck { query } => self.on_scan_step_ack(ctx, query, fx, events),
+            DsMsg::ScanForwardTimeout {
+                query,
+                target,
+                attempt,
+            } => self.on_scan_forward_timeout(ctx, query, target, attempt, fx, events),
+            DsMsg::ScanRejected { query } => self.on_scan_rejected(ctx, query, events),
+            DsMsg::NaiveScanStep {
+                query,
+                interval,
+                hop,
+            } => self.on_naive_scan_step(ctx, query, interval, hop, fx, events),
+            DsMsg::ScanResult {
+                query,
+                items,
+                covered,
+                hop,
+            } => self.on_scan_result(query, items, covered, hop),
+            DsMsg::ScanDone { query, hops } => self.on_scan_done(ctx, query, hops, events),
+            DsMsg::ScanFailed { query } => self.finalize_query(ctx, query, events),
+
+            DsMsg::HandoffInstall { range, items } => {
+                self.on_handoff_install(ctx, from, range, items, fx, events)
+            }
+            DsMsg::HandoffAck => self.on_handoff_ack(ctx, fx, events),
+            DsMsg::MergeRequest {
+                requester_items,
+                requester_value,
+            } => self.on_merge_request(ctx, from, requester_items, requester_value, fx, events),
+            DsMsg::RedistributeGrant {
+                items,
+                new_boundary,
+            } => self.on_redistribute_grant(ctx, from, items, new_boundary, fx, events),
+            DsMsg::RedistributeAck { new_boundary } => {
+                self.on_redistribute_ack(ctx, new_boundary, fx, events)
+            }
+            DsMsg::MergeGrant {
+                range,
+                items,
+                granter_value,
+            } => self.on_merge_grant(ctx, from, range, items, granter_value, fx, events),
+            DsMsg::MergeGrantAck => self.on_merge_grant_ack(ctx, fx, events),
+            DsMsg::MergeDeclined => self.on_merge_declined(ctx, fx, events),
+            DsMsg::RebalanceRetry => self.on_rebalance_retry(ctx, events),
+        }
+    }
+}
+
+impl DsConfig {
+    /// Safety-net deadline after which an unfinished query is finalized with
+    /// whatever has been collected.
+    pub fn query_timeout(&self) -> Duration {
+        self.scan_forward_timeout * 4 + Duration::from_secs(30)
+    }
+}
+
+/// Returns `true` iff `pieces` (closed intervals) jointly cover `interval`
+/// without gaps.
+pub fn intervals_cover(interval: KeyInterval, pieces: &[KeyInterval]) -> bool {
+    if pieces.is_empty() {
+        return false;
+    }
+    let mut sorted: Vec<KeyInterval> = pieces.to_vec();
+    sorted.sort_by_key(|p| (p.lo(), p.hi()));
+    let mut next_needed = interval.lo();
+    for p in sorted {
+        if p.lo() > next_needed {
+            return false;
+        }
+        if p.hi() >= next_needed {
+            if p.hi() >= interval.hi() {
+                return true;
+            }
+            next_needed = p.hi() + 1;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pepper_types::SearchKey;
+
+    fn ctx(id: u64) -> LayerCtx {
+        LayerCtx::new(PeerId(id), SimTime::from_secs(1))
+    }
+
+    fn item(k: u64) -> Item {
+        Item::for_key(SearchKey(k))
+    }
+
+    fn live_peer(id: u64, low: u64, high: u64, keys: &[u64]) -> DataStoreState {
+        let mut ds = DataStoreState::new_first(PeerId(id), PeerValue(high), DsConfig::test());
+        ds.range = CircularRange::new(low, high);
+        for &k in keys {
+            ds.store.insert(k, item(k));
+        }
+        ds
+    }
+
+    #[test]
+    fn first_peer_owns_everything() {
+        let ds = DataStoreState::new_first(PeerId(0), PeerValue(100), DsConfig::test());
+        assert_eq!(ds.status(), DsStatus::Live);
+        assert!(ds.range().is_full());
+        assert_eq!(ds.item_count(), 0);
+        assert_eq!(ds.value(), PeerValue(100));
+    }
+
+    #[test]
+    fn free_peer_holds_nothing() {
+        let ds = DataStoreState::new_free(PeerId(1), DsConfig::test());
+        assert_eq!(ds.status(), DsStatus::Free);
+        assert!(ds.range().is_empty());
+    }
+
+    #[test]
+    fn insert_stores_and_acks() {
+        let mut ds = live_peer(1, 0, 100, &[]);
+        let mut fx = Effects::new();
+        let mut events = Vec::new();
+        ds.handle(
+            ctx(1),
+            PeerId(9),
+            DsMsg::InsertItem {
+                item: item(50),
+                reply_to: PeerId(9),
+            },
+            &mut fx,
+            &mut events,
+        );
+        assert_eq!(ds.item_count(), 1);
+        assert!(events.iter().any(|e| matches!(e, DsEvent::ItemStored { .. })));
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            pepper_net::Effect::Send { to, msg: DsMsg::InsertItemAck { .. } } if *to == PeerId(9)
+        )));
+    }
+
+    #[test]
+    fn insert_outside_range_bounces() {
+        let mut ds = live_peer(1, 0, 100, &[]);
+        let mut fx = Effects::new();
+        let mut events = Vec::new();
+        ds.handle(
+            ctx(1),
+            PeerId(9),
+            DsMsg::InsertItem {
+                item: item(500),
+                reply_to: PeerId(9),
+            },
+            &mut fx,
+            &mut events,
+        );
+        assert_eq!(ds.item_count(), 0);
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            pepper_net::Effect::Send { msg: DsMsg::NotResponsible { mapped: 500 }, .. }
+        )));
+    }
+
+    #[test]
+    fn overflow_raises_split_needed_once() {
+        let mut ds = live_peer(1, 0, 100, &[]);
+        let mut fx = Effects::new();
+        let mut events = Vec::new();
+        // sf = 2, overflow threshold = 4: the 5th item triggers the event.
+        for k in 1..=5u64 {
+            ds.handle(
+                ctx(1),
+                PeerId(9),
+                DsMsg::InsertItem {
+                    item: item(k * 10),
+                    reply_to: PeerId(9),
+                },
+                &mut fx,
+                &mut events,
+            );
+        }
+        let splits = events
+            .iter()
+            .filter(|e| matches!(e, DsEvent::SplitNeeded { .. }))
+            .count();
+        assert_eq!(splits, 1);
+        assert!(ds.is_rebalancing());
+    }
+
+    #[test]
+    fn delete_removes_and_may_trigger_merge() {
+        let mut ds = live_peer(1, 0, 100, &[10, 20, 30]);
+        let mut fx = Effects::new();
+        let mut events = Vec::new();
+        ds.handle(
+            ctx(1),
+            PeerId(9),
+            DsMsg::DeleteItem {
+                mapped: 20,
+                reply_to: PeerId(9),
+            },
+            &mut fx,
+            &mut events,
+        );
+        assert_eq!(ds.item_count(), 2);
+        ds.handle(
+            ctx(1),
+            PeerId(9),
+            DsMsg::DeleteItem {
+                mapped: 10,
+                reply_to: PeerId(9),
+            },
+            &mut fx,
+            &mut events,
+        );
+        // sf = 2: one item left < sf triggers MergeNeeded.
+        assert!(events.iter().any(|e| matches!(e, DsEvent::MergeNeeded { .. })));
+        // Deleting a missing item reports found = false.
+        let mut fx2 = Effects::new();
+        ds.handle(
+            ctx(1),
+            PeerId(9),
+            DsMsg::DeleteItem {
+                mapped: 999,
+                reply_to: PeerId(9),
+            },
+            &mut fx2,
+            &mut events,
+        );
+        assert!(fx2.iter().any(|e| matches!(
+            e,
+            pepper_net::Effect::Send { msg: DsMsg::NotResponsible { .. }, .. }
+        )));
+    }
+
+    #[test]
+    fn full_range_peer_never_asks_to_merge() {
+        let mut ds = DataStoreState::new_first(PeerId(0), PeerValue(100), DsConfig::test());
+        ds.store.insert(10, item(10));
+        let mut fx = Effects::new();
+        let mut events = Vec::new();
+        ds.handle(
+            ctx(0),
+            PeerId(9),
+            DsMsg::DeleteItem {
+                mapped: 10,
+                reply_to: PeerId(9),
+            },
+            &mut fx,
+            &mut events,
+        );
+        assert!(!events.iter().any(|e| matches!(e, DsEvent::MergeNeeded { .. })));
+    }
+
+    #[test]
+    fn extend_low_grows_but_never_shrinks() {
+        let mut ds = live_peer(1, 50, 100, &[]);
+        let mut events = Vec::new();
+        // New predecessor farther back: range extends.
+        let acquired = ds.extend_low_to(PeerValue(20), &mut events).unwrap();
+        assert_eq!(acquired, CircularRange::new(20u64, 50u64));
+        assert_eq!(ds.range(), CircularRange::new(20u64, 100u64));
+        assert!(events.iter().any(|e| matches!(e, DsEvent::RangeChanged { .. })));
+        // A predecessor inside our range is ignored (that shrink must come
+        // from an explicit hand-off).
+        assert!(ds.extend_low_to(PeerValue(60), &mut events).is_none());
+        assert_eq!(ds.range(), CircularRange::new(20u64, 100u64));
+        // Same low is a no-op.
+        assert!(ds.extend_low_to(PeerValue(20), &mut events).is_none());
+    }
+
+    #[test]
+    fn install_revived_respects_range_and_duplicates() {
+        let mut ds = live_peer(1, 50, 100, &[60]);
+        let mut events = Vec::new();
+        ds.install_revived(vec![(55, item(55)), (60, item(60)), (10, item(10))], &mut events);
+        assert_eq!(ds.item_count(), 2); // 55 added, 60 duplicate, 10 outside
+        assert!(ds.store.contains(55));
+        assert!(!ds.store.contains(10));
+    }
+
+    #[test]
+    fn register_and_finalize_query() {
+        let mut ds = live_peer(1, 0, 100, &[]);
+        let mut fx = Effects::new();
+        let (id, interval) = ds
+            .register_query(ctx(1), RangeQuery::closed(10u64, 30u64), &mut fx)
+            .unwrap();
+        assert_eq!(interval, KeyInterval::new(10, 30).unwrap());
+        assert_eq!(ds.open_queries(), 1);
+        assert!(ds.query_info(id).is_some());
+        // A safety-net timer was armed.
+        assert!(fx.iter().any(|e| matches!(e, pepper_net::Effect::Timer { .. })));
+
+        // Simulate results arriving and the scan finishing.
+        let mut events = Vec::new();
+        ds.handle(
+            ctx(1),
+            PeerId(2),
+            DsMsg::ScanResult {
+                query: id,
+                items: vec![item(15)],
+                covered: vec![KeyInterval::new(10, 30).unwrap()],
+                hop: 0,
+            },
+            &mut fx,
+            &mut events,
+        );
+        ds.handle(
+            ctx(1),
+            PeerId(2),
+            DsMsg::ScanDone { query: id, hops: 0 },
+            &mut fx,
+            &mut events,
+        );
+        let done = events
+            .iter()
+            .find_map(|e| match e {
+                DsEvent::QueryCompleted {
+                    items, complete, ..
+                } => Some((items.clone(), *complete)),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(done.0.len(), 1);
+        assert!(done.1);
+        assert_eq!(ds.open_queries(), 0);
+    }
+
+    #[test]
+    fn empty_query_is_rejected_at_registration() {
+        let mut ds = live_peer(1, 0, 100, &[]);
+        let mut fx = Effects::new();
+        assert!(ds
+            .register_query(ctx(1), RangeQuery::open(5u64, 6u64), &mut fx)
+            .is_none());
+    }
+
+    #[test]
+    fn deferred_writes_wait_for_scan_lock_release() {
+        let mut ds = live_peer(1, 0, 100, &[10, 20, 30, 40]);
+        let mut fx = Effects::new();
+        let mut events = Vec::new();
+        ds.acquire_scan_lock();
+        // A split completion arrives while the scan lock is held: deferred.
+        ds.write_or_defer(
+            ctx(1),
+            DeferredWrite::CompleteSplit {
+                moved: CircularRange::new(20u64, 100u64),
+            },
+            &mut fx,
+            &mut events,
+        );
+        assert_eq!(ds.item_count(), 4);
+        assert_eq!(ds.range(), CircularRange::new(0u64, 100u64));
+        // Releasing the lock applies it.
+        ds.release_scan_lock(ctx(1), &mut fx, &mut events);
+        assert_eq!(ds.item_count(), 2);
+        assert_eq!(ds.range(), CircularRange::new(0u64, 20u64));
+    }
+
+    #[test]
+    fn intervals_cover_detects_gaps() {
+        let target = KeyInterval::new(10, 50).unwrap();
+        let full = vec![
+            KeyInterval::new(10, 20).unwrap(),
+            KeyInterval::new(21, 50).unwrap(),
+        ];
+        assert!(intervals_cover(target, &full));
+        let overlapping = vec![
+            KeyInterval::new(5, 30).unwrap(),
+            KeyInterval::new(25, 60).unwrap(),
+        ];
+        assert!(intervals_cover(target, &overlapping));
+        let gap = vec![
+            KeyInterval::new(10, 20).unwrap(),
+            KeyInterval::new(22, 50).unwrap(),
+        ];
+        assert!(!intervals_cover(target, &gap));
+        assert!(!intervals_cover(target, &[]));
+        let missing_start = vec![KeyInterval::new(11, 50).unwrap()];
+        assert!(!intervals_cover(target, &missing_start));
+        let missing_end = vec![KeyInterval::new(10, 49).unwrap()];
+        assert!(!intervals_cover(target, &missing_end));
+    }
+
+    #[test]
+    fn became_ring_member_gives_empty_anchored_range() {
+        let mut ds = DataStoreState::new_free(PeerId(3), DsConfig::test());
+        ds.became_ring_member(PeerValue(70));
+        assert_eq!(ds.status(), DsStatus::Live);
+        assert!(ds.range().is_empty());
+        assert_eq!(ds.range().high(), PeerValue(70));
+        // A live peer is unaffected.
+        let mut live = live_peer(1, 0, 100, &[]);
+        live.became_ring_member(PeerValue(5));
+        assert_eq!(live.range(), CircularRange::new(0u64, 100u64));
+    }
+}

@@ -1,0 +1,103 @@
+//! The shared pool of free peers.
+//!
+//! The P-Ring Data Store distinguishes *live* peers (on the ring, storing
+//! items) from *free* peers (waiting to be used by a split). How free peers
+//! are located is not part of any reproduced experiment, so this pool is a
+//! simulation-level stand-in for that machinery: a shared registry that
+//! overflowing peers draw from and merged-away peers return to.
+
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex};
+
+use pepper_types::PeerId;
+
+/// A shared registry of free peers.
+#[derive(Debug, Clone, Default)]
+pub struct FreePool {
+    inner: Arc<Mutex<BTreeSet<PeerId>>>,
+}
+
+impl FreePool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        FreePool::default()
+    }
+
+    /// Adds a peer to the pool (a newly arrived peer, or one that became
+    /// free after a merge).
+    pub fn release(&self, peer: PeerId) {
+        self.inner.lock().expect("free pool poisoned").insert(peer);
+    }
+
+    /// Removes and returns the lowest-numbered free peer, if any.
+    pub fn acquire(&self) -> Option<PeerId> {
+        let mut set = self.inner.lock().expect("free pool poisoned");
+        let first = set.iter().next().copied()?;
+        set.remove(&first);
+        Some(first)
+    }
+
+    /// Removes a specific peer from the pool (e.g. when the simulator kills
+    /// it). Returns `true` if it was present.
+    pub fn remove(&self, peer: PeerId) -> bool {
+        self.inner.lock().expect("free pool poisoned").remove(&peer)
+    }
+
+    /// Number of free peers currently registered.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("free pool poisoned").len()
+    }
+
+    /// Returns `true` when no free peer is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of the registered peers.
+    pub fn snapshot(&self) -> Vec<PeerId> {
+        self.inner
+            .lock()
+            .expect("free pool poisoned")
+            .iter()
+            .copied()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_returns_lowest_and_removes() {
+        let pool = FreePool::new();
+        assert!(pool.is_empty());
+        assert_eq!(pool.acquire(), None);
+        pool.release(PeerId(5));
+        pool.release(PeerId(2));
+        pool.release(PeerId(9));
+        assert_eq!(pool.len(), 3);
+        assert_eq!(pool.acquire(), Some(PeerId(2)));
+        assert_eq!(pool.acquire(), Some(PeerId(5)));
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn remove_specific_peer() {
+        let pool = FreePool::new();
+        pool.release(PeerId(1));
+        assert!(pool.remove(PeerId(1)));
+        assert!(!pool.remove(PeerId(1)));
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let pool = FreePool::new();
+        let clone = pool.clone();
+        pool.release(PeerId(3));
+        assert_eq!(clone.snapshot(), vec![PeerId(3)]);
+        assert_eq!(clone.acquire(), Some(PeerId(3)));
+        assert!(pool.is_empty());
+    }
+}

@@ -1,0 +1,97 @@
+//! The composed peer's message type.
+
+use pepper_datastore::{DsMsg, QueryId};
+use pepper_replication::ReplMsg;
+use pepper_ring::RingMsg;
+use pepper_router::RouterMsg;
+use pepper_types::{Item, KeyInterval, PeerId};
+
+/// Payload of a routed request: delivered to the peer responsible for the
+/// target value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RoutePayload {
+    /// Store an item at the responsible peer.
+    Insert {
+        /// The item to store.
+        item: Item,
+        /// The peer that issued the insert and awaits the acknowledgement.
+        reply_to: PeerId,
+    },
+    /// Delete the item with the given mapped value.
+    Delete {
+        /// The mapped value to delete.
+        mapped: u64,
+        /// The peer that issued the delete and awaits the acknowledgement.
+        reply_to: PeerId,
+    },
+    /// Start a range scan at the peer owning the query's lower bound.
+    ScanStart {
+        /// Query identity (the origin collects the results).
+        query: QueryId,
+        /// The normalized query interval.
+        interval: KeyInterval,
+        /// Whether to use the PEPPER `scanRange` (vs the naive scan).
+        pepper: bool,
+    },
+}
+
+/// The unified message type of the composed peer: each protocol layer's
+/// messages are wrapped, plus the index-level routing envelope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PeerMsg {
+    /// Fault-tolerant-ring traffic.
+    Ring(RingMsg),
+    /// Data Store traffic.
+    Ds(DsMsg),
+    /// Replication manager traffic.
+    Repl(ReplMsg),
+    /// Content router traffic.
+    Router(RouterMsg),
+    /// A request being routed towards the peer responsible for `target`.
+    Route {
+        /// The mapped value the request must reach.
+        target: u64,
+        /// The request itself.
+        payload: RoutePayload,
+        /// Routing hop counter (guards against loops on inconsistent rings).
+        hops: u32,
+    },
+}
+
+impl PeerMsg {
+    /// Short tag used for tracing.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            PeerMsg::Ring(m) => m.tag(),
+            PeerMsg::Ds(m) => m.tag(),
+            PeerMsg::Repl(m) => m.tag(),
+            PeerMsg::Router(m) => m.tag(),
+            PeerMsg::Route { .. } => "Route",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_delegate_to_layers() {
+        assert_eq!(PeerMsg::Ring(RingMsg::StabilizeTick).tag(), "StabilizeTick");
+        assert_eq!(PeerMsg::Ds(DsMsg::HandoffAck).tag(), "HandoffAck");
+        assert_eq!(PeerMsg::Repl(ReplMsg::RefreshTick).tag(), "RefreshTick");
+        assert_eq!(PeerMsg::Router(RouterMsg::MaintainTick).tag(), "MaintainTick");
+        assert_eq!(
+            PeerMsg::Route {
+                target: 5,
+                payload: RoutePayload::Delete {
+                    mapped: 5,
+                    reply_to: PeerId(1)
+                },
+                hops: 0
+            }
+            .tag(),
+            "Route"
+        );
+    }
+}

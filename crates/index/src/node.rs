@@ -1,0 +1,1002 @@
+//! The composed peer: ring + data store + replication + router + index API.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use pepper_datastore::{DataStoreState, DsConfig, DsEvent, DsMsg, DsStatus, QueryId};
+use pepper_net::{Context, Effects, LayerCtx, Node, SimTime};
+use pepper_replication::{ReplicaConfig, ReplicationManager};
+use pepper_ring::{RingConfig, RingEvent, RingState};
+use pepper_router::{HierarchicalRouter, RouterConfig};
+use pepper_types::{Item, ItemId, KeyInterval, PeerId, PeerValue, RangeQuery, SearchKey, SystemConfig};
+
+use crate::free_pool::FreePool;
+use crate::messages::{PeerMsg, RoutePayload};
+use crate::observations::Observation;
+
+/// Maximum number of routing hops before a request bounces back to its
+/// issuer for a retry.
+pub const MAX_ROUTE_HOPS: u32 = 32;
+
+/// Maximum number of times an item insert/delete is re-routed before it is
+/// reported as failed.
+pub const MAX_ITEM_ATTEMPTS: u32 = 8;
+
+#[derive(Debug, Clone)]
+struct PendingItemInsert {
+    item: Item,
+    mapped: u64,
+    attempts: u32,
+    started: SimTime,
+}
+
+#[derive(Debug, Clone)]
+struct PendingItemDelete {
+    attempts: u32,
+}
+
+/// A full PEPPER peer: the four framework layers composed behind the index
+/// API, runnable on the simulated network.
+#[derive(Debug)]
+pub struct PeerNode {
+    id: PeerId,
+    cfg: SystemConfig,
+    ring: RingState,
+    ds: DataStoreState,
+    repl: ReplicationManager,
+    router: HierarchicalRouter,
+    pool: FreePool,
+    /// The free peer an in-flight split is waiting to hand off to.
+    pending_split: Option<PeerId>,
+    /// When the in-flight merge-give (this peer giving up its range) started.
+    merge_started: Option<SimTime>,
+    pending_inserts: HashMap<ItemId, PendingItemInsert>,
+    pending_deletes: HashMap<u64, PendingItemDelete>,
+    observations: Vec<Observation>,
+}
+
+impl PeerNode {
+    /// Creates the very first peer of a new index (live, owns everything).
+    pub fn first(id: PeerId, value: PeerValue, cfg: SystemConfig, pool: FreePool) -> Self {
+        PeerNode {
+            id,
+            ring: RingState::new_first(id, value, RingConfig::from_system(&cfg)),
+            ds: DataStoreState::new_first(id, value, DsConfig::from_system(&cfg)),
+            repl: ReplicationManager::new(id, ReplicaConfig::from_system(&cfg)),
+            router: HierarchicalRouter::new(id, RouterConfig::from_system(&cfg)),
+            pool,
+            cfg,
+            pending_split: None,
+            merge_started: None,
+            pending_inserts: HashMap::new(),
+            pending_deletes: HashMap::new(),
+            observations: Vec::new(),
+        }
+    }
+
+    /// Creates a free peer and registers it in the free pool. It enters the
+    /// ring when some overflowing peer splits with it.
+    pub fn free(id: PeerId, cfg: SystemConfig, pool: FreePool) -> Self {
+        pool.release(id);
+        PeerNode {
+            id,
+            ring: RingState::new_free(id, RingConfig::from_system(&cfg)),
+            ds: DataStoreState::new_free(id, DsConfig::from_system(&cfg)),
+            repl: ReplicationManager::new(id, ReplicaConfig::from_system(&cfg)),
+            router: HierarchicalRouter::new(id, RouterConfig::from_system(&cfg)),
+            pool,
+            cfg,
+            pending_split: None,
+            merge_started: None,
+            pending_inserts: HashMap::new(),
+            pending_deletes: HashMap::new(),
+            observations: Vec::new(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // accessors used by experiments and oracles
+    // ------------------------------------------------------------------
+
+    /// This peer's id.
+    pub fn id(&self) -> PeerId {
+        self.id
+    }
+
+    /// The system configuration the peer runs with.
+    pub fn system_config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The ring layer (read-only).
+    pub fn ring(&self) -> &RingState {
+        &self.ring
+    }
+
+    /// The data store layer (read-only).
+    pub fn data_store(&self) -> &DataStoreState {
+        &self.ds
+    }
+
+    /// The replication manager (read-only).
+    pub fn replication(&self) -> &ReplicationManager {
+        &self.repl
+    }
+
+    /// The content router (read-only).
+    pub fn router(&self) -> &HierarchicalRouter {
+        &self.router
+    }
+
+    /// Whether this peer currently participates in the ring.
+    pub fn is_ring_member(&self) -> bool {
+        self.ring.is_member()
+    }
+
+    /// Number of items in this peer's data store.
+    pub fn item_count(&self) -> usize {
+        self.ds.item_count()
+    }
+
+    /// Observations recorded so far (not drained).
+    pub fn observations(&self) -> &[Observation] {
+        &self.observations
+    }
+
+    /// Drains and returns the recorded observations.
+    pub fn take_observations(&mut self) -> Vec<Observation> {
+        std::mem::take(&mut self.observations)
+    }
+
+    // ------------------------------------------------------------------
+    // index API (invoked by the harness through `Simulator::with_node_ctx`)
+    // ------------------------------------------------------------------
+
+    /// Starts the peer's periodic protocols. Required for the first peer of
+    /// an index; joining peers start automatically when they join.
+    pub fn start(&mut self, ctx: &mut Context<'_, PeerMsg>) {
+        let now = ctx.now();
+        let mut out = Effects::new();
+        self.start_layers(now, &mut out);
+        ctx.apply(out, |m| m);
+    }
+
+    /// `insertItem`: store `item` in the index (routed to the responsible
+    /// peer; acknowledged asynchronously via [`Observation::InsertAcked`]).
+    pub fn insert_item(&mut self, ctx: &mut Context<'_, PeerMsg>, item: Item) {
+        let now = ctx.now();
+        let mut out = Effects::new();
+        let mapped = self.cfg.key_map.map(item.skv).raw();
+        self.pending_inserts.insert(
+            item.id,
+            PendingItemInsert {
+                item: item.clone(),
+                mapped,
+                attempts: 0,
+                started: now,
+            },
+        );
+        self.handle_route(
+            now,
+            mapped,
+            RoutePayload::Insert {
+                item,
+                reply_to: self.id,
+            },
+            0,
+            &mut out,
+        );
+        ctx.apply(out, |m| m);
+    }
+
+    /// `deleteItem`: remove the item with search key `key` from the index.
+    pub fn delete_item(&mut self, ctx: &mut Context<'_, PeerMsg>, key: SearchKey) {
+        let now = ctx.now();
+        let mut out = Effects::new();
+        let mapped = self.cfg.key_map.map(key).raw();
+        self.pending_deletes
+            .insert(mapped, PendingItemDelete { attempts: 0 });
+        self.handle_route(
+            now,
+            mapped,
+            RoutePayload::Delete {
+                mapped,
+                reply_to: self.id,
+            },
+            0,
+            &mut out,
+        );
+        ctx.apply(out, |m| m);
+    }
+
+    /// `rangeQuery` / `findItems`: evaluate a range query. The result is
+    /// delivered asynchronously as an [`Observation::QueryCompleted`] at this
+    /// peer. Returns the query id, or `None` for an empty query.
+    pub fn range_query(
+        &mut self,
+        ctx: &mut Context<'_, PeerMsg>,
+        query: RangeQuery,
+    ) -> Option<QueryId> {
+        let now = ctx.now();
+        let mut out = Effects::new();
+        let mut ds_fx = Effects::new();
+        let registered = self
+            .ds
+            .register_query(LayerCtx::new(self.id, now), query, &mut ds_fx);
+        out.absorb(ds_fx, PeerMsg::Ds);
+        let result = registered.map(|(id, interval)| {
+            self.route_scan_start(now, id, interval, self.cfg.protocol.pepper_scan, &mut out);
+            id
+        });
+        ctx.apply(out, |m| m);
+        result
+    }
+
+    // ------------------------------------------------------------------
+    // internal plumbing
+    // ------------------------------------------------------------------
+
+    fn layer_ctx(&self, now: SimTime) -> LayerCtx {
+        LayerCtx::new(self.id, now)
+    }
+
+    fn start_layers(&mut self, now: SimTime, out: &mut Effects<PeerMsg>) {
+        let ctx = self.layer_ctx(now);
+        let mut ring_fx = Effects::new();
+        self.ring.start_timers(ctx, &mut ring_fx);
+        out.absorb(ring_fx, PeerMsg::Ring);
+        let mut repl_fx = Effects::new();
+        self.repl.start_timers(ctx, &mut repl_fx);
+        out.absorb(repl_fx, PeerMsg::Repl);
+        let mut router_fx = Effects::new();
+        self.router.start_timers(ctx, &mut router_fx);
+        out.absorb(router_fx, PeerMsg::Router);
+    }
+
+    fn dispatch(&mut self, now: SimTime, from: PeerId, msg: PeerMsg, out: &mut Effects<PeerMsg>) {
+        let ctx = self.layer_ctx(now);
+        match msg {
+            PeerMsg::Ring(m) => {
+                let mut fx = Effects::new();
+                let mut events = Vec::new();
+                self.ring.handle(ctx, from, m, &mut fx, &mut events);
+                out.absorb(fx, PeerMsg::Ring);
+                self.process_ring_events(now, events, out);
+            }
+            PeerMsg::Ds(m) => {
+                let mut fx = Effects::new();
+                let mut events = Vec::new();
+                self.ds.handle(ctx, from, m, &mut fx, &mut events);
+                out.absorb(fx, PeerMsg::Ds);
+                self.process_ds_events(now, events, out);
+            }
+            PeerMsg::Repl(m) => {
+                let own_items = self.ds.local_items_mapped();
+                let succs: Vec<PeerId> = self
+                    .ring
+                    .succ_list()
+                    .iter()
+                    .filter(|e| e.state == pepper_ring::EntryState::Joined)
+                    .map(|e| e.peer)
+                    .collect();
+                let mut fx = Effects::new();
+                self.repl.handle(ctx, from, m, &own_items, &succs, &mut fx);
+                out.absorb(fx, PeerMsg::Repl);
+            }
+            PeerMsg::Router(m) => {
+                let mut fx = Effects::new();
+                self.router.handle(ctx, from, m, &mut fx);
+                out.absorb(fx, PeerMsg::Router);
+            }
+            PeerMsg::Route {
+                target,
+                payload,
+                hops,
+            } => self.handle_route(now, target, payload, hops, out),
+        }
+    }
+
+    // ---- ring event glue ------------------------------------------------
+
+    fn process_ring_events(
+        &mut self,
+        now: SimTime,
+        events: Vec<RingEvent>,
+        out: &mut Effects<PeerMsg>,
+    ) {
+        for event in events {
+            match event {
+                RingEvent::Joined { value, .. } => {
+                    self.ds.became_ring_member(value);
+                    self.start_layers(now, out);
+                    self.observations.push(Observation::JoinedRing);
+                }
+                RingEvent::InsertSuccComplete { new_peer, elapsed } => {
+                    self.observations.push(Observation::InsertSuccCompleted {
+                        new_peer,
+                        elapsed,
+                    });
+                    if self.pending_split == Some(new_peer) {
+                        self.pending_split = None;
+                        let mut fx = Effects::new();
+                        self.ds.send_handoff(self.layer_ctx(now), new_peer, &mut fx);
+                        out.absorb(fx, PeerMsg::Ds);
+                    }
+                }
+                RingEvent::InsertSuccAborted { new_peer } => {
+                    if self.pending_split == Some(new_peer) {
+                        self.pending_split = None;
+                        self.pool.release(new_peer);
+                        let mut fx = Effects::new();
+                        self.ds.cancel_rebalance(&mut fx);
+                        out.absorb(fx, PeerMsg::Ds);
+                    }
+                }
+                RingEvent::NewSuccessor { peer, value } => {
+                    self.ds.set_successor(peer, value);
+                    self.router.set_successor(peer, value);
+                }
+                RingEvent::NewPredecessor { peer: _, value } => {
+                    // A peer with an empty range is still waiting for its
+                    // split hand-off; its range is installed by the hand-off,
+                    // not by predecessor observations.
+                    if self.ds.status() == DsStatus::Live && !self.ds.range().is_empty() {
+                        let mut ds_events = Vec::new();
+                        if let Some(acquired) = self.ds.extend_low_to(value, &mut ds_events) {
+                            let revived = self.repl.take_replicas_in(&acquired);
+                            self.ds.install_revived(revived, &mut ds_events);
+                        }
+                        self.process_ds_events(now, ds_events, out);
+                    }
+                }
+                RingEvent::LeaveComplete { elapsed } => {
+                    self.observations
+                        .push(Observation::LeaveCompleted { elapsed });
+                    // If this leave is part of a merge-give, hand the range
+                    // and items to the predecessor now.
+                    let mut fx = Effects::new();
+                    self.ds.send_merge_grant(&mut fx);
+                    out.absorb(fx, PeerMsg::Ds);
+                }
+                RingEvent::SuccessorFailed { peer } => {
+                    self.router.forget_peer(peer);
+                }
+            }
+        }
+    }
+
+    // ---- data store event glue --------------------------------------------
+
+    fn process_ds_events(
+        &mut self,
+        now: SimTime,
+        events: Vec<DsEvent>,
+        out: &mut Effects<PeerMsg>,
+    ) {
+        for event in events {
+            match event {
+                DsEvent::SplitNeeded { .. } => self.start_split(now, out),
+                DsEvent::MergeNeeded { .. } => {
+                    let succ = self.ring.stabilized_succ().or_else(|| self.ring.best_succ());
+                    let mut fx = Effects::new();
+                    match succ {
+                        Some(e) if e.peer != self.id => {
+                            self.ds.send_merge_request(e.peer, &mut fx);
+                        }
+                        _ => self.ds.cancel_rebalance(&mut fx),
+                    }
+                    out.absorb(fx, PeerMsg::Ds);
+                }
+                DsEvent::MergeGiveStarted { to } => {
+                    self.merge_started = Some(now);
+                    // Item availability protection: replicate everything this
+                    // peer stores one additional hop before leaving.
+                    let own_items = self.ds.local_items_mapped();
+                    let succs: Vec<PeerId> = self
+                        .ring
+                        .succ_list()
+                        .iter()
+                        .filter(|e| e.state == pepper_ring::EntryState::Joined)
+                        .map(|e| e.peer)
+                        .collect();
+                    let mut repl_fx = Effects::new();
+                    self.repl.replicate_additional_hop(
+                        self.layer_ctx(now),
+                        &own_items,
+                        &succs,
+                        &mut repl_fx,
+                    );
+                    out.absorb(repl_fx, PeerMsg::Repl);
+                    // System availability protection: leave the ring properly
+                    // before departing.
+                    let mut ring_fx = Effects::new();
+                    let mut ring_events = Vec::new();
+                    let leave = self
+                        .ring
+                        .leave(self.layer_ctx(now), &mut ring_fx, &mut ring_events);
+                    out.absorb(ring_fx, PeerMsg::Ring);
+                    if leave.is_err() {
+                        // Cannot leave right now (e.g. an insert is in
+                        // flight); decline the merge so the requester retries.
+                        self.merge_started = None;
+                        let mut fx = Effects::new();
+                        self.ds.cancel_merge_give(&mut fx);
+                        out.absorb(fx, PeerMsg::Ds);
+                        out.send(to, PeerMsg::Ds(DsMsg::MergeDeclined));
+                    } else {
+                        self.process_ring_events(now, ring_events, out);
+                    }
+                }
+                DsEvent::RangeChanged { range, value } => {
+                    self.ring.set_value(value);
+                    self.repl.prune_owned(&range);
+                }
+                DsEvent::BecameFree => {
+                    if let Some(started) = self.merge_started.take() {
+                        self.observations.push(Observation::MergeCompleted {
+                            elapsed: now - started,
+                        });
+                    }
+                    self.observations.push(Observation::BecameFree);
+                    self.ring.depart();
+                    self.router.clear();
+                    self.pool.release(self.id);
+                }
+                DsEvent::AbsorbedSuccessor { granter } => {
+                    self.router.forget_peer(granter);
+                }
+                DsEvent::ItemStored { .. } | DsEvent::ItemRemoved { .. } => {}
+                DsEvent::QueryRejected { query } => {
+                    // Re-route after a pause: rejections mean the routing
+                    // state is stale (a peer departed or a range moved); the
+                    // ring repairs itself within a ping/stabilization round.
+                    if let Some((interval, pepper)) = self.ds.query_info(query) {
+                        out.timer(
+                            Duration::from_millis(500),
+                            PeerMsg::Route {
+                                target: interval.lo(),
+                                payload: RoutePayload::ScanStart {
+                                    query,
+                                    interval,
+                                    pepper,
+                                },
+                                hops: 0,
+                            },
+                        );
+                    }
+                }
+                DsEvent::QueryCompleted {
+                    query,
+                    items,
+                    hops,
+                    elapsed,
+                    complete,
+                } => {
+                    self.observations.push(Observation::QueryCompleted {
+                        query,
+                        items,
+                        hops,
+                        elapsed,
+                        complete,
+                        pepper: self.cfg.protocol.pepper_scan,
+                    });
+                }
+                DsEvent::InsertAcked { item } => {
+                    if let Some(pending) = self.pending_inserts.remove(&item) {
+                        self.observations.push(Observation::InsertAcked {
+                            item,
+                            elapsed: now - pending.started,
+                        });
+                    }
+                }
+                DsEvent::DeleteAcked { mapped, found } => {
+                    self.pending_deletes.remove(&mapped);
+                    self.observations
+                        .push(Observation::DeleteAcked { mapped, found });
+                }
+                DsEvent::Rerouted { mapped } => self.retry_item_op(now, mapped, out),
+            }
+        }
+    }
+
+    /// Starts a split: draw a free peer, plan the split, insert the free peer
+    /// into the ring as our successor; the hand-off follows once the ring
+    /// reports completion.
+    fn start_split(&mut self, now: SimTime, out: &mut Effects<PeerMsg>) {
+        let Some(free) = self.pool.acquire() else {
+            let mut fx = Effects::new();
+            self.ds.cancel_rebalance(&mut fx);
+            out.absorb(fx, PeerMsg::Ds);
+            return;
+        };
+        let Some((new_value, boundary)) = self.ds.begin_split() else {
+            self.pool.release(free);
+            return;
+        };
+        let mut ring_fx = Effects::new();
+        let mut ring_events = Vec::new();
+        let res = self.ring.insert_succ(
+            self.layer_ctx(now),
+            free,
+            new_value,
+            &mut ring_fx,
+            &mut ring_events,
+        );
+        out.absorb(ring_fx, PeerMsg::Ring);
+        match res {
+            Ok(()) => {
+                // The ring value (and the Data Store range) only move to
+                // `boundary` once the hand-off completes — advertising the
+                // new boundary earlier would let the old successor extend its
+                // range over items this peer still owns.
+                let _ = boundary;
+                self.pending_split = Some(free);
+                self.process_ring_events(now, ring_events, out);
+            }
+            Err(_) => {
+                self.pool.release(free);
+                let mut fx = Effects::new();
+                self.ds.cancel_rebalance(&mut fx);
+                out.absorb(fx, PeerMsg::Ds);
+                self.process_ring_events(now, ring_events, out);
+            }
+        }
+    }
+
+    /// Re-routes an item insert/delete that bounced off a non-responsible
+    /// peer, giving up after [`MAX_ITEM_ATTEMPTS`].
+    fn retry_item_op(&mut self, _now: SimTime, mapped: u64, out: &mut Effects<PeerMsg>) {
+        let insert_id = self
+            .pending_inserts
+            .iter()
+            .find(|(_, p)| p.mapped == mapped)
+            .map(|(id, _)| *id);
+        if let Some(id) = insert_id {
+            let retry = {
+                let pending = self.pending_inserts.get_mut(&id).expect("present");
+                pending.attempts += 1;
+                if pending.attempts > MAX_ITEM_ATTEMPTS {
+                    None
+                } else {
+                    Some(pending.item.clone())
+                }
+            };
+            match retry {
+                Some(item) => {
+                    // Retry after a short pause: bounces usually mean a split
+                    // or merge is mid-flight and will settle within a few
+                    // round trips.
+                    out.timer(
+                        Duration::from_millis(25),
+                        PeerMsg::Route {
+                            target: mapped,
+                            payload: RoutePayload::Insert {
+                                item,
+                                reply_to: self.id,
+                            },
+                            hops: 0,
+                        },
+                    );
+                }
+                None => {
+                    self.pending_inserts.remove(&id);
+                    self.observations.push(Observation::InsertFailed { item: id });
+                }
+            }
+            return;
+        }
+        if let Some(pending) = self.pending_deletes.get_mut(&mapped) {
+            pending.attempts += 1;
+            if pending.attempts > MAX_ITEM_ATTEMPTS {
+                self.pending_deletes.remove(&mapped);
+            } else {
+                out.timer(
+                    Duration::from_millis(25),
+                    PeerMsg::Route {
+                        target: mapped,
+                        payload: RoutePayload::Delete {
+                            mapped,
+                            reply_to: self.id,
+                        },
+                        hops: 0,
+                    },
+                );
+            }
+        }
+    }
+
+    // ---- routing -----------------------------------------------------------
+
+    fn route_scan_start(
+        &mut self,
+        now: SimTime,
+        query: QueryId,
+        interval: KeyInterval,
+        pepper: bool,
+        out: &mut Effects<PeerMsg>,
+    ) {
+        self.handle_route(
+            now,
+            interval.lo(),
+            RoutePayload::ScanStart {
+                query,
+                interval,
+                pepper,
+            },
+            0,
+            out,
+        );
+    }
+
+    fn deliver_locally(&mut self, now: SimTime, payload: RoutePayload, out: &mut Effects<PeerMsg>) {
+        let msg = match payload {
+            RoutePayload::Insert { item, reply_to } => DsMsg::InsertItem { item, reply_to },
+            RoutePayload::Delete { mapped, reply_to } => DsMsg::DeleteItem { mapped, reply_to },
+            RoutePayload::ScanStart {
+                query,
+                interval,
+                pepper,
+            } => {
+                if pepper {
+                    DsMsg::ScanStep {
+                        query,
+                        interval,
+                        prev: None,
+                        hop: 0,
+                    }
+                } else {
+                    DsMsg::NaiveScanStep {
+                        query,
+                        interval,
+                        hop: 0,
+                    }
+                }
+            }
+        };
+        let ctx = self.layer_ctx(now);
+        let mut fx = Effects::new();
+        let mut events = Vec::new();
+        self.ds.handle(ctx, self.id, msg, &mut fx, &mut events);
+        out.absorb(fx, PeerMsg::Ds);
+        self.process_ds_events(now, events, out);
+    }
+
+    fn bounce(&mut self, payload: RoutePayload, target: u64, out: &mut Effects<PeerMsg>) {
+        match payload {
+            RoutePayload::Insert { reply_to, .. } | RoutePayload::Delete { reply_to, .. } => {
+                out.send(reply_to, PeerMsg::Ds(DsMsg::NotResponsible { mapped: target }));
+            }
+            RoutePayload::ScanStart { query, .. } => {
+                out.send(query.origin, PeerMsg::Ds(DsMsg::ScanRejected { query }));
+            }
+        }
+    }
+
+    fn handle_route(
+        &mut self,
+        now: SimTime,
+        target: u64,
+        payload: RoutePayload,
+        hops: u32,
+        out: &mut Effects<PeerMsg>,
+    ) {
+        if self.ds.status() == DsStatus::Live && self.ds.range().contains(target) {
+            self.deliver_locally(now, payload, out);
+            return;
+        }
+        if hops >= MAX_ROUTE_HOPS {
+            self.bounce(payload, target, out);
+            return;
+        }
+        // Prefer the content router's shortcuts; fall back to the ring
+        // successor so routing makes progress even before the router has
+        // learned any shortcut (e.g. right after a split).
+        let next_hop = self
+            .router
+            .next_hop(self.ring.value(), PeerValue(target))
+            .or_else(|| self.ring.best_succ().map(|e| (e.peer, e.value)))
+            .or_else(|| self.ds.successor());
+        match next_hop {
+            Some((next, _)) if next != self.id => {
+                out.send(
+                    next,
+                    PeerMsg::Route {
+                        target,
+                        payload,
+                        hops: hops + 1,
+                    },
+                );
+            }
+            _ => self.bounce(payload, target, out),
+        }
+    }
+}
+
+impl Node for PeerNode {
+    type Msg = PeerMsg;
+
+    fn on_message(&mut self, ctx: &mut Context<'_, PeerMsg>, from: PeerId, msg: PeerMsg) {
+        let now = ctx.now();
+        let mut out = Effects::new();
+        self.dispatch(now, from, msg, &mut out);
+        ctx.apply(out, |m| m);
+    }
+
+    fn on_killed(&mut self) {
+        self.pool.remove(self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pepper_net::{NetworkConfig, Simulator};
+    use pepper_ring::consistency::{check_connectivity, check_consistent_successor_pointers, RingSnapshot};
+    use pepper_types::ProtocolConfig;
+
+    /// Builds a cluster: one first peer plus `free` free peers, with fast
+    /// test timers derived from the paper configuration.
+    fn cluster(cfg: &SystemConfig, free: usize, seed: u64) -> (Simulator<PeerNode>, FreePool, PeerId) {
+        let pool = FreePool::new();
+        let mut sim = Simulator::new(NetworkConfig::lan(seed));
+        let cfg_first = cfg.clone();
+        let pool_first = pool.clone();
+        let first = sim.add_node(move |id| {
+            PeerNode::first(id, PeerValue(u64::MAX / 2), cfg_first, pool_first)
+        });
+        for _ in 0..free {
+            let cfg_i = cfg.clone();
+            let pool_i = pool.clone();
+            sim.add_node(move |id| PeerNode::free(id, cfg_i, pool_i));
+        }
+        sim.with_node_ctx(first, |node, ctx| node.start(ctx));
+        (sim, pool, first)
+    }
+
+    /// A fast-timer version of the paper configuration for tests.
+    fn test_cfg(protocol: ProtocolConfig) -> SystemConfig {
+        let mut cfg = SystemConfig::paper_defaults()
+            .with_storage_factor(2)
+            .with_replication_factor(2)
+            .with_protocol(protocol);
+        cfg.stabilization_period = Duration::from_millis(200);
+        cfg.ping_period = Duration::from_millis(100);
+        cfg.replica_refresh_period = Duration::from_millis(200);
+        cfg.router_refresh_period = Duration::from_millis(200);
+        cfg
+    }
+
+    fn insert_keys(sim: &mut Simulator<PeerNode>, at: PeerId, keys: impl IntoIterator<Item = u64>) {
+        for k in keys {
+            let item = Item::new(ItemId::new(at, k), SearchKey(k), format!("payload-{k}"));
+            sim.with_node_ctx(at, |node, ctx| node.insert_item(ctx, item))
+                .expect("issuing peer alive");
+            sim.run_for(Duration::from_millis(30));
+        }
+    }
+
+    fn total_items(sim: &Simulator<PeerNode>) -> usize {
+        sim.peer_ids()
+            .iter()
+            .filter(|p| sim.is_alive(**p))
+            .map(|p| sim.node(*p).unwrap().item_count())
+            .sum()
+    }
+
+    fn ring_members(sim: &Simulator<PeerNode>) -> usize {
+        sim.peer_ids()
+            .iter()
+            .filter(|p| sim.is_alive(**p))
+            .filter(|p| sim.node(**p).unwrap().is_ring_member())
+            .count()
+    }
+
+    fn snapshots(sim: &Simulator<PeerNode>) -> Vec<RingSnapshot> {
+        sim.peer_ids()
+            .iter()
+            .map(|p| RingSnapshot::of(sim.node(*p).unwrap().ring(), sim.is_alive(*p)))
+            .collect()
+    }
+
+    #[test]
+    fn items_inserted_are_stored_and_acked() {
+        let cfg = test_cfg(ProtocolConfig::pepper());
+        let (mut sim, _pool, first) = cluster(&cfg, 0, 7);
+        insert_keys(&mut sim, first, [10, 20, 30]);
+        sim.run_for(Duration::from_millis(200));
+        assert_eq!(total_items(&sim), 3);
+        let acks = sim
+            .node(first)
+            .unwrap()
+            .observations()
+            .iter()
+            .filter(|o| matches!(o, Observation::InsertAcked { .. }))
+            .count();
+        assert_eq!(acks, 3);
+    }
+
+    #[test]
+    fn overflow_splits_with_a_free_peer_and_preserves_items() {
+        let cfg = test_cfg(ProtocolConfig::pepper());
+        let (mut sim, pool, first) = cluster(&cfg, 2, 11);
+        assert_eq!(pool.len(), 2);
+        // sf = 2: six items force at least one split.
+        insert_keys(&mut sim, first, (1..=8).map(|k| k * 1_000_000));
+        sim.run_for(Duration::from_secs(3));
+        assert!(ring_members(&sim) >= 2, "a free peer should have joined");
+        assert!(pool.len() < 2);
+        assert_eq!(total_items(&sim), 8, "no item may be lost by splits");
+        // The splitter observed the insertSucc completion.
+        let insert_succ_seen: usize = sim
+            .peer_ids()
+            .iter()
+            .map(|p| {
+                sim.node(*p)
+                    .unwrap()
+                    .observations()
+                    .iter()
+                    .filter(|o| matches!(o, Observation::InsertSuccCompleted { .. }))
+                    .count()
+            })
+            .sum();
+        assert!(insert_succ_seen >= 1);
+        // Ring invariants hold.
+        let snaps = snapshots(&sim);
+        assert!(check_consistent_successor_pointers(&snaps).is_consistent());
+        assert!(check_connectivity(&snaps).is_consistent());
+    }
+
+    #[test]
+    fn range_query_returns_exactly_matching_items() {
+        let cfg = test_cfg(ProtocolConfig::pepper());
+        let (mut sim, _pool, first) = cluster(&cfg, 3, 13);
+        let keys: Vec<u64> = (1..=12).map(|k| k * 10_000_000).collect();
+        insert_keys(&mut sim, first, keys.clone());
+        sim.run_for(Duration::from_secs(4));
+        assert!(ring_members(&sim) >= 2);
+
+        let q = RangeQuery::closed(30_000_000u64, 90_000_000u64);
+        sim.with_node_ctx(first, |node, ctx| node.range_query(ctx, q))
+            .unwrap()
+            .expect("query registered");
+        sim.run_for(Duration::from_secs(2));
+        let node = sim.node(first).unwrap();
+        let outcome = node
+            .observations()
+            .iter()
+            .find_map(|o| match o {
+                Observation::QueryCompleted {
+                    items, complete, ..
+                } => Some((items.clone(), *complete)),
+                _ => None,
+            })
+            .expect("query completed");
+        let got: Vec<u64> = outcome.0.iter().map(|i| i.skv.raw()).collect();
+        let expected: Vec<u64> = keys
+            .iter()
+            .copied()
+            .filter(|k| (30_000_000..=90_000_000).contains(k))
+            .collect();
+        assert_eq!(got, expected);
+        assert!(outcome.1, "scan must report full coverage");
+    }
+
+    #[test]
+    fn deletions_trigger_merge_and_peer_becomes_free_again() {
+        let cfg = test_cfg(ProtocolConfig::pepper());
+        let (mut sim, pool, first) = cluster(&cfg, 2, 17);
+        let keys: Vec<u64> = (1..=10).map(|k| k * 50_000_000).collect();
+        insert_keys(&mut sim, first, keys.clone());
+        sim.run_for(Duration::from_secs(4));
+        let members_before = ring_members(&sim);
+        assert!(members_before >= 2);
+
+        // Delete almost everything: some peer underflows and merges away.
+        for k in keys.iter().take(9) {
+            sim.with_node_ctx(first, |node, ctx| node.delete_item(ctx, SearchKey(*k)))
+                .unwrap();
+            sim.run_for(Duration::from_millis(100));
+        }
+        sim.run_for(Duration::from_secs(6));
+        let members_after = ring_members(&sim);
+        assert!(
+            members_after < members_before,
+            "expected a merge to shrink the ring ({members_before} -> {members_after})"
+        );
+        assert_eq!(total_items(&sim), 1);
+        // The merged-away peer went back to the pool and the ring stayed
+        // consistent and connected.
+        assert!(!pool.is_empty());
+        let snaps = snapshots(&sim);
+        assert!(check_consistent_successor_pointers(&snaps).is_consistent());
+        assert!(check_connectivity(&snaps).is_consistent());
+        let frees: usize = sim
+            .peer_ids()
+            .iter()
+            .map(|p| {
+                sim.node(*p)
+                    .unwrap()
+                    .observations()
+                    .iter()
+                    .filter(|o| matches!(o, Observation::BecameFree))
+                    .count()
+            })
+            .sum();
+        assert!(frees >= 1);
+    }
+
+    #[test]
+    fn failed_peer_items_are_revived_from_replicas() {
+        let cfg = test_cfg(ProtocolConfig::pepper());
+        let (mut sim, _pool, first) = cluster(&cfg, 3, 23);
+        let keys: Vec<u64> = (1..=12).map(|k| k * 30_000_000).collect();
+        insert_keys(&mut sim, first, keys.clone());
+        // Let splits happen and replicas propagate.
+        sim.run_for(Duration::from_secs(6));
+        assert!(ring_members(&sim) >= 3);
+
+        // Kill one ring member that is not the query issuer.
+        let victim = sim
+            .peer_ids()
+            .into_iter()
+            .find(|p| *p != first && sim.node(*p).unwrap().is_ring_member() && sim.node(*p).unwrap().item_count() > 0)
+            .expect("a ring member with items");
+        sim.kill(victim);
+        // Give the ring time to detect the failure, take over the range and
+        // revive replicas.
+        sim.run_for(Duration::from_secs(8));
+
+        let q = RangeQuery::closed(keys[0], *keys.last().unwrap());
+        sim.with_node_ctx(first, |node, ctx| node.range_query(ctx, q))
+            .unwrap()
+            .expect("query registered");
+        sim.run_for(Duration::from_secs(3));
+        let node = sim.node(first).unwrap();
+        let got: Vec<u64> = node
+            .observations()
+            .iter()
+            .rev()
+            .find_map(|o| match o {
+                Observation::QueryCompleted { items, .. } => {
+                    Some(items.iter().map(|i| i.skv.raw()).collect())
+                }
+                _ => None,
+            })
+            .expect("query completed");
+        assert_eq!(got, keys, "all items must survive a single failure");
+    }
+
+    #[test]
+    fn naive_configuration_still_functions_without_churn() {
+        let cfg = test_cfg(ProtocolConfig::naive());
+        let (mut sim, _pool, first) = cluster(&cfg, 2, 31);
+        let keys: Vec<u64> = (1..=8).map(|k| k * 40_000_000).collect();
+        insert_keys(&mut sim, first, keys.clone());
+        sim.run_for(Duration::from_secs(4));
+        assert_eq!(total_items(&sim), 8);
+        let q = RangeQuery::closed(keys[0], *keys.last().unwrap());
+        sim.with_node_ctx(first, |node, ctx| node.range_query(ctx, q))
+            .unwrap()
+            .expect("query registered");
+        sim.run_for(Duration::from_secs(2));
+        let node = sim.node(first).unwrap();
+        let completed = node
+            .observations()
+            .iter()
+            .any(|o| matches!(o, Observation::QueryCompleted { pepper: false, .. }));
+        assert!(completed, "naive scan must also complete in a quiet system");
+    }
+
+    #[test]
+    fn free_peer_registers_itself_and_unregisters_on_kill() {
+        let cfg = test_cfg(ProtocolConfig::pepper());
+        let pool = FreePool::new();
+        let mut sim: Simulator<PeerNode> = Simulator::new(NetworkConfig::lan(1));
+        let cfg2 = cfg.clone();
+        let pool2 = pool.clone();
+        let free = sim.add_node(move |id| PeerNode::free(id, cfg2, pool2));
+        assert_eq!(pool.snapshot(), vec![free]);
+        sim.kill(free);
+        assert!(pool.is_empty());
+    }
+}

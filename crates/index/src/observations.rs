@@ -1,0 +1,127 @@
+//! Externally observable outcomes recorded by a peer.
+//!
+//! Experiments drain these from every peer and aggregate them into the
+//! series reported by the paper's figures.
+
+use std::time::Duration;
+
+use pepper_datastore::QueryId;
+use pepper_types::{Item, ItemId, PeerId};
+
+/// One observable outcome at one peer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Observation {
+    /// This peer completed joining the ring.
+    JoinedRing,
+    /// An `insertSucc` initiated by this peer completed.
+    InsertSuccCompleted {
+        /// The inserted peer.
+        new_peer: PeerId,
+        /// Virtual time from invocation to completion.
+        elapsed: Duration,
+    },
+    /// A ring `leave` initiated by this peer completed.
+    LeaveCompleted {
+        /// Virtual time from invocation to completion.
+        elapsed: Duration,
+    },
+    /// A full merge (including the availability protections and the item
+    /// hand-off) initiated at this peer completed and the peer became free.
+    MergeCompleted {
+        /// Virtual time from the merge decision to becoming free.
+        elapsed: Duration,
+    },
+    /// A range query issued at this peer completed.
+    QueryCompleted {
+        /// Query identity.
+        query: QueryId,
+        /// The items returned.
+        items: Vec<Item>,
+        /// Ring hops taken by the scan.
+        hops: u32,
+        /// Virtual time from issue to completion.
+        elapsed: Duration,
+        /// Whether the scan reported full interval coverage.
+        complete: bool,
+        /// Whether the PEPPER `scanRange` (vs the naive scan) was used.
+        pepper: bool,
+    },
+    /// An item insert issued at this peer was acknowledged by the
+    /// responsible peer.
+    InsertAcked {
+        /// The item's identity.
+        item: ItemId,
+        /// Virtual time from issue to acknowledgement.
+        elapsed: Duration,
+    },
+    /// An item delete issued at this peer was acknowledged.
+    DeleteAcked {
+        /// The mapped value deleted.
+        mapped: u64,
+        /// Whether the item existed.
+        found: bool,
+    },
+    /// An item insert issued at this peer was dropped after exhausting its
+    /// routing retries (counted as an insert failure by experiments).
+    InsertFailed {
+        /// The item's identity.
+        item: ItemId,
+    },
+    /// This peer gave up its range in a merge and became a free peer.
+    BecameFree,
+}
+
+impl Observation {
+    /// Short tag used by aggregation code.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Observation::JoinedRing => "JoinedRing",
+            Observation::InsertSuccCompleted { .. } => "InsertSuccCompleted",
+            Observation::LeaveCompleted { .. } => "LeaveCompleted",
+            Observation::MergeCompleted { .. } => "MergeCompleted",
+            Observation::QueryCompleted { .. } => "QueryCompleted",
+            Observation::InsertAcked { .. } => "InsertAcked",
+            Observation::DeleteAcked { .. } => "DeleteAcked",
+            Observation::InsertFailed { .. } => "InsertFailed",
+            Observation::BecameFree => "BecameFree",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_are_distinct() {
+        let obs = [
+            Observation::JoinedRing,
+            Observation::InsertSuccCompleted {
+                new_peer: PeerId(1),
+                elapsed: Duration::ZERO,
+            },
+            Observation::LeaveCompleted {
+                elapsed: Duration::ZERO,
+            },
+            Observation::MergeCompleted {
+                elapsed: Duration::ZERO,
+            },
+            Observation::InsertAcked {
+                item: ItemId::new(PeerId(0), 1),
+                elapsed: Duration::ZERO,
+            },
+            Observation::DeleteAcked {
+                mapped: 3,
+                found: true,
+            },
+            Observation::InsertFailed {
+                item: ItemId::new(PeerId(0), 2),
+            },
+            Observation::BecameFree,
+        ];
+        let mut tags: Vec<&str> = obs.iter().map(|o| o.tag()).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), obs.len());
+    }
+}

@@ -1,0 +1,618 @@
+//! The discrete-event simulator.
+//!
+//! Peers are [`Node`]s: state machines that react to delivered messages (and
+//! to their own timers, which are just self-addressed messages scheduled in
+//! the future). The simulator owns a priority queue of events ordered by
+//! `(virtual time, sequence number)`, which makes every run fully
+//! deterministic for a given seed and call sequence.
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::time::Duration;
+
+use pepper_types::PeerId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::effect::{Effect, Effects, LayerCtx};
+use crate::latency::NetworkConfig;
+use crate::stats::NetStats;
+use crate::time::SimTime;
+
+/// The sender id used for harness-injected ("external") messages, standing in
+/// for a client outside the P2P system.
+pub const EXTERNAL_SENDER: PeerId = PeerId(u64::MAX);
+
+/// A peer state machine driven by the simulator.
+pub trait Node {
+    /// The message type this node exchanges (timers deliver the same type).
+    type Msg: Clone + std::fmt::Debug;
+
+    /// Handles a delivered message. `from` is [`EXTERNAL_SENDER`] for
+    /// harness-injected messages and the node's own id for timers.
+    fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, from: PeerId, msg: Self::Msg);
+
+    /// Hook invoked when the simulator kills this node (fail-stop). The node
+    /// will receive no further events.
+    fn on_killed(&mut self) {}
+}
+
+/// What a queued event does when it is processed.
+#[derive(Debug, Clone)]
+enum Payload<M> {
+    /// Deliver a message.
+    Deliver {
+        from: PeerId,
+        to: PeerId,
+        msg: M,
+        is_timer: bool,
+        is_external: bool,
+    },
+    /// Fail-stop the peer.
+    Kill { peer: PeerId },
+}
+
+#[derive(Debug)]
+struct QueuedEvent<M> {
+    at: SimTime,
+    seq: u64,
+    payload: Payload<M>,
+}
+
+impl<M> PartialEq for QueuedEvent<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for QueuedEvent<M> {}
+impl<M> PartialOrd for QueuedEvent<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for QueuedEvent<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The mutable context handed to a node while it handles an event.
+///
+/// Effects requested through the context are scheduled by the simulator after
+/// the handler returns.
+pub struct Context<'a, M> {
+    self_id: PeerId,
+    now: SimTime,
+    rng: &'a mut StdRng,
+    out: Vec<Effect<M>>,
+}
+
+impl<'a, M> Context<'a, M> {
+    /// The id of the peer handling the event.
+    pub fn self_id(&self) -> PeerId {
+        self.self_id
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// A [`LayerCtx`] snapshot for handing to protocol-layer functions.
+    pub fn layer(&self) -> LayerCtx {
+        LayerCtx::new(self.self_id, self.now)
+    }
+
+    /// The simulator's deterministic random number generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Sends `msg` to `to` (delivered after the network latency).
+    pub fn send(&mut self, to: PeerId, msg: M) {
+        self.out.push(Effect::Send { to, msg });
+    }
+
+    /// Schedules `msg` to be delivered back to this peer after `delay`.
+    pub fn set_timer(&mut self, delay: Duration, msg: M) {
+        self.out.push(Effect::Timer { delay, msg });
+    }
+
+    /// Applies a buffer of layer effects, wrapping each layer message into
+    /// this node's message type.
+    pub fn apply<L>(&mut self, effects: Effects<L>, wrap: impl FnMut(L) -> M) {
+        self.out.extend(effects.map_into(wrap));
+    }
+}
+
+/// The discrete-event simulator.
+pub struct Simulator<N: Node> {
+    nodes: BTreeMap<PeerId, N>,
+    alive: BTreeSet<PeerId>,
+    queue: BinaryHeap<QueuedEvent<N::Msg>>,
+    now: SimTime,
+    seq: u64,
+    next_peer_id: u64,
+    config: NetworkConfig,
+    rng: StdRng,
+    stats: NetStats,
+    /// Last scheduled delivery time per (sender, receiver) pair: messages
+    /// between the same pair of peers are delivered in FIFO order, matching
+    /// the paper's reliable (TCP-like) channel assumption.
+    fifo: BTreeMap<(PeerId, PeerId), SimTime>,
+}
+
+impl<N: Node> Simulator<N> {
+    /// Creates a simulator with the given network configuration.
+    pub fn new(config: NetworkConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        Simulator {
+            nodes: BTreeMap::new(),
+            alive: BTreeSet::new(),
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            next_peer_id: 0,
+            config,
+            rng,
+            stats: NetStats::default(),
+            fifo: BTreeMap::new(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Network statistics collected so far.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// The network configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// Adds a node built by `build`, which receives the freshly assigned
+    /// peer id. Returns the id.
+    pub fn add_node(&mut self, build: impl FnOnce(PeerId) -> N) -> PeerId {
+        let id = PeerId(self.next_peer_id);
+        self.next_peer_id += 1;
+        self.nodes.insert(id, build(id));
+        self.alive.insert(id);
+        id
+    }
+
+    /// Adds a node under an explicit id (useful for tests). Panics if the id
+    /// is already taken or collides with [`EXTERNAL_SENDER`].
+    pub fn add_node_with_id(&mut self, id: PeerId, node: N) {
+        assert_ne!(id, EXTERNAL_SENDER, "peer id reserved for external sender");
+        assert!(
+            !self.nodes.contains_key(&id),
+            "peer id {id} already registered"
+        );
+        self.next_peer_id = self.next_peer_id.max(id.raw() + 1);
+        self.nodes.insert(id, node);
+        self.alive.insert(id);
+    }
+
+    /// Returns `true` if the peer exists and has not been killed.
+    pub fn is_alive(&self, id: PeerId) -> bool {
+        self.alive.contains(&id)
+    }
+
+    /// Immutable access to a node's state (dead nodes remain inspectable).
+    pub fn node(&self, id: PeerId) -> Option<&N> {
+        self.nodes.get(&id)
+    }
+
+    /// Mutable access to a node's state.
+    pub fn node_mut(&mut self, id: PeerId) -> Option<&mut N> {
+        self.nodes.get_mut(&id)
+    }
+
+    /// All registered peer ids (alive and dead), in increasing order.
+    pub fn peer_ids(&self) -> Vec<PeerId> {
+        self.nodes.keys().copied().collect()
+    }
+
+    /// All currently alive peer ids, in increasing order.
+    pub fn alive_peers(&self) -> Vec<PeerId> {
+        self.alive.iter().copied().collect()
+    }
+
+    /// Number of alive peers.
+    pub fn alive_count(&self) -> usize {
+        self.alive.len()
+    }
+
+    fn push(&mut self, at: SimTime, payload: Payload<N::Msg>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(QueuedEvent { at, seq, payload });
+    }
+
+    /// Injects an external message to `to`, delivered at the current time
+    /// (plus the processing delay).
+    pub fn send_external(&mut self, to: PeerId, msg: N::Msg) {
+        self.send_external_at(to, msg, self.now);
+    }
+
+    /// Injects an external message to `to`, delivered at `at` (plus the
+    /// processing delay).
+    pub fn send_external_at(&mut self, to: PeerId, msg: N::Msg, at: SimTime) {
+        let at = at.max(self.now) + self.config.processing_delay;
+        self.push(
+            at,
+            Payload::Deliver {
+                from: EXTERNAL_SENDER,
+                to,
+                msg,
+                is_timer: false,
+                is_external: true,
+            },
+        );
+    }
+
+    /// Kills `peer` immediately (fail-stop).
+    pub fn kill(&mut self, peer: PeerId) {
+        if self.alive.remove(&peer) {
+            if let Some(node) = self.nodes.get_mut(&peer) {
+                node.on_killed();
+            }
+        }
+    }
+
+    /// Schedules `peer` to be killed at `at`.
+    pub fn kill_at(&mut self, peer: PeerId, at: SimTime) {
+        let at = at.max(self.now);
+        self.push(at, Payload::Kill { peer });
+    }
+
+    /// Runs a closure against a node with a live [`Context`], scheduling any
+    /// effects the closure emits. This is how the harness invokes API methods
+    /// (e.g. "issue a range query at peer p") without going through the
+    /// network.
+    ///
+    /// Returns `None` if the peer does not exist or is dead.
+    pub fn with_node_ctx<R>(
+        &mut self,
+        id: PeerId,
+        f: impl FnOnce(&mut N, &mut Context<'_, N::Msg>) -> R,
+    ) -> Option<R> {
+        if !self.alive.contains(&id) {
+            return None;
+        }
+        let node = self.nodes.get_mut(&id)?;
+        let mut ctx = Context {
+            self_id: id,
+            now: self.now,
+            rng: &mut self.rng,
+            out: Vec::new(),
+        };
+        let result = f(node, &mut ctx);
+        let out = ctx.out;
+        self.schedule_effects(id, out);
+        Some(result)
+    }
+
+    fn schedule_effects(&mut self, from: PeerId, effects: Vec<Effect<N::Msg>>) {
+        for effect in effects {
+            match effect {
+                Effect::Send { to, msg } => {
+                    self.stats.messages_sent += 1;
+                    let latency = self.config.latency.sample(&mut self.rng);
+                    let mut at = self.now + latency + self.config.processing_delay;
+                    // Enforce FIFO delivery per (sender, receiver) pair.
+                    if let Some(prev) = self.fifo.get(&(from, to)) {
+                        at = at.max(*prev + Duration::from_nanos(1));
+                    }
+                    self.fifo.insert((from, to), at);
+                    self.push(
+                        at,
+                        Payload::Deliver {
+                            from,
+                            to,
+                            msg,
+                            is_timer: false,
+                            is_external: false,
+                        },
+                    );
+                }
+                Effect::Timer { delay, msg } => {
+                    let at = self.now + delay;
+                    self.push(
+                        at,
+                        Payload::Deliver {
+                            from,
+                            to: from,
+                            msg,
+                            is_timer: true,
+                            is_external: false,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Processes the next queued event, advancing virtual time to it.
+    /// Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(event) = self.queue.pop() else {
+            return false;
+        };
+        self.now = self.now.max(event.at);
+        match event.payload {
+            Payload::Kill { peer } => self.kill(peer),
+            Payload::Deliver {
+                from,
+                to,
+                msg,
+                is_timer,
+                is_external,
+            } => {
+                if !self.alive.contains(&to) {
+                    if is_timer {
+                        self.stats.timers_dropped += 1;
+                    } else {
+                        self.stats.messages_dropped += 1;
+                    }
+                    return true;
+                }
+                if is_timer {
+                    self.stats.timers_fired += 1;
+                } else if is_external {
+                    self.stats.external_delivered += 1;
+                } else {
+                    self.stats.messages_delivered += 1;
+                }
+                let node = self
+                    .nodes
+                    .get_mut(&to)
+                    .expect("alive peer must have a node");
+                let mut ctx = Context {
+                    self_id: to,
+                    now: self.now,
+                    rng: &mut self.rng,
+                    out: Vec::new(),
+                };
+                node.on_message(&mut ctx, from, msg);
+                let out = ctx.out;
+                self.schedule_effects(to, out);
+            }
+        }
+        true
+    }
+
+    /// Runs the simulation until virtual time `deadline` (inclusive): every
+    /// event scheduled at or before the deadline is processed, and the clock
+    /// ends at exactly `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        loop {
+            match self.queue.peek() {
+                Some(ev) if ev.at <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        self.now = self.now.max(deadline);
+    }
+
+    /// Runs the simulation for `d` of virtual time from the current clock.
+    pub fn run_for(&mut self, d: Duration) {
+        let deadline = self.now + d;
+        self.run_until(deadline);
+    }
+
+    /// Runs until the event queue is empty or `max_events` events have been
+    /// processed. Only useful for nodes without periodic timers.
+    pub fn run_until_idle(&mut self, max_events: u64) -> u64 {
+        let mut processed = 0;
+        while processed < max_events && self.step() {
+            processed += 1;
+        }
+        processed
+    }
+
+    /// Number of events currently queued.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy node: forwards a counter around a fixed ring of peers and counts
+    /// how many times it saw the token; also supports a periodic tick.
+    #[derive(Debug)]
+    struct TokenNode {
+        next: PeerId,
+        tokens_seen: u32,
+        ticks: u32,
+        killed: bool,
+    }
+
+    #[derive(Debug, Clone)]
+    enum TokenMsg {
+        Token(u32),
+        Tick,
+    }
+
+    impl Node for TokenNode {
+        type Msg = TokenMsg;
+
+        fn on_message(&mut self, ctx: &mut Context<'_, TokenMsg>, _from: PeerId, msg: TokenMsg) {
+            match msg {
+                TokenMsg::Token(hops_left) => {
+                    self.tokens_seen += 1;
+                    if hops_left > 0 {
+                        ctx.send(self.next, TokenMsg::Token(hops_left - 1));
+                    }
+                }
+                TokenMsg::Tick => {
+                    self.ticks += 1;
+                    ctx.set_timer(Duration::from_secs(1), TokenMsg::Tick);
+                }
+            }
+        }
+
+        fn on_killed(&mut self) {
+            self.killed = true;
+        }
+    }
+
+    fn three_node_sim() -> (Simulator<TokenNode>, PeerId, PeerId, PeerId) {
+        let mut sim = Simulator::new(NetworkConfig::lan(42));
+        let a = PeerId(0);
+        let b = PeerId(1);
+        let c = PeerId(2);
+        sim.add_node_with_id(
+            a,
+            TokenNode {
+                next: b,
+                tokens_seen: 0,
+                ticks: 0,
+                killed: false,
+            },
+        );
+        sim.add_node_with_id(
+            b,
+            TokenNode {
+                next: c,
+                tokens_seen: 0,
+                ticks: 0,
+                killed: false,
+            },
+        );
+        sim.add_node_with_id(
+            c,
+            TokenNode {
+                next: a,
+                tokens_seen: 0,
+                ticks: 0,
+                killed: false,
+            },
+        );
+        (sim, a, b, c)
+    }
+
+    #[test]
+    fn token_circulates_and_time_advances() {
+        let (mut sim, a, b, c) = three_node_sim();
+        sim.send_external(a, TokenMsg::Token(5));
+        sim.run_for(Duration::from_secs(1));
+        // 6 deliveries total: a, b, c, a, b, c.
+        assert_eq!(sim.node(a).unwrap().tokens_seen, 2);
+        assert_eq!(sim.node(b).unwrap().tokens_seen, 2);
+        assert_eq!(sim.node(c).unwrap().tokens_seen, 2);
+        assert!(sim.now() >= SimTime::from_secs(1));
+        assert_eq!(sim.stats().external_delivered, 1);
+        assert_eq!(sim.stats().messages_delivered, 5);
+    }
+
+    #[test]
+    fn periodic_timer_fires_repeatedly() {
+        let (mut sim, a, _, _) = three_node_sim();
+        sim.send_external(a, TokenMsg::Tick);
+        sim.run_for(Duration::from_secs(10));
+        let ticks = sim.node(a).unwrap().ticks;
+        assert!((9..=11).contains(&ticks), "ticks = {ticks}");
+        assert!(sim.stats().timers_fired >= 9);
+    }
+
+    #[test]
+    fn killed_peer_drops_messages_and_timers() {
+        let (mut sim, a, b, c) = three_node_sim();
+        sim.send_external(a, TokenMsg::Token(10));
+        sim.kill_at(b, SimTime::from_millis(1));
+        sim.run_for(Duration::from_secs(2));
+        assert!(sim.node(b).unwrap().killed);
+        assert!(!sim.is_alive(b));
+        assert!(sim.is_alive(a) && sim.is_alive(c));
+        // The token dies at b after at most one full lap.
+        assert!(sim.stats().messages_dropped >= 1);
+        assert_eq!(sim.alive_count(), 2);
+    }
+
+    #[test]
+    fn with_node_ctx_schedules_effects() {
+        let (mut sim, a, b, _) = three_node_sim();
+        let r = sim.with_node_ctx(a, |node, ctx| {
+            node.tokens_seen += 100;
+            ctx.send(b, TokenMsg::Token(0));
+            "ok"
+        });
+        assert_eq!(r, Some("ok"));
+        sim.run_for(Duration::from_millis(10));
+        assert_eq!(sim.node(a).unwrap().tokens_seen, 100);
+        assert_eq!(sim.node(b).unwrap().tokens_seen, 1);
+        // Dead or missing peers yield None.
+        sim.kill(a);
+        assert!(sim.with_node_ctx(a, |_, _| ()).is_none());
+        assert!(sim.with_node_ctx(PeerId(99), |_, _| ()).is_none());
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let run = |seed| {
+            let mut sim = Simulator::new(NetworkConfig::lan(seed));
+            let a = sim.add_node(|_| TokenNode {
+                next: PeerId(1),
+                tokens_seen: 0,
+                ticks: 0,
+                killed: false,
+            });
+            let b = sim.add_node(|_| TokenNode {
+                next: PeerId(0),
+                tokens_seen: 0,
+                ticks: 0,
+                killed: false,
+            });
+            sim.send_external(a, TokenMsg::Token(50));
+            sim.run_for(Duration::from_secs(5));
+            (
+                sim.now(),
+                sim.stats(),
+                sim.node(a).unwrap().tokens_seen,
+                sim.node(b).unwrap().tokens_seen,
+            )
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn run_until_idle_processes_finite_work() {
+        let (mut sim, a, _, _) = three_node_sim();
+        sim.send_external(a, TokenMsg::Token(3));
+        let processed = sim.run_until_idle(1000);
+        assert_eq!(processed, 4);
+        assert_eq!(sim.pending_events(), 0);
+    }
+
+    #[test]
+    fn add_node_assigns_dense_ids() {
+        let mut sim: Simulator<TokenNode> = Simulator::new(NetworkConfig::instant(1));
+        let a = sim.add_node(|id| TokenNode {
+            next: id,
+            tokens_seen: 0,
+            ticks: 0,
+            killed: false,
+        });
+        let b = sim.add_node(|id| TokenNode {
+            next: id,
+            tokens_seen: 0,
+            ticks: 0,
+            killed: false,
+        });
+        assert_eq!(a, PeerId(0));
+        assert_eq!(b, PeerId(1));
+        assert_eq!(sim.peer_ids(), vec![a, b]);
+    }
+}

@@ -1,0 +1,59 @@
+//! Network statistics counters.
+
+/// Counters maintained by the simulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages handed to the network by peers.
+    pub messages_sent: u64,
+    /// Messages actually delivered to a live peer.
+    pub messages_delivered: u64,
+    /// Messages dropped because the destination was dead or removed.
+    pub messages_dropped: u64,
+    /// Timer events that fired on a live peer.
+    pub timers_fired: u64,
+    /// Timer events dropped because the peer died before they fired.
+    pub timers_dropped: u64,
+    /// External (harness-injected) messages delivered.
+    pub external_delivered: u64,
+}
+
+impl NetStats {
+    /// Total events processed (delivered messages + timers + external).
+    pub fn total_events(&self) -> u64 {
+        self.messages_delivered + self.timers_fired + self.external_delivered
+    }
+
+    /// Fraction of sent messages that were dropped.
+    pub fn drop_rate(&self) -> f64 {
+        if self.messages_sent == 0 {
+            0.0
+        } else {
+            self.messages_dropped as f64 / self.messages_sent as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_rates() {
+        let s = NetStats {
+            messages_sent: 10,
+            messages_delivered: 8,
+            messages_dropped: 2,
+            timers_fired: 5,
+            timers_dropped: 1,
+            external_delivered: 3,
+        };
+        assert_eq!(s.total_events(), 16);
+        assert!((s.drop_rate() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_drop_rate() {
+        assert_eq!(NetStats::default().drop_rate(), 0.0);
+        assert_eq!(NetStats::default().total_events(), 0);
+    }
+}

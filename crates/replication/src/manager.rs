@@ -1,0 +1,465 @@
+//! The replication manager state machine.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use pepper_net::{Effects, LayerCtx};
+use pepper_types::{CircularRange, Item, KeyInterval, PeerId, SystemConfig};
+
+use crate::messages::ReplMsg;
+
+/// Configuration of the Replication Manager.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaConfig {
+    /// Replication factor `k`: each item is pushed to `k` successors.
+    pub replication_factor: usize,
+    /// Period of the replica refresh loop.
+    pub refresh_period: Duration,
+    /// Whether the pre-leave additional-hop replication is enabled (the
+    /// PEPPER item-availability protection).
+    pub extra_hop_enabled: bool,
+}
+
+impl ReplicaConfig {
+    /// Derives the replication configuration from the system configuration.
+    pub fn from_system(cfg: &SystemConfig) -> Self {
+        ReplicaConfig {
+            replication_factor: cfg.replication_factor,
+            refresh_period: cfg.replica_refresh_period,
+            extra_hop_enabled: cfg.protocol.extra_hop_replication,
+        }
+    }
+
+    /// Small test configuration (`k = 2`, fast refresh).
+    pub fn test(k: usize) -> Self {
+        ReplicaConfig {
+            replication_factor: k,
+            refresh_period: Duration::from_millis(200),
+            extra_hop_enabled: true,
+        }
+    }
+}
+
+impl Default for ReplicaConfig {
+    fn default() -> Self {
+        ReplicaConfig::from_system(&SystemConfig::paper_defaults())
+    }
+}
+
+/// The per-peer replication manager.
+#[derive(Debug, Clone)]
+pub struct ReplicationManager {
+    id: PeerId,
+    cfg: ReplicaConfig,
+    /// Replicas held on behalf of predecessors, keyed by mapped value.
+    replica_store: BTreeMap<u64, Item>,
+    timers_started: bool,
+    /// Number of replica pushes received (metrics).
+    pushes_received: u64,
+    /// Number of extra-hop pushes performed (metrics).
+    extra_hop_pushes: u64,
+}
+
+impl ReplicationManager {
+    /// Creates a replication manager for peer `id`.
+    pub fn new(id: PeerId, cfg: ReplicaConfig) -> Self {
+        ReplicationManager {
+            id,
+            cfg,
+            replica_store: BTreeMap::new(),
+            timers_started: false,
+            pushes_received: 0,
+            extra_hop_pushes: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ReplicaConfig {
+        &self.cfg
+    }
+
+    /// Number of replicas currently held.
+    pub fn replica_count(&self) -> usize {
+        self.replica_store.len()
+    }
+
+    /// All replicas held (mapped value, item).
+    pub fn replicas(&self) -> Vec<(u64, Item)> {
+        self.replica_store
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect()
+    }
+
+    /// Number of replica pushes received (metrics).
+    pub fn pushes_received(&self) -> u64 {
+        self.pushes_received
+    }
+
+    /// Number of additional-hop pushes performed (metrics).
+    pub fn extra_hop_pushes(&self) -> u64 {
+        self.extra_hop_pushes
+    }
+
+    /// Schedules the periodic refresh timer. Idempotent.
+    pub fn start_timers(&mut self, _ctx: LayerCtx, fx: &mut Effects<ReplMsg>) {
+        if self.timers_started {
+            return;
+        }
+        self.timers_started = true;
+        let stagger = Duration::from_micros((self.id.raw() % 89) * 300);
+        fx.timer(self.cfg.refresh_period / 2 + stagger, ReplMsg::RefreshTick);
+    }
+
+    /// Handles a replication message. `own_items` is the current content of
+    /// this peer's Data Store (provided by the composed peer), `successors`
+    /// its current successor list. Returns `true` when a refresh round was
+    /// performed (so the composed peer can refresh dependent state).
+    pub fn handle(
+        &mut self,
+        ctx: LayerCtx,
+        _from: PeerId,
+        msg: ReplMsg,
+        own_items: &[(u64, Item)],
+        successors: &[PeerId],
+        fx: &mut Effects<ReplMsg>,
+    ) -> bool {
+        match msg {
+            ReplMsg::RefreshTick => {
+                fx.timer(self.cfg.refresh_period, ReplMsg::RefreshTick);
+                self.push_to_successors(ctx, own_items, successors, fx);
+                true
+            }
+            ReplMsg::Push { items, extra_hop: _ } => {
+                self.pushes_received += 1;
+                for (mapped, item) in items {
+                    self.replica_store.insert(mapped, item);
+                }
+                false
+            }
+        }
+    }
+
+    /// Pushes this peer's items to its `k` nearest successors (one refresh
+    /// round of the CFS scheme).
+    pub fn push_to_successors(
+        &mut self,
+        _ctx: LayerCtx,
+        own_items: &[(u64, Item)],
+        successors: &[PeerId],
+        fx: &mut Effects<ReplMsg>,
+    ) {
+        if own_items.is_empty() {
+            return;
+        }
+        let targets: Vec<PeerId> = successors
+            .iter()
+            .copied()
+            .filter(|p| *p != self.id)
+            .take(self.cfg.replication_factor)
+            .collect();
+        for target in targets {
+            fx.send(
+                target,
+                ReplMsg::Push {
+                    items: own_items.to_vec(),
+                    extra_hop: false,
+                },
+            );
+        }
+    }
+
+    /// The paper's replicate-to-additional-hop: before this peer gives up its
+    /// range in a merge, push everything it stores (its own items and the
+    /// replicas it holds) one hop beyond the peers that already hold them.
+    ///
+    /// Returns `true` if a push was sent (the protection is disabled in the
+    /// naive configuration).
+    pub fn replicate_additional_hop(
+        &mut self,
+        _ctx: LayerCtx,
+        own_items: &[(u64, Item)],
+        successors: &[PeerId],
+        fx: &mut Effects<ReplMsg>,
+    ) -> bool {
+        if !self.cfg.extra_hop_enabled {
+            return false;
+        }
+        let mut payload: Vec<(u64, Item)> = own_items.to_vec();
+        payload.extend(self.replicas());
+        if payload.is_empty() {
+            return false;
+        }
+        // The k nearest successors already receive this peer's own items
+        // through the periodic refresh; the additional hop is the (k+1)-th
+        // successor (or the farthest one known). The replicas held for
+        // predecessors also move one hop further this way.
+        let candidates: Vec<PeerId> = successors
+            .iter()
+            .copied()
+            .filter(|p| *p != self.id)
+            .collect();
+        if candidates.is_empty() {
+            return false;
+        }
+        let target = candidates
+            .get(self.cfg.replication_factor)
+            .copied()
+            .unwrap_or_else(|| *candidates.last().expect("non-empty"));
+        self.extra_hop_pushes += 1;
+        fx.send(
+            target,
+            ReplMsg::Push {
+                items: payload,
+                extra_hop: true,
+            },
+        );
+        // Also hand the replicas we hold to our immediate successor so the
+        // items of our predecessors keep k copies after we are gone.
+        if let Some(first) = candidates.first().copied() {
+            if first != target && !self.replica_store.is_empty() {
+                fx.send(
+                    first,
+                    ReplMsg::Push {
+                        items: self.replicas(),
+                        extra_hop: true,
+                    },
+                );
+            }
+        }
+        true
+    }
+
+    /// Returns (and removes from the replica store) the replicas that fall
+    /// in `acquired`, to be revived into the Data Store after this peer took
+    /// over a failed predecessor's range.
+    pub fn take_replicas_in(&mut self, acquired: &CircularRange) -> Vec<(u64, Item)> {
+        let keys: Vec<u64> = self
+            .replica_store
+            .keys()
+            .filter(|k| acquired.contains(**k))
+            .copied()
+            .collect();
+        keys.into_iter()
+            .map(|k| (k, self.replica_store.remove(&k).expect("key present")))
+            .collect()
+    }
+
+    /// Returns the replicas in a linear interval without removing them
+    /// (used by oracles and tests).
+    pub fn replicas_in_interval(&self, iv: &KeyInterval) -> Vec<(u64, Item)> {
+        self.replica_store
+            .range(iv.lo()..=iv.hi())
+            .map(|(k, v)| (*k, v.clone()))
+            .collect()
+    }
+
+    /// Drops replicas that are now owned by this peer itself (they live in
+    /// the Data Store) or that fall outside the watched range. Called
+    /// opportunistically by the composed peer; keeps the replica store from
+    /// growing without bound in long experiments.
+    pub fn prune_owned(&mut self, own_range: &CircularRange) {
+        let keys: Vec<u64> = self
+            .replica_store
+            .keys()
+            .filter(|k| own_range.contains(**k))
+            .copied()
+            .collect();
+        for k in keys {
+            self.replica_store.remove(&k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pepper_net::{Effect, SimTime};
+    use pepper_types::{ProtocolConfig, SearchKey};
+
+    fn ctx(id: u64) -> LayerCtx {
+        LayerCtx::new(PeerId(id), SimTime::from_secs(1))
+    }
+
+    fn item(k: u64) -> (u64, Item) {
+        (k, Item::for_key(SearchKey(k)))
+    }
+
+    #[test]
+    fn config_from_system() {
+        let cfg = ReplicaConfig::from_system(&SystemConfig::paper_defaults());
+        assert_eq!(cfg.replication_factor, 6);
+        assert!(cfg.extra_hop_enabled);
+        let naive = ReplicaConfig::from_system(
+            &SystemConfig::paper_defaults().with_protocol(ProtocolConfig::naive()),
+        );
+        assert!(!naive.extra_hop_enabled);
+    }
+
+    #[test]
+    fn refresh_pushes_to_k_successors() {
+        let mut rm = ReplicationManager::new(PeerId(0), ReplicaConfig::test(2));
+        let mut fx = Effects::new();
+        let own = vec![item(10), item(20)];
+        let succs = vec![PeerId(1), PeerId(2), PeerId(3)];
+        let refreshed = rm.handle(ctx(0), PeerId(0), ReplMsg::RefreshTick, &own, &succs, &mut fx);
+        assert!(refreshed);
+        let effects = fx.drain();
+        // Timer re-arm + pushes to exactly k = 2 successors.
+        let targets: Vec<PeerId> = effects
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Send {
+                    to,
+                    msg: ReplMsg::Push { extra_hop: false, .. },
+                } => Some(*to),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(targets, vec![PeerId(1), PeerId(2)]);
+        assert!(effects
+            .iter()
+            .any(|e| matches!(e, Effect::Timer { msg: ReplMsg::RefreshTick, .. })));
+    }
+
+    #[test]
+    fn refresh_with_no_items_sends_nothing() {
+        let mut rm = ReplicationManager::new(PeerId(0), ReplicaConfig::test(2));
+        let mut fx = Effects::new();
+        rm.push_to_successors(ctx(0), &[], &[PeerId(1)], &mut fx);
+        assert!(fx.is_empty());
+    }
+
+    #[test]
+    fn push_is_stored_in_replica_store() {
+        let mut rm = ReplicationManager::new(PeerId(1), ReplicaConfig::test(2));
+        let mut fx = Effects::new();
+        rm.handle(
+            ctx(1),
+            PeerId(0),
+            ReplMsg::Push {
+                items: vec![item(10), item(20)],
+                extra_hop: false,
+            },
+            &[],
+            &[],
+            &mut fx,
+        );
+        assert_eq!(rm.replica_count(), 2);
+        assert_eq!(rm.pushes_received(), 1);
+        assert!(fx.is_empty());
+    }
+
+    #[test]
+    fn revival_takes_only_acquired_range() {
+        let mut rm = ReplicationManager::new(PeerId(1), ReplicaConfig::test(2));
+        let mut fx = Effects::new();
+        rm.handle(
+            ctx(1),
+            PeerId(0),
+            ReplMsg::Push {
+                items: vec![item(10), item(20), item(30)],
+                extra_hop: false,
+            },
+            &[],
+            &[],
+            &mut fx,
+        );
+        let revived = rm.take_replicas_in(&CircularRange::new(5u64, 20u64));
+        let keys: Vec<u64> = revived.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![10, 20]);
+        // Taken replicas are removed; the rest stays.
+        assert_eq!(rm.replica_count(), 1);
+        assert_eq!(
+            rm.replicas_in_interval(&KeyInterval::new(0, 100).unwrap()).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn extra_hop_targets_the_k_plus_first_successor() {
+        let mut rm = ReplicationManager::new(PeerId(0), ReplicaConfig::test(2));
+        let mut fx = Effects::new();
+        // Pre-existing replicas held for predecessors.
+        rm.handle(
+            ctx(0),
+            PeerId(9),
+            ReplMsg::Push {
+                items: vec![item(5)],
+                extra_hop: false,
+            },
+            &[],
+            &[],
+            &mut fx,
+        );
+        let own = vec![item(10)];
+        let succs = vec![PeerId(1), PeerId(2), PeerId(3), PeerId(4)];
+        assert!(rm.replicate_additional_hop(ctx(0), &own, &succs, &mut fx));
+        assert_eq!(rm.extra_hop_pushes(), 1);
+        let effects = fx.drain();
+        // The main extra-hop push goes to the (k+1)-th successor (index 2).
+        assert!(effects.iter().any(|e| matches!(
+            e,
+            Effect::Send { to, msg: ReplMsg::Push { extra_hop: true, items } }
+                if *to == PeerId(3) && items.len() == 2
+        )));
+        // The held replicas also move to the immediate successor.
+        assert!(effects.iter().any(|e| matches!(
+            e,
+            Effect::Send { to, msg: ReplMsg::Push { extra_hop: true, items } }
+                if *to == PeerId(1) && items.len() == 1
+        )));
+    }
+
+    #[test]
+    fn extra_hop_disabled_in_naive_mode() {
+        let cfg = ReplicaConfig {
+            extra_hop_enabled: false,
+            ..ReplicaConfig::test(2)
+        };
+        let mut rm = ReplicationManager::new(PeerId(0), cfg);
+        let mut fx = Effects::new();
+        assert!(!rm.replicate_additional_hop(ctx(0), &[item(10)], &[PeerId(1)], &mut fx));
+        assert!(fx.is_empty());
+    }
+
+    #[test]
+    fn extra_hop_with_short_successor_list_uses_last_known() {
+        let mut rm = ReplicationManager::new(PeerId(0), ReplicaConfig::test(4));
+        let mut fx = Effects::new();
+        assert!(rm.replicate_additional_hop(ctx(0), &[item(10)], &[PeerId(1), PeerId(2)], &mut fx));
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            Effect::Send { to, msg: ReplMsg::Push { extra_hop: true, .. } } if *to == PeerId(2)
+        )));
+    }
+
+    #[test]
+    fn prune_owned_drops_replicas_inside_own_range() {
+        let mut rm = ReplicationManager::new(PeerId(1), ReplicaConfig::test(2));
+        let mut fx = Effects::new();
+        rm.handle(
+            ctx(1),
+            PeerId(0),
+            ReplMsg::Push {
+                items: vec![item(10), item(50)],
+                extra_hop: false,
+            },
+            &[],
+            &[],
+            &mut fx,
+        );
+        rm.prune_owned(&CircularRange::new(40u64, 60u64));
+        assert_eq!(rm.replica_count(), 1);
+        assert_eq!(rm.replicas()[0].0, 10);
+    }
+
+    #[test]
+    fn timers_start_once() {
+        let mut rm = ReplicationManager::new(PeerId(1), ReplicaConfig::test(2));
+        let mut fx = Effects::new();
+        rm.start_timers(ctx(1), &mut fx);
+        rm.start_timers(ctx(1), &mut fx);
+        assert_eq!(fx.len(), 1);
+    }
+}

@@ -1,0 +1,49 @@
+//! Replication protocol messages.
+
+use pepper_types::Item;
+
+/// Messages exchanged by the Replication Manager.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplMsg {
+    /// Periodic replica-refresh tick.
+    RefreshTick,
+    /// A replica push: `items` (with their mapped values) owned by `owner`
+    /// are to be stored in the receiver's replica store.
+    ///
+    /// `extra_hop` marks pushes performed by a peer that is about to leave
+    /// on a merge (the paper's replicate-to-additional-hop).
+    Push {
+        /// The items being replicated (mapped value, item).
+        items: Vec<(u64, Item)>,
+        /// Whether this push is the pre-leave additional-hop replication.
+        extra_hop: bool,
+    },
+}
+
+impl ReplMsg {
+    /// Short tag used for tracing.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ReplMsg::RefreshTick => "RefreshTick",
+            ReplMsg::Push { .. } => "Push",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags() {
+        assert_eq!(ReplMsg::RefreshTick.tag(), "RefreshTick");
+        assert_eq!(
+            ReplMsg::Push {
+                items: vec![],
+                extra_hop: false
+            }
+            .tag(),
+            "Push"
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Ring layer configuration.
+
+use std::time::Duration;
+
+use pepper_types::SystemConfig;
+
+/// Configuration of the fault-tolerant ring layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingConfig {
+    /// Successor list length `d`.
+    pub succ_list_len: usize,
+    /// Period of the ring stabilization loop.
+    pub stabilization_period: Duration,
+    /// Period of the successor ping (failure detection) loop.
+    pub ping_period: Duration,
+    /// How long to wait for a ping reply before declaring the successor
+    /// failed.
+    pub ping_timeout: Duration,
+    /// Use the PEPPER consistent `insertSucc` (JOINING state + backward
+    /// propagation) instead of the naive immediate join.
+    pub pepper_insert: bool,
+    /// Use the PEPPER availability-preserving `leave` (successor-list
+    /// lengthening + leave ack) instead of the naive immediate departure.
+    pub pepper_leave: bool,
+    /// Proactively trigger stabilization at the predecessor while an
+    /// `insertSucc` or `leave` is in progress (the optimization of
+    /// Section 4.3.1 / 6.3.1).
+    pub proactive_stabilization: bool,
+}
+
+impl RingConfig {
+    /// Derives the ring configuration from the system configuration. The
+    /// ping timeout scales with the ping period (a quarter of it, at least
+    /// 20 ms) so failure detection keeps working when experiments shrink the
+    /// periods.
+    pub fn from_system(cfg: &SystemConfig) -> Self {
+        RingConfig {
+            succ_list_len: cfg.succ_list_len,
+            stabilization_period: cfg.stabilization_period,
+            ping_period: cfg.ping_period,
+            ping_timeout: (cfg.ping_period / 4).max(Duration::from_millis(20)),
+            pepper_insert: cfg.protocol.pepper_insert_succ,
+            pepper_leave: cfg.protocol.pepper_leave,
+            proactive_stabilization: true,
+        }
+    }
+
+    /// A small, fast configuration convenient for unit tests.
+    pub fn test(d: usize) -> Self {
+        RingConfig {
+            succ_list_len: d,
+            stabilization_period: Duration::from_millis(200),
+            ping_period: Duration::from_millis(100),
+            ping_timeout: Duration::from_millis(40),
+            pepper_insert: true,
+            pepper_leave: true,
+            proactive_stabilization: true,
+        }
+    }
+
+    /// The naive-baseline version of [`RingConfig::test`].
+    pub fn test_naive(d: usize) -> Self {
+        RingConfig {
+            pepper_insert: false,
+            pepper_leave: false,
+            ..RingConfig::test(d)
+        }
+    }
+}
+
+impl Default for RingConfig {
+    fn default() -> Self {
+        RingConfig::from_system(&SystemConfig::paper_defaults())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pepper_types::ProtocolConfig;
+
+    #[test]
+    fn derived_from_system_config() {
+        let sys = SystemConfig::paper_defaults().with_succ_list_len(6);
+        let ring = RingConfig::from_system(&sys);
+        assert_eq!(ring.succ_list_len, 6);
+        assert_eq!(ring.stabilization_period, Duration::from_secs(4));
+        assert!(ring.pepper_insert);
+        assert!(ring.pepper_leave);
+    }
+
+    #[test]
+    fn naive_protocol_flags_propagate() {
+        let sys = SystemConfig::paper_defaults().with_protocol(ProtocolConfig::naive());
+        let ring = RingConfig::from_system(&sys);
+        assert!(!ring.pepper_insert);
+        assert!(!ring.pepper_leave);
+    }
+
+    #[test]
+    fn test_configs() {
+        assert_eq!(RingConfig::test(3).succ_list_len, 3);
+        assert!(!RingConfig::test_naive(3).pepper_insert);
+        assert_eq!(RingConfig::default().succ_list_len, 4);
+    }
+}

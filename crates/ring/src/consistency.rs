@@ -1,0 +1,285 @@
+//! Global ring invariant checkers.
+//!
+//! These functions implement the paper's *consistent successor pointers*
+//! property (Definition 5 / Theorem 1) and the ring-connectivity property
+//! that underlies system availability (Section 5.1). They operate on
+//! [`RingSnapshot`]s taken across all peers by the simulation harness — they
+//! are oracles used by tests and experiments, not part of the protocol.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use pepper_types::{PeerId, PeerValue};
+
+use crate::entry::{EntryState, RingPhase, SuccEntry};
+use crate::state::RingState;
+
+/// A point-in-time snapshot of one peer's ring state.
+#[derive(Debug, Clone)]
+pub struct RingSnapshot {
+    /// The peer.
+    pub id: PeerId,
+    /// Its ring value.
+    pub value: PeerValue,
+    /// Its ring phase.
+    pub phase: RingPhase,
+    /// Its successor list.
+    pub succ_list: Vec<SuccEntry>,
+    /// Whether the peer process is alive (not failed).
+    pub alive: bool,
+}
+
+impl RingSnapshot {
+    /// Takes a snapshot of a ring state.
+    pub fn of(state: &RingState, alive: bool) -> Self {
+        RingSnapshot {
+            id: state.id(),
+            value: state.value(),
+            phase: state.phase(),
+            succ_list: state.succ_list().to_vec(),
+            alive,
+        }
+    }
+
+    fn is_joined_member(&self) -> bool {
+        self.alive && matches!(self.phase, RingPhase::Joined | RingPhase::Inserting)
+    }
+
+    fn is_reachable_member(&self) -> bool {
+        self.alive && self.phase.is_member()
+    }
+}
+
+/// The result of a consistency / connectivity check.
+#[derive(Debug, Clone, Default)]
+pub struct ConsistencyReport {
+    /// Human-readable descriptions of every violation found.
+    pub violations: Vec<String>,
+}
+
+impl ConsistencyReport {
+    /// `true` when no violation was found.
+    pub fn is_consistent(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Computes the *induced ring* successor function over the live `JOINED`
+/// peers: each peer's successor is the next live `JOINED` peer in increasing
+/// value order (wrapping around).
+fn induced_successors(members: &[&RingSnapshot]) -> BTreeMap<PeerId, PeerId> {
+    let mut ordered: Vec<&&RingSnapshot> = members.iter().collect();
+    ordered.sort_by_key(|s| (s.value, s.id));
+    let mut succ = BTreeMap::new();
+    let n = ordered.len();
+    for i in 0..n {
+        succ.insert(ordered[i].id, ordered[(i + 1) % n].id);
+    }
+    succ
+}
+
+/// Checks the *consistent successor pointers* property (Definition 5):
+/// for every live `JOINED` peer `p`, the trimmed successor list (restricted
+/// to live `JOINED` peers) must not skip over any live `JOINED` peer —
+/// `trimList[0]` is `succ(p)` and `trimList[i+1]` is `succ(trimList[i])`.
+pub fn check_consistent_successor_pointers(snapshots: &[RingSnapshot]) -> ConsistencyReport {
+    let mut report = ConsistencyReport::default();
+    let members: Vec<&RingSnapshot> = snapshots.iter().filter(|s| s.is_joined_member()).collect();
+    if members.len() <= 1 {
+        return report;
+    }
+    let member_ids: BTreeSet<PeerId> = members.iter().map(|s| s.id).collect();
+    let succ = induced_successors(&members);
+
+    for p in &members {
+        let trim_list: Vec<PeerId> = p
+            .succ_list
+            .iter()
+            .filter(|e| member_ids.contains(&e.peer) && e.state != EntryState::Joining)
+            .map(|e| e.peer)
+            .collect();
+        if trim_list.is_empty() {
+            report.violations.push(format!(
+                "peer {} has no pointer to any live JOINED peer",
+                p.id
+            ));
+            continue;
+        }
+        let mut expected = succ[&p.id];
+        for (i, got) in trim_list.iter().enumerate() {
+            if *got != expected {
+                report.violations.push(format!(
+                    "peer {}: trimmed successor pointer {} is {} but the ring successor is {} \
+                     (a live JOINED peer was skipped)",
+                    p.id, i, got, expected
+                ));
+                break;
+            }
+            expected = succ[got];
+        }
+    }
+    report
+}
+
+/// Checks ring connectivity: starting from every live member and repeatedly
+/// following the first live-member pointer of each successor list, every live
+/// member must be reachable.
+pub fn check_connectivity(snapshots: &[RingSnapshot]) -> ConsistencyReport {
+    let mut report = ConsistencyReport::default();
+    let members: Vec<&RingSnapshot> = snapshots
+        .iter()
+        .filter(|s| s.is_reachable_member())
+        .collect();
+    if members.len() <= 1 {
+        return report;
+    }
+    let by_id: BTreeMap<PeerId, &RingSnapshot> = members.iter().map(|s| (s.id, *s)).collect();
+
+    // next-hop function: the first pointer that refers to a live member.
+    let next = |p: &RingSnapshot| -> Option<PeerId> {
+        p.succ_list
+            .iter()
+            .find(|e| by_id.contains_key(&e.peer) && e.peer != p.id)
+            .map(|e| e.peer)
+    };
+
+    let start = members[0].id;
+    let mut visited: BTreeSet<PeerId> = BTreeSet::new();
+    let mut current = start;
+    for _ in 0..=members.len() * 2 {
+        if !visited.insert(current) {
+            break;
+        }
+        match next(by_id[&current]) {
+            Some(n) => current = n,
+            None => {
+                report.violations.push(format!(
+                    "peer {current} has no live successor pointer: the ring is broken"
+                ));
+                break;
+            }
+        }
+    }
+    for m in &members {
+        if !visited.contains(&m.id) {
+            report.violations.push(format!(
+                "peer {} is not reachable by following successor pointers from {}",
+                m.id, start
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(id: u64, value: u64, phase: RingPhase, succs: &[(u64, u64)], alive: bool) -> RingSnapshot {
+        RingSnapshot {
+            id: PeerId(id),
+            value: PeerValue(value),
+            phase,
+            succ_list: succs
+                .iter()
+                .map(|(p, v)| SuccEntry::joined_stab(PeerId(*p), PeerValue(*v)))
+                .collect(),
+            alive,
+        }
+    }
+
+    /// A fully consistent 4-peer ring with d = 2.
+    fn consistent_ring() -> Vec<RingSnapshot> {
+        vec![
+            snap(1, 10, RingPhase::Joined, &[(2, 20), (3, 30)], true),
+            snap(2, 20, RingPhase::Joined, &[(3, 30), (4, 40)], true),
+            snap(3, 30, RingPhase::Joined, &[(4, 40), (1, 10)], true),
+            snap(4, 40, RingPhase::Joined, &[(1, 10), (2, 20)], true),
+        ]
+    }
+
+    #[test]
+    fn consistent_ring_passes_both_checks() {
+        let ring = consistent_ring();
+        assert!(check_consistent_successor_pointers(&ring).is_consistent());
+        assert!(check_connectivity(&ring).is_consistent());
+    }
+
+    #[test]
+    fn skipped_peer_is_detected() {
+        // Peer 4 points at 2 and 3 but not at 1 — it skips over the live
+        // JOINED peer 1 (this is exactly the Figure 9 scenario).
+        let mut ring = consistent_ring();
+        ring[3].succ_list = vec![
+            SuccEntry::joined_stab(PeerId(2), PeerValue(20)),
+            SuccEntry::joined_stab(PeerId(3), PeerValue(30)),
+        ];
+        let report = check_consistent_successor_pointers(&ring);
+        assert!(!report.is_consistent());
+        assert!(report.violations[0].contains("p4"));
+    }
+
+    #[test]
+    fn joining_peers_are_exempt() {
+        // Peer 9 is JOINING: pointers to (or missing pointers to) it are not
+        // violations.
+        let mut ring = consistent_ring();
+        ring.push(snap(9, 35, RingPhase::Joining, &[], true));
+        assert!(check_consistent_successor_pointers(&ring).is_consistent());
+    }
+
+    #[test]
+    fn dead_peers_are_ignored() {
+        let mut ring = consistent_ring();
+        // Peer 2 fails: pointers to it are trimmed away; the remaining lists
+        // still chain correctly (1 -> 3 via its second pointer).
+        ring[1].alive = false;
+        let report = check_consistent_successor_pointers(&ring);
+        assert!(report.is_consistent(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn single_or_empty_ring_is_trivially_consistent() {
+        assert!(check_consistent_successor_pointers(&[]).is_consistent());
+        let one = vec![snap(1, 10, RingPhase::Joined, &[(1, 10)], true)];
+        assert!(check_consistent_successor_pointers(&one).is_consistent());
+        assert!(check_connectivity(&one).is_consistent());
+    }
+
+    #[test]
+    fn disconnection_is_detected() {
+        // Figure 14: peer 5's only pointers refer to the departed peer 7 and
+        // the failed peer 1 — the ring is disconnected.
+        let ring = vec![
+            snap(5, 50, RingPhase::Joined, &[(7, 70), (1, 10)], true),
+            snap(7, 70, RingPhase::Free, &[], true), // departed
+            snap(1, 10, RingPhase::Joined, &[(5, 50)], false), // failed
+            snap(2, 20, RingPhase::Joined, &[(5, 50), (7, 70)], true),
+        ];
+        let report = check_connectivity(&ring);
+        assert!(!report.is_consistent());
+    }
+
+    #[test]
+    fn connectivity_detects_unreachable_member() {
+        // Two disjoint two-peer loops.
+        let ring = vec![
+            snap(1, 10, RingPhase::Joined, &[(2, 20)], true),
+            snap(2, 20, RingPhase::Joined, &[(1, 10)], true),
+            snap(3, 30, RingPhase::Joined, &[(4, 40)], true),
+            snap(4, 40, RingPhase::Joined, &[(3, 30)], true),
+        ];
+        let report = check_connectivity(&ring);
+        assert!(!report.is_consistent());
+    }
+
+    #[test]
+    fn leaving_peers_count_for_connectivity_but_not_joined_consistency() {
+        let mut ring = consistent_ring();
+        ring[2].phase = RingPhase::Leaving;
+        // Consistency: peer 3 (LEAVING) is excluded from the JOINED member
+        // set, and lists that still contain it simply skip it after trimming.
+        assert!(check_consistent_successor_pointers(&ring).is_consistent());
+        // Connectivity: it still routes traffic.
+        assert!(check_connectivity(&ring).is_consistent());
+    }
+}

@@ -1,0 +1,516 @@
+//! The ring-layer state machine.
+//!
+//! [`RingState`] holds everything a single peer knows about the ring: its own
+//! value and phase, its successor list (`succList` + `stateList` +
+//! `stabilized` flags in the paper), its predecessor, and the bookkeeping for
+//! in-flight `insertSucc` / `leave` operations. The protocol logic lives in
+//! the sibling modules ([`crate::stabilization`], [`crate::join`],
+//! [`crate::leave`], [`crate::ping`]); this module provides construction,
+//! accessors, successor-list manipulation helpers, and the top-level message
+//! dispatch.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use pepper_net::{Effects, LayerCtx, SimTime};
+use pepper_types::{PeerId, PeerValue};
+
+use crate::config::RingConfig;
+use crate::entry::{EntryState, RingPhase, SuccEntry};
+use crate::events::RingEvent;
+use crate::messages::RingMsg;
+
+/// Bookkeeping for an in-flight `insertSucc` at the inserter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PendingInsert {
+    /// The peer being inserted as this peer's successor.
+    pub new_peer: PeerId,
+    /// The value the new peer will occupy.
+    pub new_value: PeerValue,
+    /// When `insert_succ` was invoked (virtual time).
+    pub started: SimTime,
+}
+
+/// The per-peer ring state machine.
+#[derive(Debug, Clone)]
+pub struct RingState {
+    pub(crate) id: PeerId,
+    pub(crate) value: PeerValue,
+    pub(crate) phase: RingPhase,
+    pub(crate) succ_list: Vec<SuccEntry>,
+    pub(crate) pred: Option<(PeerId, PeerValue)>,
+    pub(crate) cfg: RingConfig,
+    pub(crate) pending_insert: Option<PendingInsert>,
+    pub(crate) leave_started: Option<SimTime>,
+    pub(crate) ping_seq: u64,
+    pub(crate) outstanding_pings: HashMap<PeerId, u64>,
+    pub(crate) answered_pings: HashMap<PeerId, u64>,
+    pub(crate) last_new_succ: Option<PeerId>,
+    pub(crate) timers_started: bool,
+}
+
+impl RingState {
+    /// Creates the state of the very first peer of a ring (phase `JOINED`,
+    /// responsible for the full circle, successor pointers to itself).
+    pub fn new_first(id: PeerId, value: PeerValue, cfg: RingConfig) -> Self {
+        let succ_list = vec![SuccEntry::joined_stab(id, value); cfg.succ_list_len.max(1)];
+        RingState {
+            id,
+            value,
+            phase: RingPhase::Joined,
+            succ_list,
+            pred: Some((id, value)),
+            cfg,
+            pending_insert: None,
+            leave_started: None,
+            ping_seq: 0,
+            outstanding_pings: HashMap::new(),
+            answered_pings: HashMap::new(),
+            last_new_succ: Some(id),
+            timers_started: false,
+        }
+    }
+
+    /// Creates the state of a free peer (not yet part of any ring). Free
+    /// peers passively wait for a `Join` (or `NaiveJoin`) message.
+    pub fn new_free(id: PeerId, cfg: RingConfig) -> Self {
+        RingState {
+            id,
+            value: PeerValue(0),
+            phase: RingPhase::Free,
+            succ_list: Vec::new(),
+            pred: None,
+            cfg,
+            pending_insert: None,
+            leave_started: None,
+            ping_seq: 0,
+            outstanding_pings: HashMap::new(),
+            answered_pings: HashMap::new(),
+            last_new_succ: None,
+            timers_started: false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // accessors
+    // ------------------------------------------------------------------
+
+    /// This peer's id.
+    pub fn id(&self) -> PeerId {
+        self.id
+    }
+
+    /// This peer's current ring value.
+    pub fn value(&self) -> PeerValue {
+        self.value
+    }
+
+    /// Updates this peer's ring value (used by the Data Store when a
+    /// split / redistribute moves the boundary this peer is responsible up
+    /// to).
+    pub fn set_value(&mut self, value: PeerValue) {
+        self.value = value;
+    }
+
+    /// This peer's current ring phase.
+    pub fn phase(&self) -> RingPhase {
+        self.phase
+    }
+
+    /// The ring configuration.
+    pub fn config(&self) -> &RingConfig {
+        &self.cfg
+    }
+
+    /// The current successor list.
+    pub fn succ_list(&self) -> &[SuccEntry] {
+        &self.succ_list
+    }
+
+    /// The current predecessor, if known.
+    pub fn pred(&self) -> Option<(PeerId, PeerValue)> {
+        self.pred
+    }
+
+    /// The paper's `getSucc` semantics: the first successor that is `JOINED`
+    /// *and* stabilized. Returns `None` when no such successor exists yet.
+    pub fn stabilized_succ(&self) -> Option<SuccEntry> {
+        for e in &self.succ_list {
+            if e.state == EntryState::Joined {
+                return if e.stabilized { Some(*e) } else { None };
+            }
+        }
+        None
+    }
+
+    /// The first `JOINED` successor regardless of the stabilized flag. Used
+    /// as a progress fallback by higher layers when no stabilized successor
+    /// is available yet.
+    pub fn best_succ(&self) -> Option<SuccEntry> {
+        self.succ_list
+            .iter()
+            .find(|e| e.state == EntryState::Joined)
+            .copied()
+    }
+
+    /// The first successor entry of any state (the immediate neighbour,
+    /// which may be JOINING or LEAVING).
+    pub fn first_entry(&self) -> Option<SuccEntry> {
+        self.succ_list.first().copied()
+    }
+
+    /// Whether this peer currently participates in the ring protocols.
+    pub fn is_member(&self) -> bool {
+        self.phase.is_member()
+    }
+
+    /// Number of `JOINED` entries in the successor list.
+    pub fn joined_entries(&self) -> usize {
+        self.succ_list
+            .iter()
+            .filter(|e| e.state == EntryState::Joined)
+            .count()
+    }
+
+    /// When the in-flight `insertSucc` started, if any (used by tests and
+    /// metrics).
+    pub fn insert_in_progress(&self) -> Option<PeerId> {
+        self.pending_insert.map(|p| p.new_peer)
+    }
+
+    // ------------------------------------------------------------------
+    // lifecycle
+    // ------------------------------------------------------------------
+
+    /// Schedules the periodic stabilization and ping timers. Idempotent.
+    /// Timers are staggered by a small per-peer offset so that peers do not
+    /// stabilize in lockstep.
+    pub fn start_timers(&mut self, _ctx: LayerCtx, fx: &mut Effects<RingMsg>) {
+        if self.timers_started {
+            return;
+        }
+        self.timers_started = true;
+        let stagger = Duration::from_micros((self.id.raw() % 97) * 250);
+        fx.timer(
+            self.cfg.stabilization_period / 2 + stagger,
+            RingMsg::StabilizeTick,
+        );
+        fx.timer(self.cfg.ping_period / 2 + stagger, RingMsg::PingTick);
+    }
+
+    /// Departs the ring: the peer becomes `FREE`, keeps no pointers, and
+    /// stops answering ring traffic. Called by the layer above once a merge
+    /// hand-off has completed (or immediately for a naive leave).
+    pub fn depart(&mut self) {
+        self.phase = RingPhase::Free;
+        self.succ_list.clear();
+        self.pred = None;
+        self.pending_insert = None;
+        self.leave_started = None;
+        self.last_new_succ = None;
+    }
+
+    // ------------------------------------------------------------------
+    // successor-list helpers
+    // ------------------------------------------------------------------
+
+    /// Maximum number of `JOINED` entries the list should carry.
+    pub(crate) fn target_len(&self) -> usize {
+        self.cfg.succ_list_len.max(1)
+    }
+
+    /// Trims the successor list: keep everything up to and including the
+    /// `d`-th `JOINED` entry, then drop trailing non-`JOINED` entries.
+    ///
+    /// This is the paper's Algorithm 17 trimming rule: lists lengthen by one
+    /// for every `LEAVING` (or in-flight `JOINING`) entry they retain, and
+    /// `JOINING`/`LEAVING` entries that have propagated far enough to fall
+    /// off the end are simply dropped.
+    pub(crate) fn trim_succ_list(&mut self) {
+        let d = self.target_len();
+        let mut joined_seen = 0usize;
+        let mut cut = self.succ_list.len();
+        for (i, e) in self.succ_list.iter().enumerate() {
+            if e.state == EntryState::Joined {
+                joined_seen += 1;
+                if joined_seen == d {
+                    cut = i + 1;
+                    break;
+                }
+            }
+        }
+        self.succ_list.truncate(cut);
+        while matches!(self.succ_list.last(), Some(e) if e.state != EntryState::Joined) {
+            self.succ_list.pop();
+        }
+    }
+
+    /// Removes every entry for `peer` from the successor list. Returns `true`
+    /// if anything was removed.
+    pub(crate) fn remove_peer(&mut self, peer: PeerId) -> bool {
+        let before = self.succ_list.len();
+        self.succ_list.retain(|e| e.peer != peer);
+        before != self.succ_list.len()
+    }
+
+    /// Emits a [`RingEvent::NewSuccessor`] if the first stabilized `JOINED`
+    /// successor changed since the last notification.
+    pub(crate) fn maybe_emit_new_successor(&mut self, events: &mut Vec<RingEvent>) {
+        if let Some(e) = self.stabilized_succ() {
+            if self.last_new_succ != Some(e.peer) {
+                self.last_new_succ = Some(e.peer);
+                events.push(RingEvent::NewSuccessor {
+                    peer: e.peer,
+                    value: e.value,
+                });
+            }
+        }
+    }
+
+    /// Records a new predecessor, emitting [`RingEvent::NewPredecessor`] if
+    /// the peer or its value changed.
+    pub(crate) fn update_pred(
+        &mut self,
+        peer: PeerId,
+        value: PeerValue,
+        events: &mut Vec<RingEvent>,
+    ) {
+        if self.pred != Some((peer, value)) {
+            self.pred = Some((peer, value));
+            events.push(RingEvent::NewPredecessor { peer, value });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // dispatch
+    // ------------------------------------------------------------------
+
+    /// Handles a ring message, emitting effects and events.
+    pub fn handle(
+        &mut self,
+        ctx: LayerCtx,
+        from: PeerId,
+        msg: RingMsg,
+        fx: &mut Effects<RingMsg>,
+        events: &mut Vec<RingEvent>,
+    ) {
+        match msg {
+            RingMsg::StabilizeTick => self.on_stabilize_tick(ctx, fx),
+            RingMsg::StabilizeNow => self.on_stabilize_now(ctx, fx),
+            RingMsg::StabRequest { from_value } => {
+                self.on_stab_request(ctx, from, from_value, fx, events)
+            }
+            RingMsg::StabResponse {
+                succ_list,
+                responder_state,
+                responder_value,
+            } => self.on_stab_response(
+                ctx,
+                from,
+                succ_list,
+                responder_state,
+                responder_value,
+                fx,
+                events,
+            ),
+            RingMsg::JoinAck { joining } => self.on_join_ack(ctx, joining, fx, events),
+            RingMsg::Join {
+                succ_list,
+                pred,
+                pred_value,
+                your_value,
+            } => self.on_join(ctx, succ_list, pred, pred_value, your_value, fx, events),
+            RingMsg::NaiveJoin {
+                succ_list,
+                pred,
+                pred_value,
+                your_value,
+            } => self.on_join(ctx, succ_list, pred, pred_value, your_value, fx, events),
+            RingMsg::JoinInstalled => self.on_join_installed(ctx, from, events),
+            RingMsg::LeaveAck => self.on_leave_ack(ctx, events),
+            RingMsg::PingTick => self.on_ping_tick(ctx, fx),
+            RingMsg::Ping { seq } => self.on_ping(ctx, from, seq, fx),
+            RingMsg::PingReply { seq, member, state } => {
+                self.on_ping_reply(ctx, from, seq, member, state, events)
+            }
+            RingMsg::PingTimeout { target, seq } => {
+                self.on_ping_timeout(ctx, target, seq, events)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn joined(peer: u64, value: u64) -> SuccEntry {
+        SuccEntry::joined_stab(PeerId(peer), PeerValue(value))
+    }
+
+    #[test]
+    fn first_peer_points_at_itself() {
+        let s = RingState::new_first(PeerId(1), PeerValue(10), RingConfig::test(3));
+        assert_eq!(s.phase(), RingPhase::Joined);
+        assert_eq!(s.succ_list().len(), 3);
+        assert!(s.succ_list().iter().all(|e| e.peer == PeerId(1)));
+        assert_eq!(s.pred(), Some((PeerId(1), PeerValue(10))));
+        assert_eq!(s.stabilized_succ().unwrap().peer, PeerId(1));
+        assert!(s.is_member());
+    }
+
+    #[test]
+    fn free_peer_is_not_a_member() {
+        let s = RingState::new_free(PeerId(2), RingConfig::test(3));
+        assert_eq!(s.phase(), RingPhase::Free);
+        assert!(!s.is_member());
+        assert!(s.stabilized_succ().is_none());
+        assert!(s.best_succ().is_none());
+        assert!(s.first_entry().is_none());
+    }
+
+    #[test]
+    fn stabilized_succ_requires_stab_flag() {
+        let mut s = RingState::new_free(PeerId(0), RingConfig::test(2));
+        s.succ_list = vec![SuccEntry::new(PeerId(1), PeerValue(1), EntryState::Joined)];
+        // First JOINED entry is not stabilized: strict read returns None,
+        // best-effort read returns it.
+        assert!(s.stabilized_succ().is_none());
+        assert_eq!(s.best_succ().unwrap().peer, PeerId(1));
+        s.succ_list[0].stabilized = true;
+        assert_eq!(s.stabilized_succ().unwrap().peer, PeerId(1));
+    }
+
+    #[test]
+    fn stabilized_succ_skips_joining_and_leaving() {
+        let mut s = RingState::new_free(PeerId(0), RingConfig::test(3));
+        s.succ_list = vec![
+            SuccEntry::new(PeerId(9), PeerValue(9), EntryState::Joining),
+            SuccEntry::new(PeerId(8), PeerValue(8), EntryState::Leaving),
+            joined(1, 1),
+        ];
+        assert_eq!(s.stabilized_succ().unwrap().peer, PeerId(1));
+    }
+
+    #[test]
+    fn trim_keeps_d_joined_and_interleaved_special_entries() {
+        let mut s = RingState::new_free(PeerId(0), RingConfig::test(2));
+        // [p5, p*(JOINING), p1, p2] with d = 2 trims to [p5, p*, p1].
+        s.succ_list = vec![
+            joined(5, 5),
+            SuccEntry::new(PeerId(9), PeerValue(6), EntryState::Joining),
+            joined(1, 10),
+            joined(2, 15),
+        ];
+        s.trim_succ_list();
+        assert_eq!(
+            s.succ_list.iter().map(|e| e.peer).collect::<Vec<_>>(),
+            vec![PeerId(5), PeerId(9), PeerId(1)]
+        );
+
+        // [p4, p5, p*(JOINING), p1] trims to [p4, p5]: far predecessors drop
+        // the JOINING entry.
+        s.succ_list = vec![
+            joined(4, 4),
+            joined(5, 5),
+            SuccEntry::new(PeerId(9), PeerValue(6), EntryState::Joining),
+            joined(1, 10),
+        ];
+        s.trim_succ_list();
+        assert_eq!(
+            s.succ_list.iter().map(|e| e.peer).collect::<Vec<_>>(),
+            vec![PeerId(4), PeerId(5)]
+        );
+    }
+
+    #[test]
+    fn trim_lengthens_for_leaving_entries() {
+        let mut s = RingState::new_free(PeerId(0), RingConfig::test(2));
+        // A LEAVING first successor keeps the list one longer than d.
+        s.succ_list = vec![
+            SuccEntry::new(PeerId(7), PeerValue(7), EntryState::Leaving),
+            joined(1, 10),
+            joined(2, 15),
+        ];
+        s.trim_succ_list();
+        assert_eq!(s.succ_list.len(), 3);
+        // Trailing LEAVING entries are dropped.
+        s.succ_list = vec![
+            joined(1, 10),
+            joined(2, 15),
+            SuccEntry::new(PeerId(7), PeerValue(7), EntryState::Leaving),
+        ];
+        s.trim_succ_list();
+        assert_eq!(s.succ_list.len(), 2);
+    }
+
+    #[test]
+    fn trim_short_list_is_untouched() {
+        let mut s = RingState::new_free(PeerId(0), RingConfig::test(4));
+        s.succ_list = vec![joined(1, 1), joined(2, 2)];
+        s.trim_succ_list();
+        assert_eq!(s.succ_list.len(), 2);
+    }
+
+    #[test]
+    fn remove_peer_drops_all_occurrences() {
+        let mut s = RingState::new_first(PeerId(1), PeerValue(10), RingConfig::test(3));
+        assert!(s.remove_peer(PeerId(1)));
+        assert!(s.succ_list.is_empty());
+        assert!(!s.remove_peer(PeerId(1)));
+    }
+
+    #[test]
+    fn new_successor_event_fires_once_per_change() {
+        let mut s = RingState::new_free(PeerId(0), RingConfig::test(2));
+        s.succ_list = vec![joined(1, 1)];
+        let mut events = Vec::new();
+        s.maybe_emit_new_successor(&mut events);
+        s.maybe_emit_new_successor(&mut events);
+        assert_eq!(events.len(), 1);
+        s.succ_list = vec![joined(2, 2)];
+        s.maybe_emit_new_successor(&mut events);
+        assert_eq!(events.len(), 2);
+    }
+
+    #[test]
+    fn update_pred_emits_on_change_only() {
+        let mut s = RingState::new_free(PeerId(0), RingConfig::test(2));
+        let mut events = Vec::new();
+        s.update_pred(PeerId(3), PeerValue(30), &mut events);
+        s.update_pred(PeerId(3), PeerValue(30), &mut events);
+        assert_eq!(events.len(), 1);
+        s.update_pred(PeerId(3), PeerValue(31), &mut events);
+        assert_eq!(events.len(), 2);
+        assert_eq!(s.pred(), Some((PeerId(3), PeerValue(31))));
+    }
+
+    #[test]
+    fn depart_clears_everything() {
+        let mut s = RingState::new_first(PeerId(1), PeerValue(10), RingConfig::test(3));
+        s.depart();
+        assert_eq!(s.phase(), RingPhase::Free);
+        assert!(s.succ_list().is_empty());
+        assert!(s.pred().is_none());
+        assert!(!s.is_member());
+    }
+
+    #[test]
+    fn start_timers_is_idempotent() {
+        let mut s = RingState::new_first(PeerId(1), PeerValue(10), RingConfig::test(3));
+        let ctx = LayerCtx::new(PeerId(1), SimTime::ZERO);
+        let mut fx = Effects::new();
+        s.start_timers(ctx, &mut fx);
+        assert_eq!(fx.len(), 2);
+        s.start_timers(ctx, &mut fx);
+        assert_eq!(fx.len(), 2);
+    }
+
+    #[test]
+    fn set_value_updates_value_only() {
+        let mut s = RingState::new_first(PeerId(1), PeerValue(10), RingConfig::test(3));
+        s.set_value(PeerValue(99));
+        assert_eq!(s.value(), PeerValue(99));
+        assert_eq!(s.phase(), RingPhase::Joined);
+    }
+}

@@ -1,0 +1,55 @@
+//! Content-router protocol messages.
+
+use pepper_types::{PeerId, PeerValue};
+
+/// Messages exchanged by the content router (timers included).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouterMsg {
+    /// Periodic shortcut-maintenance tick.
+    MaintainTick,
+    /// Ask the receiver for its shortcut at `level`; the reply should be
+    /// stored by the requester in its own `slot`.
+    GetEntry {
+        /// The level requested at the receiver.
+        level: usize,
+        /// The slot the requester will store the answer in.
+        slot: usize,
+    },
+    /// Reply to [`RouterMsg::GetEntry`].
+    EntryReply {
+        /// The slot the requester asked to fill.
+        slot: usize,
+        /// The shortcut, if the receiver had one at that level.
+        entry: Option<(PeerId, PeerValue)>,
+    },
+}
+
+impl RouterMsg {
+    /// Short tag used for tracing.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            RouterMsg::MaintainTick => "MaintainTick",
+            RouterMsg::GetEntry { .. } => "GetEntry",
+            RouterMsg::EntryReply { .. } => "EntryReply",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags() {
+        assert_eq!(RouterMsg::MaintainTick.tag(), "MaintainTick");
+        assert_eq!(RouterMsg::GetEntry { level: 0, slot: 1 }.tag(), "GetEntry");
+        assert_eq!(
+            RouterMsg::EntryReply {
+                slot: 1,
+                entry: None
+            }
+            .tag(),
+            "EntryReply"
+        );
+    }
+}

@@ -1,0 +1,408 @@
+//! A simulated PEPPER index cluster.
+//!
+//! [`Cluster`] wraps the discrete-event simulator with index-level
+//! conveniences: bootstrapping (one live peer plus a pool of free peers),
+//! issuing item inserts/deletes and range queries, injecting failures, and
+//! collecting per-peer [`Observation`]s and global snapshots for the oracles.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use pepper_datastore::QueryId;
+use pepper_index::{FreePool, Observation, PeerMsg, PeerNode};
+use pepper_net::{NetworkConfig, SimTime, Simulator};
+use pepper_ring::consistency::{
+    check_connectivity, check_consistent_successor_pointers, RingSnapshot,
+};
+use pepper_types::{Item, ItemId, PeerId, PeerValue, RangeQuery, SearchKey, SystemConfig};
+use rand::Rng;
+
+/// Configuration of a simulated cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Protocol and index parameters.
+    pub system: SystemConfig,
+    /// Network model and seed.
+    pub network: NetworkConfig,
+    /// Number of free peers registered at start.
+    pub initial_free_peers: usize,
+    /// Ring value of the first (bootstrap) peer.
+    pub first_value: u64,
+}
+
+impl ClusterConfig {
+    /// The paper's configuration (Section 6.1) on a LAN, with the given seed.
+    pub fn paper(seed: u64) -> Self {
+        ClusterConfig {
+            system: SystemConfig::paper_defaults(),
+            network: NetworkConfig::lan(seed),
+            initial_free_peers: 0,
+            first_value: u64::MAX / 2,
+        }
+    }
+
+    /// A configuration with shrunk periods so unit/integration tests finish
+    /// quickly. Protocol semantics are unchanged.
+    pub fn fast(seed: u64) -> Self {
+        let mut system = SystemConfig::paper_defaults()
+            .with_storage_factor(2)
+            .with_replication_factor(2);
+        system.stabilization_period = Duration::from_millis(200);
+        system.ping_period = Duration::from_millis(100);
+        system.replica_refresh_period = Duration::from_millis(200);
+        system.router_refresh_period = Duration::from_millis(200);
+        ClusterConfig {
+            system,
+            network: NetworkConfig::lan(seed),
+            initial_free_peers: 0,
+            first_value: u64::MAX / 2,
+        }
+    }
+
+    /// Builder-style override of the system configuration.
+    pub fn with_system(mut self, system: SystemConfig) -> Self {
+        self.system = system;
+        self
+    }
+
+    /// Builder-style override of the number of initial free peers.
+    pub fn with_free_peers(mut self, n: usize) -> Self {
+        self.initial_free_peers = n;
+        self
+    }
+}
+
+/// The outcome of one range query.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Items returned.
+    pub items: Vec<Item>,
+    /// Ring hops the scan took.
+    pub hops: u32,
+    /// Virtual time from issue to completion.
+    pub elapsed: Duration,
+    /// Whether the scan reported full interval coverage.
+    pub complete: bool,
+}
+
+/// A running simulated index.
+pub struct Cluster {
+    /// The underlying simulator (exposed for advanced scenarios).
+    pub sim: Simulator<PeerNode>,
+    /// The shared free-peer pool.
+    pub pool: FreePool,
+    /// The bootstrap peer.
+    pub first: PeerId,
+    system: SystemConfig,
+    next_item_seq: u64,
+}
+
+impl Cluster {
+    /// Boots a cluster: one live peer plus `initial_free_peers` free peers.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        let pool = FreePool::new();
+        let mut sim = Simulator::new(cfg.network.clone());
+        let system = cfg.system.clone();
+        let pool_first = pool.clone();
+        let sys_first = system.clone();
+        let first_value = cfg.first_value;
+        let first = sim.add_node(move |id| {
+            PeerNode::first(id, PeerValue(first_value), sys_first, pool_first)
+        });
+        sim.with_node_ctx(first, |node, ctx| node.start(ctx));
+        let mut cluster = Cluster {
+            sim,
+            pool,
+            first,
+            system,
+            next_item_seq: 0,
+        };
+        for _ in 0..cfg.initial_free_peers {
+            cluster.add_free_peer();
+        }
+        cluster
+    }
+
+    /// The system configuration the cluster runs with.
+    pub fn system(&self) -> &SystemConfig {
+        &self.system
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Adds a new free peer to the system (it joins the ring when a split
+    /// needs it).
+    pub fn add_free_peer(&mut self) -> PeerId {
+        let cfg = self.system.clone();
+        let pool = self.pool.clone();
+        self.sim.add_node(move |id| PeerNode::free(id, cfg, pool))
+    }
+
+    /// Advances virtual time.
+    pub fn run(&mut self, d: Duration) {
+        self.sim.run_for(d);
+    }
+
+    /// Advances virtual time by whole seconds.
+    pub fn run_secs(&mut self, secs: u64) {
+        self.run(Duration::from_secs(secs));
+    }
+
+    /// Inserts an item with search key `key`, issued at peer `at`.
+    pub fn insert_key_at(&mut self, at: PeerId, key: u64) -> ItemId {
+        self.next_item_seq += 1;
+        let id = ItemId::new(at, self.next_item_seq);
+        let item = Item::new(id, SearchKey(key), format!("value-{key}"));
+        self.sim
+            .with_node_ctx(at, |node, ctx| node.insert_item(ctx, item));
+        id
+    }
+
+    /// Inserts an item with search key `key` at the bootstrap peer.
+    pub fn insert_key(&mut self, key: u64) -> ItemId {
+        self.insert_key_at(self.first, key)
+    }
+
+    /// Deletes the item with search key `key`, issued at peer `at`.
+    pub fn delete_key_at(&mut self, at: PeerId, key: u64) {
+        self.sim
+            .with_node_ctx(at, |node, ctx| node.delete_item(ctx, SearchKey(key)));
+    }
+
+    /// Issues the range query `[lo, hi]` at peer `at`.
+    pub fn query_at(&mut self, at: PeerId, lo: u64, hi: u64) -> Option<QueryId> {
+        self.sim
+            .with_node_ctx(at, |node, ctx| node.range_query(ctx, RangeQuery::closed(lo, hi)))
+            .flatten()
+    }
+
+    /// Runs the simulation until the query completes (or `timeout` of virtual
+    /// time has elapsed) and returns its outcome.
+    pub fn wait_for_query(
+        &mut self,
+        at: PeerId,
+        id: QueryId,
+        timeout: Duration,
+    ) -> Option<QueryOutcome> {
+        let deadline = self.sim.now() + timeout;
+        loop {
+            if let Some(outcome) = self.query_outcome(at, id) {
+                return Some(outcome);
+            }
+            if self.sim.now() >= deadline {
+                return None;
+            }
+            self.run(Duration::from_millis(50));
+        }
+    }
+
+    /// Looks up the outcome of a completed query at its issuer.
+    pub fn query_outcome(&self, at: PeerId, id: QueryId) -> Option<QueryOutcome> {
+        let node = self.sim.node(at)?;
+        node.observations().iter().find_map(|o| match o {
+            Observation::QueryCompleted {
+                query,
+                items,
+                hops,
+                elapsed,
+                complete,
+                ..
+            } if *query == id => Some(QueryOutcome {
+                items: items.clone(),
+                hops: *hops,
+                elapsed: *elapsed,
+                complete: *complete,
+            }),
+            _ => None,
+        })
+    }
+
+    /// All currently alive peers that are ring members.
+    pub fn ring_members(&self) -> Vec<PeerId> {
+        self.sim
+            .peer_ids()
+            .into_iter()
+            .filter(|p| self.sim.is_alive(*p))
+            .filter(|p| self.sim.node(*p).map(|n| n.is_ring_member()).unwrap_or(false))
+            .collect()
+    }
+
+    /// The alive ring member whose Data Store range contains `key`.
+    pub fn owner_of(&self, key: u64) -> Option<PeerId> {
+        self.ring_members().into_iter().find(|p| {
+            self.sim
+                .node(*p)
+                .map(|n| n.data_store().range().contains(key))
+                .unwrap_or(false)
+        })
+    }
+
+    /// Total number of items stored across alive peers.
+    pub fn total_items(&self) -> usize {
+        self.sim
+            .peer_ids()
+            .iter()
+            .filter(|p| self.sim.is_alive(**p))
+            .map(|p| self.sim.node(*p).unwrap().item_count())
+            .sum()
+    }
+
+    /// Item counts per alive ring member.
+    pub fn items_per_member(&self) -> Vec<usize> {
+        self.ring_members()
+            .iter()
+            .map(|p| self.sim.node(*p).unwrap().item_count())
+            .collect()
+    }
+
+    /// The set of all search keys currently stored at alive peers.
+    pub fn stored_keys(&self) -> BTreeSet<u64> {
+        let mut keys = BTreeSet::new();
+        for p in self.sim.peer_ids() {
+            if !self.sim.is_alive(p) {
+                continue;
+            }
+            for item in self.sim.node(p).unwrap().data_store().local_items() {
+                keys.insert(item.skv.raw());
+            }
+        }
+        keys
+    }
+
+    /// Drains every peer's observations, tagged with the peer id.
+    pub fn drain_observations(&mut self) -> Vec<(PeerId, Observation)> {
+        let mut out = Vec::new();
+        for p in self.sim.peer_ids() {
+            if let Some(node) = self.sim.node_mut(p) {
+                for o in node.take_observations() {
+                    out.push((p, o));
+                }
+            }
+        }
+        out
+    }
+
+    /// Ring snapshots of every peer (for the consistency / connectivity
+    /// oracles).
+    pub fn ring_snapshots(&self) -> Vec<RingSnapshot> {
+        self.sim
+            .peer_ids()
+            .iter()
+            .map(|p| RingSnapshot::of(self.sim.node(*p).unwrap().ring(), self.sim.is_alive(*p)))
+            .collect()
+    }
+
+    /// Checks the two global ring invariants. Returns
+    /// `(consistent successor pointers, connected)`.
+    pub fn check_ring(&self) -> (bool, bool) {
+        let snaps = self.ring_snapshots();
+        (
+            check_consistent_successor_pointers(&snaps).is_consistent(),
+            check_connectivity(&snaps).is_consistent(),
+        )
+    }
+
+    /// Kills a random alive ring member not listed in `exclude`.
+    pub fn kill_random_member(
+        &mut self,
+        rng: &mut impl Rng,
+        exclude: &[PeerId],
+    ) -> Option<PeerId> {
+        let candidates: Vec<PeerId> = self
+            .ring_members()
+            .into_iter()
+            .filter(|p| !exclude.contains(p))
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let victim = candidates[rng.gen_range(0..candidates.len())];
+        self.sim.kill(victim);
+        Some(victim)
+    }
+
+    /// Direct access to a peer node.
+    pub fn node(&self, id: PeerId) -> Option<&PeerNode> {
+        self.sim.node(id)
+    }
+
+    /// Issues an arbitrary closure against a peer with a live context.
+    pub fn with_peer<R>(
+        &mut self,
+        id: PeerId,
+        f: impl FnOnce(&mut PeerNode, &mut pepper_net::Context<'_, PeerMsg>) -> R,
+    ) -> Option<R> {
+        self.sim.with_node_ctx(id, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bootstrap_and_basic_workload() {
+        let mut cluster = Cluster::new(ClusterConfig::fast(3).with_free_peers(2));
+        assert_eq!(cluster.ring_members().len(), 1);
+        assert_eq!(cluster.pool.len(), 2);
+        for k in 1..=8u64 {
+            cluster.insert_key(k * 1_000_000);
+            cluster.run(Duration::from_millis(50));
+        }
+        cluster.run_secs(4);
+        assert_eq!(cluster.total_items(), 8);
+        assert!(cluster.ring_members().len() >= 2);
+        let (consistent, connected) = cluster.check_ring();
+        assert!(consistent && connected);
+        // Every stored key is owned by exactly the peer whose range covers it.
+        for k in cluster.stored_keys() {
+            assert!(cluster.owner_of(k).is_some());
+        }
+    }
+
+    #[test]
+    fn query_roundtrip_through_cluster_helper() {
+        let mut cluster = Cluster::new(ClusterConfig::fast(5).with_free_peers(2));
+        let keys: Vec<u64> = (1..=10).map(|k| k * 10_000_000).collect();
+        for &k in &keys {
+            cluster.insert_key(k);
+            cluster.run(Duration::from_millis(40));
+        }
+        cluster.run_secs(4);
+        let issuer = cluster.first;
+        let id = cluster.query_at(issuer, 20_000_000, 80_000_000).unwrap();
+        let outcome = cluster
+            .wait_for_query(issuer, id, Duration::from_secs(10))
+            .expect("query completes");
+        let got: Vec<u64> = outcome.items.iter().map(|i| i.skv.raw()).collect();
+        let expected: Vec<u64> = keys
+            .iter()
+            .copied()
+            .filter(|k| (20_000_000..=80_000_000).contains(k))
+            .collect();
+        assert_eq!(got, expected);
+        assert!(outcome.complete);
+    }
+
+    #[test]
+    fn deletions_and_observations_drain() {
+        let mut cluster = Cluster::new(ClusterConfig::fast(7).with_free_peers(1));
+        for k in 1..=6u64 {
+            cluster.insert_key(k * 1_000_000);
+            cluster.run(Duration::from_millis(40));
+        }
+        cluster.run_secs(2);
+        cluster.delete_key_at(cluster.first, 1_000_000);
+        cluster.run_secs(2);
+        assert_eq!(cluster.total_items(), 5);
+        let obs = cluster.drain_observations();
+        assert!(obs
+            .iter()
+            .any(|(_, o)| matches!(o, Observation::DeleteAcked { found: true, .. })));
+        // Draining twice yields nothing new.
+        assert!(cluster.drain_observations().is_empty());
+    }
+}

@@ -1,0 +1,28 @@
+//! Simulation harness and experiment drivers.
+//!
+//! This crate turns the composed peer ([`pepper_index::PeerNode`]) plus the
+//! discrete-event substrate into runnable experiments:
+//!
+//! * [`cluster`] — a convenience wrapper that bootstraps an index (first
+//!   peer + free peers), drives workloads (item inserts/deletes, range
+//!   queries, peer arrivals, failures) and collects observations;
+//! * [`metrics`] — small statistics helpers (mean / percentiles) and table
+//!   printing;
+//! * [`workload`] — deterministic key generators (uniform and Zipf-skewed);
+//! * [`experiments`] — one driver per figure of the paper's evaluation
+//!   (Figures 19–23) plus the correctness / availability / item-availability
+//!   / load-balance ablations described in `DESIGN.md`.
+//!
+//! Every experiment runs in virtual time on the deterministic simulator, so
+//! results are reproducible for a given seed.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cluster;
+pub mod experiments;
+pub mod metrics;
+pub mod workload;
+
+pub use cluster::{Cluster, ClusterConfig};
+pub use metrics::{Stats, Table};

@@ -1,0 +1,177 @@
+//! Statistics and result-table helpers.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Summary statistics over a set of duration samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stats {
+    /// Number of samples.
+    pub count: usize,
+    /// Mean value in seconds.
+    pub mean: f64,
+    /// Median (50th percentile) in seconds.
+    pub p50: f64,
+    /// 95th percentile in seconds.
+    pub p95: f64,
+    /// Minimum in seconds.
+    pub min: f64,
+    /// Maximum in seconds.
+    pub max: f64,
+}
+
+impl Stats {
+    /// Computes statistics from duration samples. Returns a zeroed summary
+    /// for an empty sample set.
+    pub fn of_durations(samples: &[Duration]) -> Stats {
+        let secs: Vec<f64> = samples.iter().map(|d| d.as_secs_f64()).collect();
+        Stats::of_values(&secs)
+    }
+
+    /// Computes statistics from raw `f64` samples.
+    pub fn of_values(samples: &[f64]) -> Stats {
+        if samples.is_empty() {
+            return Stats {
+                count: 0,
+                mean: 0.0,
+                p50: 0.0,
+                p95: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        let count = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / count as f64;
+        let pct = |p: f64| -> f64 {
+            let idx = ((count as f64 - 1.0) * p).round() as usize;
+            sorted[idx.min(count - 1)]
+        };
+        Stats {
+            count,
+            mean,
+            p50: pct(0.50),
+            p95: pct(0.95),
+            min: sorted[0],
+            max: sorted[count - 1],
+        }
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4}s p50={:.4}s p95={:.4}s min={:.4}s max={:.4}s",
+            self.count, self.mean, self.p50, self.p95, self.min, self.max
+        )
+    }
+}
+
+/// A simple result table: named columns, rows of numbers, printed in a
+/// fixed-width layout so experiment output can be compared with the paper's
+/// figures directly.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Table title (e.g. "Figure 19: overhead of insertSucc").
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of values (one `f64` per column).
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl Table {
+    /// Creates an empty table with a title and column headers.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Panics if the arity does not match the headers.
+    pub fn push_row(&mut self, row: Vec<f64>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row arity must match column count"
+        );
+        self.rows.push(row);
+    }
+
+    /// Looks up a column index by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// Returns one column as a vector of values.
+    pub fn column(&self, name: &str) -> Option<Vec<f64>> {
+        let idx = self.column_index(name)?;
+        Some(self.rows.iter().map(|r| r[idx]).collect())
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# {}", self.title)?;
+        let widths: Vec<usize> = self.columns.iter().map(|c| c.len().max(12)).collect();
+        for (c, w) in self.columns.iter().zip(&widths) {
+            write!(f, "{c:>w$} ", w = w)?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            for (v, w) in row.iter().zip(&widths) {
+                write!(f, "{v:>w$.6} ", w = w)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_empty_is_zeroed() {
+        let s = Stats::of_durations(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn stats_summarize_samples() {
+        let samples: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        let s = Stats::of_durations(&samples);
+        assert_eq!(s.count, 100);
+        assert!((s.mean - 0.0505).abs() < 1e-9);
+        assert!((s.p50 - 0.050).abs() < 0.002);
+        assert!((s.p95 - 0.095).abs() < 0.002);
+        assert_eq!(s.min, 0.001);
+        assert_eq!(s.max, 0.100);
+        assert!(s.to_string().contains("n=100"));
+    }
+
+    #[test]
+    fn table_roundtrip_and_display() {
+        let mut t = Table::new("demo", &["x", "y"]);
+        t.push_row(vec![1.0, 2.0]);
+        t.push_row(vec![3.0, 4.0]);
+        assert_eq!(t.column("y"), Some(vec![2.0, 4.0]));
+        assert_eq!(t.column("z"), None);
+        let s = t.to_string();
+        assert!(s.contains("# demo"));
+        assert!(s.contains("1.000000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn table_rejects_wrong_arity() {
+        let mut t = Table::new("demo", &["x", "y"]);
+        t.push_row(vec![1.0]);
+    }
+}

@@ -1,0 +1,128 @@
+//! Deterministic workload generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic stream of search keys.
+#[derive(Debug)]
+pub struct KeyGenerator {
+    rng: StdRng,
+    kind: KeyDistribution,
+    issued: u64,
+}
+
+/// How keys are distributed over the (scaled) key domain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDistribution {
+    /// Keys drawn uniformly from `[0, domain)`.
+    Uniform {
+        /// Exclusive upper bound of the key domain.
+        domain: u64,
+    },
+    /// Zipf-like skew: rank `r` (1-based) over `n` distinct hot spots gets
+    /// probability proportional to `1 / r^theta`; keys are spread around the
+    /// chosen hot spot.
+    Zipf {
+        /// Exclusive upper bound of the key domain.
+        domain: u64,
+        /// Number of hot spots.
+        hotspots: u64,
+        /// Skew parameter (0 = uniform, 1 = classic Zipf).
+        theta: f64,
+    },
+    /// Strictly increasing keys spaced by `stride` (worst case for hashing,
+    /// friendly to order-preserving placement).
+    Sequential {
+        /// Distance between consecutive keys.
+        stride: u64,
+    },
+}
+
+impl KeyGenerator {
+    /// Creates a generator with the given distribution and seed.
+    pub fn new(kind: KeyDistribution, seed: u64) -> Self {
+        KeyGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            kind,
+            issued: 0,
+        }
+    }
+
+    /// Produces the next key.
+    pub fn next_key(&mut self) -> u64 {
+        self.issued += 1;
+        match self.kind {
+            KeyDistribution::Uniform { domain } => self.rng.gen_range(0..domain),
+            KeyDistribution::Sequential { stride } => self.issued * stride,
+            KeyDistribution::Zipf {
+                domain,
+                hotspots,
+                theta,
+            } => {
+                // Inverse-CDF sampling over the (small) hot-spot ranks.
+                let n = hotspots.max(1);
+                let norm: f64 = (1..=n).map(|r| 1.0 / (r as f64).powf(theta)).sum();
+                let target = self.rng.gen_range(0.0..norm);
+                let mut acc = 0.0;
+                let mut rank = n;
+                for r in 1..=n {
+                    acc += 1.0 / (r as f64).powf(theta);
+                    if target < acc {
+                        rank = r;
+                        break;
+                    }
+                }
+                let bucket = domain / n;
+                let base = (rank - 1) * bucket;
+                base + self.rng.gen_range(0..bucket.max(1))
+            }
+        }
+    }
+
+    /// Produces `n` keys.
+    pub fn take(&mut self, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.next_key()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_keys_stay_in_domain_and_are_deterministic() {
+        let mut a = KeyGenerator::new(KeyDistribution::Uniform { domain: 1000 }, 42);
+        let mut b = KeyGenerator::new(KeyDistribution::Uniform { domain: 1000 }, 42);
+        let ka = a.take(100);
+        let kb = b.take(100);
+        assert_eq!(ka, kb);
+        assert!(ka.iter().all(|k| *k < 1000));
+    }
+
+    #[test]
+    fn sequential_keys_increase() {
+        let mut g = KeyGenerator::new(KeyDistribution::Sequential { stride: 10 }, 0);
+        assert_eq!(g.take(4), vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn zipf_keys_are_skewed_towards_low_ranks() {
+        let mut g = KeyGenerator::new(
+            KeyDistribution::Zipf {
+                domain: 10_000,
+                hotspots: 10,
+                theta: 1.0,
+            },
+            7,
+        );
+        let keys = g.take(2000);
+        let bucket = 10_000 / 10;
+        let first_bucket = keys.iter().filter(|k| **k < bucket).count();
+        let last_bucket = keys.iter().filter(|k| **k >= 9 * bucket).count();
+        assert!(
+            first_bucket > 3 * last_bucket,
+            "rank 1 ({first_bucket}) should be much hotter than rank 10 ({last_bucket})"
+        );
+        assert!(keys.iter().all(|k| *k < 10_000));
+    }
+}

@@ -1,0 +1,85 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+use crate::peer::PeerId;
+use crate::range::CircularRange;
+
+/// Convenient result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by the index and its subsystems.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The referenced peer does not exist (or has failed / left).
+    PeerNotFound(PeerId),
+    /// The peer is not in a state that allows the requested operation
+    /// (e.g. an API call on a peer that has not finished joining).
+    NotJoined(PeerId),
+    /// The peer is not responsible for the given key / range.
+    NotResponsible {
+        /// The peer the operation was attempted on.
+        peer: PeerId,
+        /// The range the peer is currently responsible for.
+        range: CircularRange,
+    },
+    /// The operation was aborted by the protocol (the paper's `scanRange`
+    /// abort when `lb ∉ p.range`, an insert abort, …).
+    Aborted(String),
+    /// A request timed out waiting for a response.
+    Timeout(String),
+    /// No free peer was available to split with.
+    NoFreePeer,
+    /// The query normalized to an empty range.
+    EmptyQuery,
+    /// The referenced item was not found.
+    ItemNotFound,
+    /// An invariant was violated; this indicates a bug in the protocols and
+    /// is surfaced rather than panicking so the simulator can report it.
+    Invariant(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::PeerNotFound(p) => write!(f, "peer {p} not found"),
+            Error::NotJoined(p) => write!(f, "peer {p} has not completed joining"),
+            Error::NotResponsible { peer, range } => {
+                write!(f, "peer {peer} (range {range}) is not responsible for the request")
+            }
+            Error::Aborted(why) => write!(f, "operation aborted: {why}"),
+            Error::Timeout(what) => write!(f, "timed out: {what}"),
+            Error::NoFreePeer => write!(f, "no free peer available for split"),
+            Error::EmptyQuery => write!(f, "query range is empty"),
+            Error::ItemNotFound => write!(f, "item not found"),
+            Error::Invariant(what) => write!(f, "invariant violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = Error::PeerNotFound(PeerId(4));
+        assert_eq!(e.to_string(), "peer p4 not found");
+        let e = Error::NotResponsible {
+            peer: PeerId(1),
+            range: CircularRange::new(5u64, 10u64),
+        };
+        assert!(e.to_string().contains("p1"));
+        assert!(e.to_string().contains("(5, 10]"));
+        let e = Error::Aborted("lb not in range".into());
+        assert!(e.to_string().contains("lb not in range"));
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&Error::NoFreePeer);
+    }
+}

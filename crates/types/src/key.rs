@@ -1,0 +1,211 @@
+//! Search key values, peer values, and the map `M` between them.
+//!
+//! The paper assumes each item exposes a search key value `i.skv` from a
+//! totally ordered domain `K`, and each peer is positioned on the ring by a
+//! value from a domain `PV`. The Data Store owns a map `M : K -> PV`; a peer
+//! `p` stores every item `i` with `M(i.skv) ∈ (pred(p).val, p.val]`.
+//!
+//! Range indices such as P-Ring use an **order-preserving** map (the identity
+//! in the simplest case) so that range queries can be answered by scanning
+//! along the ring. Equality-only indices such as Chord/CFS use a **hashing**
+//! map, which balances load but destroys ordering. Both are provided here so
+//! the load-balance ablation (DESIGN.md, exD) can compare them.
+
+use std::fmt;
+
+/// A search key value from the totally ordered domain `K`.
+///
+/// The paper assumes search key values are unique (duplicates are made unique
+/// by appending the originating peer id and a version number); we model the
+/// domain as `u64` and keep that uniqueness assumption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SearchKey(pub u64);
+
+impl SearchKey {
+    /// The smallest possible search key.
+    pub const MIN: SearchKey = SearchKey(u64::MIN);
+    /// The largest possible search key.
+    pub const MAX: SearchKey = SearchKey(u64::MAX);
+
+    /// Creates a new search key from a raw `u64`.
+    #[inline]
+    pub const fn new(v: u64) -> Self {
+        SearchKey(v)
+    }
+
+    /// Returns the raw value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for SearchKey {
+    fn from(v: u64) -> Self {
+        SearchKey(v)
+    }
+}
+
+impl fmt::Display for SearchKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+/// A peer value from the domain `PV`: the position of a peer on the ring.
+///
+/// Peer values increase clockwise around the ring and wrap around at the
+/// highest value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PeerValue(pub u64);
+
+impl PeerValue {
+    /// The smallest possible peer value.
+    pub const MIN: PeerValue = PeerValue(u64::MIN);
+    /// The largest possible peer value.
+    pub const MAX: PeerValue = PeerValue(u64::MAX);
+
+    /// Creates a new peer value from a raw `u64`.
+    #[inline]
+    pub const fn new(v: u64) -> Self {
+        PeerValue(v)
+    }
+
+    /// Returns the raw value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for PeerValue {
+    fn from(v: u64) -> Self {
+        PeerValue(v)
+    }
+}
+
+impl fmt::Display for PeerValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Which map `M : K -> PV` the Data Store uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KeyMapKind {
+    /// The identity map: order preserving, required for range queries.
+    #[default]
+    OrderPreserving,
+    /// A deterministic hash of the key: balances load with high probability
+    /// but destroys ordering (Chord/CFS style). Used as a baseline.
+    Hashed,
+}
+
+/// The map `M : K -> PV` applied by the Data Store before placing an item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KeyMap {
+    kind: KeyMapKind,
+}
+
+impl KeyMap {
+    /// Creates the order-preserving (identity) map used by P-Ring.
+    pub const fn order_preserving() -> Self {
+        KeyMap {
+            kind: KeyMapKind::OrderPreserving,
+        }
+    }
+
+    /// Creates the hashing map used by equality-only indices.
+    pub const fn hashed() -> Self {
+        KeyMap {
+            kind: KeyMapKind::Hashed,
+        }
+    }
+
+    /// Returns which kind of map this is.
+    pub const fn kind(&self) -> KeyMapKind {
+        self.kind
+    }
+
+    /// Maps a search key value to a peer value.
+    #[inline]
+    pub fn map(&self, key: SearchKey) -> PeerValue {
+        match self.kind {
+            KeyMapKind::OrderPreserving => PeerValue(key.0),
+            KeyMapKind::Hashed => PeerValue(splitmix64(key.0)),
+        }
+    }
+
+    /// Returns `true` when the map preserves the ordering of `K`, i.e. range
+    /// queries can be evaluated by scanning along the ring.
+    pub const fn is_order_preserving(&self) -> bool {
+        matches!(self.kind, KeyMapKind::OrderPreserving)
+    }
+}
+
+/// SplitMix64 finalizer: a cheap, high-quality 64-bit mixing function used as
+/// the deterministic hash behind [`KeyMapKind::Hashed`].
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn search_key_ordering_matches_raw() {
+        assert!(SearchKey(1) < SearchKey(2));
+        assert!(SearchKey::MIN < SearchKey::MAX);
+        assert_eq!(SearchKey::from(7).raw(), 7);
+    }
+
+    #[test]
+    fn order_preserving_map_is_identity() {
+        let m = KeyMap::order_preserving();
+        assert!(m.is_order_preserving());
+        for k in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(m.map(SearchKey(k)), PeerValue(k));
+        }
+    }
+
+    #[test]
+    fn order_preserving_map_preserves_order() {
+        let m = KeyMap::order_preserving();
+        let keys = [0u64, 5, 10, 1000, u64::MAX / 2, u64::MAX];
+        for w in keys.windows(2) {
+            assert!(m.map(SearchKey(w[0])) < m.map(SearchKey(w[1])));
+        }
+    }
+
+    #[test]
+    fn hashed_map_is_deterministic_and_scrambles() {
+        let m = KeyMap::hashed();
+        assert!(!m.is_order_preserving());
+        assert_eq!(m.map(SearchKey(42)), m.map(SearchKey(42)));
+        // Consecutive keys should not map to consecutive values.
+        let a = m.map(SearchKey(1)).raw();
+        let b = m.map(SearchKey(2)).raw();
+        assert_ne!(a.wrapping_add(1), b);
+    }
+
+    #[test]
+    fn hashed_map_spreads_small_keys() {
+        let m = KeyMap::hashed();
+        // All values for keys 0..64 should be distinct (no obvious collisions).
+        let mut vals: Vec<u64> = (0..64).map(|k| m.map(SearchKey(k)).raw()).collect();
+        vals.sort_unstable();
+        vals.dedup();
+        assert_eq!(vals.len(), 64);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SearchKey(3).to_string(), "k3");
+        assert_eq!(PeerValue(9).to_string(), "v9");
+    }
+}

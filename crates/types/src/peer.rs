@@ -1,0 +1,61 @@
+//! Peer identifiers.
+
+use std::fmt;
+
+/// A physical peer identifier (the paper's "physical id", e.g. an IP address).
+///
+/// In the simulated substrate a peer id is a dense `u64` assigned by the
+/// network at peer-creation time; it never changes and is never reused, which
+/// matches the paper's assumption that a peer that left or failed does not
+/// re-enter with the same identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PeerId(pub u64);
+
+impl PeerId {
+    /// Creates a peer id from a raw `u64`.
+    #[inline]
+    pub const fn new(v: u64) -> Self {
+        PeerId(v)
+    }
+
+    /// Returns the raw value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for PeerId {
+    fn from(v: u64) -> Self {
+        PeerId(v)
+    }
+}
+
+impl fmt::Display for PeerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn peer_id_roundtrip_and_display() {
+        let p = PeerId::new(12);
+        assert_eq!(p.raw(), 12);
+        assert_eq!(p.to_string(), "p12");
+        assert_eq!(PeerId::from(12), p);
+    }
+
+    #[test]
+    fn peer_id_usable_as_map_key() {
+        let mut s = HashSet::new();
+        s.insert(PeerId(1));
+        s.insert(PeerId(2));
+        s.insert(PeerId(1));
+        assert_eq!(s.len(), 2);
+    }
+}

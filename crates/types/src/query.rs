@@ -1,0 +1,190 @@
+//! Range queries over the search key domain.
+//!
+//! The paper considers queries of the form `[lb, ub]`, `(lb, ub]`, `[lb, ub)`
+//! and `(lb, ub)` with `lb, ub ∈ K`. Because the key domain is discrete,
+//! every such query normalizes to a closed [`KeyInterval`] (or to an empty
+//! query).
+
+use std::fmt;
+
+use crate::key::SearchKey;
+use crate::range::KeyInterval;
+
+/// One endpoint of a range query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Bound {
+    /// The endpoint is part of the query range.
+    Inclusive(SearchKey),
+    /// The endpoint is excluded from the query range.
+    Exclusive(SearchKey),
+}
+
+impl Bound {
+    /// The key carried by the bound.
+    pub fn key(&self) -> SearchKey {
+        match self {
+            Bound::Inclusive(k) | Bound::Exclusive(k) => *k,
+        }
+    }
+}
+
+/// A range query `⟨lb, ub⟩` over the search key domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RangeQuery {
+    /// Lower bound.
+    pub lb: Bound,
+    /// Upper bound.
+    pub ub: Bound,
+}
+
+impl RangeQuery {
+    /// The closed query `[lb, ub]`.
+    pub fn closed(lb: impl Into<SearchKey>, ub: impl Into<SearchKey>) -> Self {
+        RangeQuery {
+            lb: Bound::Inclusive(lb.into()),
+            ub: Bound::Inclusive(ub.into()),
+        }
+    }
+
+    /// The open query `(lb, ub)`.
+    pub fn open(lb: impl Into<SearchKey>, ub: impl Into<SearchKey>) -> Self {
+        RangeQuery {
+            lb: Bound::Exclusive(lb.into()),
+            ub: Bound::Exclusive(ub.into()),
+        }
+    }
+
+    /// The half-open query `(lb, ub]`.
+    pub fn open_closed(lb: impl Into<SearchKey>, ub: impl Into<SearchKey>) -> Self {
+        RangeQuery {
+            lb: Bound::Exclusive(lb.into()),
+            ub: Bound::Inclusive(ub.into()),
+        }
+    }
+
+    /// The half-open query `[lb, ub)`.
+    pub fn closed_open(lb: impl Into<SearchKey>, ub: impl Into<SearchKey>) -> Self {
+        RangeQuery {
+            lb: Bound::Inclusive(lb.into()),
+            ub: Bound::Exclusive(ub.into()),
+        }
+    }
+
+    /// An equality query, which the paper treats as the special case
+    /// `[k, k]`.
+    pub fn equality(k: impl Into<SearchKey>) -> Self {
+        let k = k.into();
+        RangeQuery::closed(k, k)
+    }
+
+    /// Normalizes the query to a closed interval over the raw key domain.
+    ///
+    /// Returns `None` when the query denotes an empty range (for example
+    /// `(5, 5]` or `[7, 3]`).
+    pub fn normalize(&self) -> Option<KeyInterval> {
+        let lo = match self.lb {
+            Bound::Inclusive(k) => k.raw(),
+            Bound::Exclusive(k) => k.raw().checked_add(1)?,
+        };
+        let hi = match self.ub {
+            Bound::Inclusive(k) => k.raw(),
+            Bound::Exclusive(k) => k.raw().checked_sub(1)?,
+        };
+        KeyInterval::new(lo, hi)
+    }
+
+    /// Returns `true` iff `key` satisfies the query predicate
+    /// (`satisfiesQ(i)` in the paper).
+    pub fn matches(&self, key: SearchKey) -> bool {
+        self.normalize().is_some_and(|iv| iv.contains(key.raw()))
+    }
+}
+
+impl fmt::Display for RangeQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (lb_delim, lb) = match self.lb {
+            Bound::Inclusive(k) => ('[', k),
+            Bound::Exclusive(k) => ('(', k),
+        };
+        let (ub_delim, ub) = match self.ub {
+            Bound::Inclusive(k) => (']', k),
+            Bound::Exclusive(k) => (')', k),
+        };
+        write!(f, "{lb_delim}{}, {}{ub_delim}", lb.raw(), ub.raw())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_query_normalizes_to_itself() {
+        let q = RangeQuery::closed(5u64, 10u64);
+        assert_eq!(q.normalize(), KeyInterval::new(5, 10));
+        assert!(q.matches(SearchKey(5)));
+        assert!(q.matches(SearchKey(10)));
+        assert!(!q.matches(SearchKey(11)));
+    }
+
+    #[test]
+    fn open_query_excludes_endpoints() {
+        let q = RangeQuery::open(5u64, 10u64);
+        assert_eq!(q.normalize(), KeyInterval::new(6, 9));
+        assert!(!q.matches(SearchKey(5)));
+        assert!(!q.matches(SearchKey(10)));
+        assert!(q.matches(SearchKey(6)));
+    }
+
+    #[test]
+    fn half_open_queries() {
+        assert_eq!(
+            RangeQuery::open_closed(5u64, 10u64).normalize(),
+            KeyInterval::new(6, 10)
+        );
+        assert_eq!(
+            RangeQuery::closed_open(5u64, 10u64).normalize(),
+            KeyInterval::new(5, 9)
+        );
+    }
+
+    #[test]
+    fn empty_queries_normalize_to_none() {
+        assert!(RangeQuery::open(5u64, 6u64).normalize().is_none());
+        assert!(RangeQuery::closed(7u64, 3u64).normalize().is_none());
+        assert!(RangeQuery::open_closed(5u64, 5u64).normalize().is_none());
+        assert!(!RangeQuery::open(5u64, 6u64).matches(SearchKey(5)));
+    }
+
+    #[test]
+    fn equality_query_is_single_point() {
+        let q = RangeQuery::equality(42u64);
+        assert_eq!(q.normalize(), KeyInterval::new(42, 42));
+        assert!(q.matches(SearchKey(42)));
+        assert!(!q.matches(SearchKey(41)));
+    }
+
+    #[test]
+    fn boundary_overflow_is_empty_not_panic() {
+        // (MAX, ...] has no representable lower bound.
+        let q = RangeQuery::open_closed(u64::MAX, u64::MAX);
+        assert!(q.normalize().is_none());
+        // [..., 0) has no representable upper bound.
+        let q = RangeQuery::closed_open(0u64, 0u64);
+        assert!(q.normalize().is_none());
+    }
+
+    #[test]
+    fn display_shows_bound_kinds() {
+        assert_eq!(RangeQuery::closed(1u64, 2u64).to_string(), "[1, 2]");
+        assert_eq!(RangeQuery::open(1u64, 2u64).to_string(), "(1, 2)");
+        assert_eq!(RangeQuery::open_closed(1u64, 2u64).to_string(), "(1, 2]");
+        assert_eq!(RangeQuery::closed_open(1u64, 2u64).to_string(), "[1, 2)");
+    }
+
+    #[test]
+    fn bound_key_accessor() {
+        assert_eq!(Bound::Inclusive(SearchKey(4)).key(), SearchKey(4));
+        assert_eq!(Bound::Exclusive(SearchKey(9)).key(), SearchKey(9));
+    }
+}

@@ -1,0 +1,69 @@
+//! Digital-library scenario: articles indexed by publication date, queried by
+//! date range, with continuous ingest driving splits and redistributions.
+//!
+//! Run with: `cargo run -p pepper-sim --example digital_library`
+
+use std::time::Duration;
+
+use pepper_sim::{Cluster, ClusterConfig};
+
+/// Encodes a (year, day-of-year, sequence) triple as a sortable key.
+fn date_key(year: u64, day: u64, seq: u64) -> u64 {
+    year * 1_000_000 + day * 1_000 + seq
+}
+
+fn main() {
+    let mut cluster = Cluster::new(ClusterConfig::paper(11).with_free_peers(5));
+
+    println!("ingesting articles from 2000-2004...");
+    let mut seq = 0;
+    for year in 2000..=2004u64 {
+        for day in (1..=360u64).step_by(30) {
+            seq += 1;
+            cluster.insert_key(date_key(year, day, seq % 1000));
+            cluster.run(Duration::from_millis(200));
+        }
+        cluster.add_free_peer();
+    }
+    cluster.run_secs(20);
+    println!(
+        "library spread over {} peers, {} articles",
+        cluster.ring_members().len(),
+        cluster.total_items()
+    );
+
+    // Query: everything published in 2002.
+    let issuer = cluster.first;
+    let id = cluster
+        .query_at(issuer, date_key(2002, 0, 0), date_key(2002, 999, 999))
+        .expect("query registered");
+    let outcome = cluster
+        .wait_for_query(issuer, id, Duration::from_secs(30))
+        .expect("query completed");
+    println!(
+        "articles from 2002: {} ({} hops, {:.3} ms)",
+        outcome.items.len(),
+        outcome.hops,
+        outcome.elapsed.as_secs_f64() * 1e3
+    );
+
+    // Old articles get retracted; the index shrinks (merges) without losing
+    // anything else.
+    println!("retracting articles from 2000...");
+    let keys: Vec<u64> = cluster
+        .stored_keys()
+        .into_iter()
+        .filter(|k| *k < date_key(2001, 0, 0))
+        .collect();
+    for k in keys {
+        cluster.delete_key_at(issuer, k);
+        cluster.run(Duration::from_millis(150));
+    }
+    cluster.run_secs(30);
+    println!(
+        "after retraction: {} peers, {} articles, {} free peers",
+        cluster.ring_members().len(),
+        cluster.total_items(),
+        cluster.pool.len()
+    );
+}

@@ -1,0 +1,63 @@
+//! The paper's motivating JBI scenario: tracking objects by geographic
+//! position and querying a region, while the index keeps reorganizing and
+//! peers fail.
+//!
+//! Run with: `cargo run -p pepper-sim --example jbi_tracking`
+
+use std::time::Duration;
+
+use pepper_sim::workload::{KeyDistribution, KeyGenerator};
+use pepper_sim::{Cluster, ClusterConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut cluster = Cluster::new(ClusterConfig::paper(7).with_free_peers(4));
+    // Object positions are skewed (units cluster around hot spots).
+    let mut positions = KeyGenerator::new(
+        KeyDistribution::Zipf {
+            domain: 1_000_000_000,
+            hotspots: 6,
+            theta: 0.9,
+        },
+        7,
+    );
+
+    println!("tracking 60 objects...");
+    for i in 0..60 {
+        cluster.insert_key(positions.next_key());
+        cluster.run(Duration::from_millis(250));
+        if i % 5 == 0 {
+            cluster.add_free_peer();
+        }
+    }
+    cluster.run_secs(20);
+    println!(
+        "index spread over {} peers, {} objects stored",
+        cluster.ring_members().len(),
+        cluster.total_items()
+    );
+
+    // One sector of the battlespace fails.
+    let mut rng = StdRng::seed_from_u64(99);
+    let first = cluster.first;
+    if let Some(victim) = cluster.kill_random_member(&mut rng, &[first]) {
+        println!("peer {victim} failed; waiting for takeover and replica revival...");
+    }
+    cluster.run_secs(20);
+
+    // Query a region of the battlespace.
+    let issuer = cluster.first;
+    let id = cluster.query_at(issuer, 0, 200_000_000).expect("query registered");
+    let outcome = cluster
+        .wait_for_query(issuer, id, Duration::from_secs(30))
+        .expect("query completed");
+    println!(
+        "objects in region [0, 200M): {} ({} hops, complete = {})",
+        outcome.items.len(),
+        outcome.hops,
+        outcome.complete
+    );
+    let (consistent, connected) = cluster.check_ring();
+    println!("ring consistent: {consistent}, connected: {connected}");
+}

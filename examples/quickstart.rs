@@ -1,0 +1,48 @@
+//! Quickstart: boot a small PEPPER index, insert items, run a range query.
+//!
+//! Run with: `cargo run -p pepper-sim --example quickstart`
+
+use std::time::Duration;
+
+use pepper_sim::{Cluster, ClusterConfig};
+
+fn main() {
+    // A cluster with the paper's default parameters, plus three free peers
+    // that will join the ring as the data grows.
+    let mut cluster = Cluster::new(ClusterConfig::paper(42).with_free_peers(3));
+
+    println!("inserting 20 items...");
+    for k in 1..=20u64 {
+        cluster.insert_key(k * 1_000_000);
+        cluster.run(Duration::from_millis(300));
+    }
+    cluster.run_secs(20);
+
+    println!(
+        "ring members: {} (free peers left: {}), total items: {}",
+        cluster.ring_members().len(),
+        cluster.pool.len(),
+        cluster.total_items()
+    );
+
+    let issuer = cluster.first;
+    let id = cluster
+        .query_at(issuer, 5_000_000, 15_000_000)
+        .expect("query registered");
+    let outcome = cluster
+        .wait_for_query(issuer, id, Duration::from_secs(30))
+        .expect("query completed");
+    println!(
+        "range query [5M, 15M]: {} items in {} hops ({:.3} ms, complete = {})",
+        outcome.items.len(),
+        outcome.hops,
+        outcome.elapsed.as_secs_f64() * 1e3,
+        outcome.complete
+    );
+    for item in &outcome.items {
+        println!("  -> {}", item.skv);
+    }
+
+    let (consistent, connected) = cluster.check_ring();
+    println!("ring consistent: {consistent}, connected: {connected}");
+}

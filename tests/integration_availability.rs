@@ -1,0 +1,61 @@
+//! Cross-crate integration: availability invariants under failures and
+//! departures.
+
+use std::time::Duration;
+
+use pepper_sim::{Cluster, ClusterConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn single_failure_never_disconnects_the_ring_or_loses_items() {
+    let mut cluster = Cluster::new(ClusterConfig::fast(211).with_free_peers(4));
+    let keys: Vec<u64> = (1..=16).map(|k| k * 7_000_000).collect();
+    for &k in &keys {
+        cluster.insert_key(k);
+        cluster.run(Duration::from_millis(60));
+    }
+    // Let replicas propagate.
+    cluster.run_secs(8);
+    assert!(cluster.ring_members().len() >= 3);
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let first = cluster.first;
+    cluster
+        .kill_random_member(&mut rng, &[first])
+        .expect("a victim exists");
+    // Failure detection, range takeover and replica revival.
+    cluster.run_secs(15);
+
+    let (_, connected) = cluster.check_ring();
+    assert!(connected, "one failure must not disconnect the ring");
+    let stored = cluster.stored_keys();
+    for k in &keys {
+        assert!(stored.contains(k), "item {k} must survive a single failure");
+    }
+}
+
+#[test]
+fn graceful_departures_keep_the_ring_consistent() {
+    let mut cluster = Cluster::new(ClusterConfig::fast(223).with_free_peers(3));
+    for k in 1..=12u64 {
+        cluster.insert_key(k * 9_000_000);
+        cluster.run(Duration::from_millis(60));
+    }
+    cluster.run_secs(5);
+    let members_before = cluster.ring_members().len();
+    assert!(members_before >= 3);
+
+    // Delete most items: peers merge away gracefully.
+    let issuer = cluster.first;
+    let keys: Vec<u64> = cluster.stored_keys().into_iter().collect();
+    for k in keys.iter().take(10) {
+        cluster.delete_key_at(issuer, *k);
+        cluster.run(Duration::from_millis(120));
+    }
+    cluster.run_secs(15);
+    assert!(cluster.ring_members().len() < members_before);
+    let (consistent, connected) = cluster.check_ring();
+    assert!(consistent, "successor pointers must stay consistent");
+    assert!(connected, "the ring must stay connected through departures");
+}

@@ -1,0 +1,55 @@
+//! Cross-crate integration: continuous churn (inserts, deletes, splits,
+//! merges) with concurrent range queries.
+
+use std::time::Duration;
+
+use pepper_sim::{Cluster, ClusterConfig};
+
+#[test]
+fn queries_remain_correct_while_the_index_reorganizes() {
+    let mut cluster = Cluster::new(ClusterConfig::fast(307).with_free_peers(6));
+    // Stable keys are never touched; churn keys come and go.
+    let stable: Vec<u64> = (0..10).map(|i| (2 * i + 1) * 4_000_000).collect();
+    let churn: Vec<u64> = (0..10).map(|i| (2 * i + 2) * 4_000_000).collect();
+    for (&s, &c) in stable.iter().zip(&churn) {
+        cluster.insert_key(s);
+        cluster.run(Duration::from_millis(40));
+        cluster.insert_key(c);
+        cluster.run(Duration::from_millis(40));
+    }
+    cluster.run_secs(5);
+
+    let lo = stable[0];
+    let hi = *stable.last().unwrap();
+    for round in 0..3 {
+        // Churn: delete or reinsert the churn keys to force rebalancing.
+        let issuer = cluster.first;
+        for &c in &churn {
+            if round % 2 == 0 {
+                cluster.delete_key_at(issuer, c);
+            } else {
+                cluster.insert_key_at(issuer, c);
+            }
+            cluster.run(Duration::from_millis(30));
+        }
+        // Concurrent query over the stable region.
+        let id = cluster.query_at(issuer, lo, hi).unwrap();
+        let outcome = cluster
+            .wait_for_query(issuer, id, Duration::from_secs(30))
+            .expect("query completes under churn");
+        let got: std::collections::BTreeSet<u64> =
+            outcome.items.iter().map(|i| i.skv.raw()).collect();
+        for s in &stable {
+            assert!(
+                got.contains(s),
+                "round {round}: stable key {s} missing from query result"
+            );
+        }
+        cluster.run_secs(3);
+    }
+    // The stable keys are still all present.
+    let stored = cluster.stored_keys();
+    for s in &stable {
+        assert!(stored.contains(s));
+    }
+}

@@ -1,0 +1,36 @@
+//! Cross-crate integration: every experiment driver runs end to end at the
+//! quick effort level and produces well-formed tables.
+
+use pepper_sim::experiments::{availability, correctness, insert_succ, leave, scan_range, Effort};
+
+#[test]
+fn figure_19_driver_runs() {
+    let t = insert_succ::figure_19(Effort::Quick, 1);
+    assert_eq!(t.columns.len(), 3);
+    assert!(!t.rows.is_empty());
+    for row in &t.rows {
+        assert!(row.iter().all(|v| v.is_finite()));
+    }
+}
+
+#[test]
+fn figure_21_driver_runs() {
+    let t = scan_range::figure_21(Effort::Quick, 2);
+    assert_eq!(t.columns.len(), 3);
+    assert!(!t.rows.is_empty());
+}
+
+#[test]
+fn figure_22_driver_runs() {
+    let t = leave::figure_22(Effort::Quick, 3);
+    assert_eq!(t.columns.len(), 4);
+    assert!(!t.rows.is_empty());
+}
+
+#[test]
+fn ablation_drivers_run() {
+    let c = correctness::load_balance(Effort::Quick, 4);
+    assert_eq!(c.rows.len(), 3);
+    let a = availability::ring_availability(Effort::Quick, 5);
+    assert_eq!(a.rows.len(), 2);
+}

@@ -1,0 +1,67 @@
+//! Cross-crate integration: the full index stack (ring + data store +
+//! replication + router) behind the public API, on the simulated network.
+
+use std::time::Duration;
+
+use pepper_sim::{Cluster, ClusterConfig};
+
+#[test]
+fn insert_query_delete_lifecycle() {
+    let mut cluster = Cluster::new(ClusterConfig::fast(101).with_free_peers(3));
+    let keys: Vec<u64> = (1..=15).map(|k| k * 5_000_000).collect();
+    for &k in &keys {
+        cluster.insert_key(k);
+        cluster.run(Duration::from_millis(50));
+    }
+    cluster.run_secs(5);
+    assert_eq!(cluster.total_items(), keys.len());
+    assert!(cluster.ring_members().len() >= 3);
+
+    // Query the middle of the key space.
+    let issuer = cluster.first;
+    let id = cluster.query_at(issuer, 20_000_000, 60_000_000).unwrap();
+    let outcome = cluster
+        .wait_for_query(issuer, id, Duration::from_secs(20))
+        .expect("query completes");
+    let got: Vec<u64> = outcome.items.iter().map(|i| i.skv.raw()).collect();
+    let expected: Vec<u64> = keys
+        .iter()
+        .copied()
+        .filter(|k| (20_000_000..=60_000_000).contains(k))
+        .collect();
+    assert_eq!(got, expected);
+    assert!(outcome.complete);
+
+    // Delete everything; the index must shrink without losing consistency.
+    for &k in &keys {
+        cluster.delete_key_at(issuer, k);
+        cluster.run(Duration::from_millis(80));
+    }
+    cluster.run_secs(10);
+    assert_eq!(cluster.total_items(), 0);
+    let (consistent, connected) = cluster.check_ring();
+    assert!(consistent && connected);
+}
+
+#[test]
+fn storage_stays_within_bounds_as_the_index_grows() {
+    // Enough free peers that every overflow can be resolved by a split.
+    let mut cluster = Cluster::new(ClusterConfig::fast(103).with_free_peers(12));
+    for k in 1..=24u64 {
+        cluster.insert_key(k * 3_000_000);
+        cluster.run(Duration::from_millis(60));
+    }
+    cluster.run_secs(8);
+    assert_eq!(cluster.total_items(), 24);
+    let sf = cluster.system().storage_factor;
+    for (peer, count) in cluster
+        .ring_members()
+        .iter()
+        .zip(cluster.items_per_member())
+    {
+        assert!(
+            count <= 2 * sf,
+            "peer {peer} exceeds the overflow threshold with {count} items"
+        );
+    }
+}
