@@ -35,14 +35,14 @@ impl DataStoreState {
     // ------------------------------------------------------------------
 
     /// Declares an overflow when the store exceeds `2·sf` items.
-    pub(crate) fn check_overflow(&mut self, events: &mut Vec<DsEvent>) {
+    pub(crate) fn check_overflow(&mut self) {
         if self.status == DsStatus::Live
             && !self.rebalancing
             && self.store.len() > self.cfg.overflow_threshold()
             && self.store.len() >= 2
         {
             self.rebalancing = true;
-            events.push(DsEvent::SplitNeeded {
+            self.emit(DsEvent::SplitNeeded {
                 items: self.store.len(),
             });
         }
@@ -50,14 +50,14 @@ impl DataStoreState {
 
     /// Declares an underflow when the store drops below `sf` items. A peer
     /// responsible for the whole circle has nobody to merge with.
-    pub(crate) fn check_underflow(&mut self, events: &mut Vec<DsEvent>) {
+    pub(crate) fn check_underflow(&mut self) {
         if self.status == DsStatus::Live
             && !self.rebalancing
             && !self.range.is_full()
             && self.store.len() < self.cfg.underflow_threshold()
         {
             self.rebalancing = true;
-            events.push(DsEvent::MergeNeeded {
+            self.emit(DsEvent::MergeNeeded {
                 items: self.store.len(),
             });
         }
@@ -65,9 +65,9 @@ impl DataStoreState {
 
     /// Re-runs the threshold checks (used by the retry timer and by the
     /// index layer after external changes).
-    pub fn recheck_balance(&mut self, events: &mut Vec<DsEvent>) {
-        self.check_overflow(events);
-        self.check_underflow(events);
+    pub fn recheck_balance(&mut self) {
+        self.check_overflow();
+        self.check_underflow();
     }
 
     /// Aborts an announced rebalance (no free peer available, no successor,
@@ -78,8 +78,8 @@ impl DataStoreState {
         fx.timer(self.cfg.rebalance_retry_delay, DsMsg::RebalanceRetry);
     }
 
-    pub(crate) fn on_rebalance_retry(&mut self, _ctx: LayerCtx, events: &mut Vec<DsEvent>) {
-        self.recheck_balance(events);
+    pub(crate) fn on_rebalance_retry(&mut self, _ctx: LayerCtx) {
+        self.recheck_balance();
     }
 
     // ------------------------------------------------------------------
@@ -155,7 +155,6 @@ impl DataStoreState {
         range: CircularRange,
         items: Vec<(u64, Item)>,
         fx: &mut Effects<DsMsg>,
-        events: &mut Vec<DsEvent>,
     ) {
         self.write_or_defer(
             ctx,
@@ -165,22 +164,16 @@ impl DataStoreState {
                 splitter: from,
             },
             fx,
-            events,
         );
     }
 
     /// Splitter side: the new peer confirmed; drop the moved items and
     /// shrink the range (deferred while scans pass).
-    pub(crate) fn on_handoff_ack(
-        &mut self,
-        ctx: LayerCtx,
-        fx: &mut Effects<DsMsg>,
-        events: &mut Vec<DsEvent>,
-    ) {
+    pub(crate) fn on_handoff_ack(&mut self, ctx: LayerCtx, fx: &mut Effects<DsMsg>) {
         let Some(moved) = self.pending_split else {
             return;
         };
-        self.write_or_defer(ctx, DeferredWrite::CompleteSplit { moved }, fx, events);
+        self.write_or_defer(ctx, DeferredWrite::CompleteSplit { moved }, fx);
     }
 
     // ------------------------------------------------------------------
@@ -208,7 +201,6 @@ impl DataStoreState {
         requester_items: usize,
         _requester_value: PeerValue,
         fx: &mut Effects<DsMsg>,
-        events: &mut Vec<DsEvent>,
     ) {
         if self.status != DsStatus::Live
             || self.rebalancing
@@ -226,7 +218,7 @@ impl DataStoreState {
             // replication + ring leave) and then calls `send_merge_grant`.
             self.rebalancing = true;
             self.merge_give_to = Some(from);
-            events.push(DsEvent::MergeGiveStarted { to: from });
+            self.emit(DsEvent::MergeGiveStarted { to: from });
             return;
         }
         // Redistribute: hand the lower portion over so both end up with
@@ -258,7 +250,6 @@ impl DataStoreState {
         items: Vec<(u64, Item)>,
         new_boundary: PeerValue,
         fx: &mut Effects<DsMsg>,
-        events: &mut Vec<DsEvent>,
     ) {
         self.write_or_defer(
             ctx,
@@ -268,7 +259,6 @@ impl DataStoreState {
                 granter: from,
             },
             fx,
-            events,
         );
     }
 
@@ -279,14 +269,8 @@ impl DataStoreState {
         ctx: LayerCtx,
         new_boundary: PeerValue,
         fx: &mut Effects<DsMsg>,
-        events: &mut Vec<DsEvent>,
     ) {
-        self.write_or_defer(
-            ctx,
-            DeferredWrite::FinishRedistribute { new_boundary },
-            fx,
-            events,
-        );
+        self.write_or_defer(ctx, DeferredWrite::FinishRedistribute { new_boundary }, fx);
     }
 
     /// The payload of a full merge grant (copies; nothing is removed until
@@ -325,7 +309,6 @@ impl DataStoreState {
 
     /// Requester side: absorb the granter's range and items (deferred while
     /// scans pass).
-    #[allow(clippy::too_many_arguments)]
     pub(crate) fn on_merge_grant(
         &mut self,
         ctx: LayerCtx,
@@ -334,7 +317,6 @@ impl DataStoreState {
         items: Vec<(u64, Item)>,
         _granter_value: PeerValue,
         fx: &mut Effects<DsMsg>,
-        events: &mut Vec<DsEvent>,
     ) {
         self.write_or_defer(
             ctx,
@@ -344,28 +326,17 @@ impl DataStoreState {
                 granter: from,
             },
             fx,
-            events,
         );
     }
 
     /// Granter side: the requester absorbed everything; become a free peer
     /// (deferred while scans pass).
-    pub(crate) fn on_merge_grant_ack(
-        &mut self,
-        ctx: LayerCtx,
-        fx: &mut Effects<DsMsg>,
-        events: &mut Vec<DsEvent>,
-    ) {
-        self.write_or_defer(ctx, DeferredWrite::FinishMergeGive, fx, events);
+    pub(crate) fn on_merge_grant_ack(&mut self, ctx: LayerCtx, fx: &mut Effects<DsMsg>) {
+        self.write_or_defer(ctx, DeferredWrite::FinishMergeGive, fx);
     }
 
     /// Requester side: the successor declined; retry later.
-    pub(crate) fn on_merge_declined(
-        &mut self,
-        _ctx: LayerCtx,
-        fx: &mut Effects<DsMsg>,
-        _events: &mut Vec<DsEvent>,
-    ) {
+    pub(crate) fn on_merge_declined(&mut self, _ctx: LayerCtx, fx: &mut Effects<DsMsg>) {
         self.rebalancing = false;
         fx.timer(self.cfg.rebalance_retry_delay, DsMsg::RebalanceRetry);
     }
@@ -380,13 +351,12 @@ impl DataStoreState {
         ctx: LayerCtx,
         write: DeferredWrite,
         fx: &mut Effects<DsMsg>,
-        events: &mut Vec<DsEvent>,
     ) {
         match write {
             DeferredWrite::CompleteSplit { moved } => {
                 let removed = self.store.take_range(&moved);
                 for (_, item) in &removed {
-                    events.push(DsEvent::ItemRemoved { item: item.id });
+                    self.emit(DsEvent::ItemRemoved { item: item.id });
                 }
                 // The kept range is everything up to the boundary.
                 let boundary = moved.low();
@@ -398,12 +368,12 @@ impl DataStoreState {
                 self.range = new_range;
                 self.pending_split = None;
                 self.rebalancing = false;
-                events.push(DsEvent::RangeChanged {
+                self.emit(DsEvent::RangeChanged {
                     range: self.range,
                     value: self.range.high(),
                 });
-                self.unblock_item_writes(ctx, fx, events);
-                self.recheck_balance(events);
+                self.unblock_item_writes(ctx, fx);
+                self.recheck_balance();
             }
             DeferredWrite::InstallHandoff {
                 range,
@@ -413,15 +383,15 @@ impl DataStoreState {
                 self.status = DsStatus::Live;
                 self.range = range;
                 for (mapped, item) in items {
-                    events.push(DsEvent::ItemStored { item: item.clone() });
+                    self.emit(DsEvent::ItemStored { item: item.clone() });
                     self.store.insert(mapped, item);
                 }
-                events.push(DsEvent::RangeChanged {
+                self.emit(DsEvent::RangeChanged {
                     range: self.range,
                     value: self.range.high(),
                 });
                 fx.send(splitter, DsMsg::HandoffAck);
-                self.recheck_balance(events);
+                self.recheck_balance();
             }
             DeferredWrite::ApplyRedistribute {
                 items,
@@ -429,12 +399,12 @@ impl DataStoreState {
                 granter,
             } => {
                 for (mapped, item) in items {
-                    events.push(DsEvent::ItemStored { item: item.clone() });
+                    self.emit(DsEvent::ItemStored { item: item.clone() });
                     self.store.insert(mapped, item);
                 }
                 self.range = CircularRange::new(self.range.low(), new_boundary);
                 self.rebalancing = false;
-                events.push(DsEvent::RangeChanged {
+                self.emit(DsEvent::RangeChanged {
                     range: self.range,
                     value: self.range.high(),
                 });
@@ -444,16 +414,16 @@ impl DataStoreState {
                 let moving = CircularRange::new(self.range.low(), new_boundary);
                 let removed = self.store.take_range(&moving);
                 for (_, item) in &removed {
-                    events.push(DsEvent::ItemRemoved { item: item.id });
+                    self.emit(DsEvent::ItemRemoved { item: item.id });
                 }
                 self.range = CircularRange::new(new_boundary, self.range.high());
                 self.rebalancing = false;
-                events.push(DsEvent::RangeChanged {
+                self.emit(DsEvent::RangeChanged {
                     range: self.range,
                     value: self.range.high(),
                 });
-                self.unblock_item_writes(ctx, fx, events);
-                self.recheck_balance(events);
+                self.unblock_item_writes(ctx, fx);
+                self.recheck_balance();
             }
             DeferredWrite::ApplyMergeGrant {
                 range,
@@ -461,7 +431,7 @@ impl DataStoreState {
                 granter,
             } => {
                 for (mapped, item) in items {
-                    events.push(DsEvent::ItemStored { item: item.clone() });
+                    self.emit(DsEvent::ItemStored { item: item.clone() });
                     self.store.insert(mapped, item);
                 }
                 self.range = self
@@ -469,40 +439,35 @@ impl DataStoreState {
                     .merge_with_successor(&range)
                     .unwrap_or_else(|| CircularRange::new(self.range.low(), range.high()));
                 self.rebalancing = false;
-                events.push(DsEvent::RangeChanged {
+                self.emit(DsEvent::RangeChanged {
                     range: self.range,
                     value: self.range.high(),
                 });
-                events.push(DsEvent::AbsorbedSuccessor { granter });
+                self.emit(DsEvent::AbsorbedSuccessor { granter });
                 fx.send(granter, DsMsg::MergeGrantAck);
             }
             DeferredWrite::FinishMergeGive => {
                 let removed = self.store.drain_all();
                 for (_, item) in &removed {
-                    events.push(DsEvent::ItemRemoved { item: item.id });
+                    self.emit(DsEvent::ItemRemoved { item: item.id });
                 }
                 let anchor = self.range.high();
                 self.range = CircularRange::empty(anchor);
                 self.status = DsStatus::Free;
                 self.rebalancing = false;
                 self.merge_give_to = None;
-                events.push(DsEvent::BecameFree);
-                self.unblock_item_writes(ctx, fx, events);
+                self.emit(DsEvent::BecameFree);
+                self.unblock_item_writes(ctx, fx);
             }
         }
     }
 
     /// Re-dispatches item writes that were parked during a transfer.
-    fn unblock_item_writes(
-        &mut self,
-        ctx: LayerCtx,
-        fx: &mut Effects<DsMsg>,
-        events: &mut Vec<DsEvent>,
-    ) {
+    fn unblock_item_writes(&mut self, ctx: LayerCtx, fx: &mut Effects<DsMsg>) {
         self.item_writes_blocked = false;
         let parked = std::mem::take(&mut self.blocked_item_writes);
         for (from, msg) in parked {
-            self.handle(ctx, from, msg, fx, events);
+            self.dispatch(ctx, from, msg, fx);
         }
     }
 }
@@ -512,7 +477,7 @@ mod tests {
     use super::*;
     use crate::config::DsConfig;
     use crate::messages::QueryId;
-    use pepper_net::{Effect, SimTime};
+    use pepper_net::{Effect, ProtocolLayer, SimTime};
     use pepper_types::{Item, SearchKey};
 
     fn ctx(id: u64) -> LayerCtx {
@@ -538,8 +503,7 @@ mod tests {
     fn split_plan_and_handoff_roundtrip() {
         // sf = 2; 6 items overflow the peer.
         let mut q = live_peer(1, 0, 100, &[10, 20, 30, 40, 50, 60]);
-        let mut events = Vec::new();
-        q.check_overflow(&mut events);
+        q.check_overflow();
         assert!(q.is_rebalancing());
 
         let (new_value, boundary) = q.begin_split().unwrap();
@@ -562,15 +526,14 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         };
         assert_eq!(items.len(), 3); // 40, 50, 60 move
-        // Items are still at the splitter until the ack (copy-then-delete).
+                                    // Items are still at the splitter until the ack (copy-then-delete).
         assert_eq!(q.item_count(), 6);
 
         // The new peer installs and acks.
         let mut n = DataStoreState::new_free(PeerId(9), DsConfig::test());
         n.became_ring_member(PeerValue(100));
         let mut nfx = Effects::new();
-        let mut nev = Vec::new();
-        n.on_handoff_install(ctx(9), PeerId(1), range, items, &mut nfx, &mut nev);
+        n.on_handoff_install(ctx(9), PeerId(1), range, items, &mut nfx);
         assert_eq!(n.status(), DsStatus::Live);
         assert_eq!(n.item_count(), 3);
         assert_eq!(n.range(), CircularRange::new(30u64, 100u64));
@@ -581,7 +544,7 @@ mod tests {
 
         // The splitter completes on the ack.
         let mut qfx = Effects::new();
-        q.on_handoff_ack(ctx(1), &mut qfx, &mut events);
+        q.on_handoff_ack(ctx(1), &mut qfx);
         assert_eq!(q.item_count(), 3);
         assert_eq!(q.range(), CircularRange::new(0u64, 30u64));
         assert!(!q.is_rebalancing());
@@ -606,8 +569,7 @@ mod tests {
         let mut fx = Effects::new();
         let moved = q.send_handoff(ctx(1), PeerId(9), &mut fx).unwrap();
         assert_eq!(moved, CircularRange::new(20u64, 100u64));
-        let mut events = Vec::new();
-        q.on_handoff_ack(ctx(1), &mut fx, &mut events);
+        q.on_handoff_ack(ctx(1), &mut fx);
         assert_eq!(q.range(), CircularRange::new(100u64, 20u64));
         assert_eq!(q.item_count(), 2);
     }
@@ -623,8 +585,7 @@ mod tests {
     #[test]
     fn item_writes_are_parked_during_handoff() {
         let mut q = live_peer(1, 0, 100, &[10, 20, 30, 40, 50, 60]);
-        let mut events = Vec::new();
-        q.check_overflow(&mut events);
+        q.check_overflow();
         q.begin_split().unwrap();
         let mut fx = Effects::new();
         q.send_handoff(ctx(1), PeerId(9), &mut fx).unwrap();
@@ -639,7 +600,6 @@ mod tests {
                 reply_to: PeerId(5),
             },
             &mut fx2,
-            &mut events,
         );
         assert!(fx2.is_empty());
         assert_eq!(q.item_count(), 6);
@@ -647,7 +607,7 @@ mod tests {
         // After the ack the parked insert is re-dispatched; since 45 is now
         // outside the shrunk range it bounces back for re-routing.
         let mut fx3 = Effects::new();
-        q.on_handoff_ack(ctx(1), &mut fx3, &mut events);
+        q.on_handoff_ack(ctx(1), &mut fx3);
         assert!(fx3.iter().any(|e| matches!(
             e,
             Effect::Send { to, msg: DsMsg::NotResponsible { mapped: 45 } } if *to == PeerId(5)
@@ -662,8 +622,7 @@ mod tests {
         // 6 items. total = 7 > 2*sf = 4, so s redistributes.
         let mut q = live_peer(1, 0, 30, &[10]);
         let mut s = live_peer(2, 30, 100, &[40, 50, 60, 70, 80, 90]);
-        let mut events = Vec::new();
-        q.check_underflow(&mut events);
+        q.check_underflow();
         assert!(q.is_rebalancing());
 
         let mut fx = Effects::new();
@@ -682,8 +641,7 @@ mod tests {
         };
 
         let mut sfx = Effects::new();
-        let mut sev = Vec::new();
-        s.on_merge_request(ctx(2), PeerId(1), req_items, req_value, &mut sfx, &mut sev);
+        s.on_merge_request(ctx(2), PeerId(1), req_items, req_value, &mut sfx);
         let grant = sfx.drain().remove(0);
         let (items, new_boundary) = match grant {
             Effect::Send {
@@ -707,7 +665,7 @@ mod tests {
 
         // Requester installs and acks.
         let mut qfx = Effects::new();
-        q.on_redistribute_grant(ctx(1), PeerId(2), items, new_boundary, &mut qfx, &mut events);
+        q.on_redistribute_grant(ctx(1), PeerId(2), items, new_boundary, &mut qfx);
         assert_eq!(q.item_count(), 3);
         assert_eq!(q.range(), CircularRange::new(0u64, 50u64));
         assert!(!q.is_rebalancing());
@@ -718,7 +676,7 @@ mod tests {
 
         // Granter finishes.
         let mut sfx2 = Effects::new();
-        s.on_redistribute_ack(ctx(2), new_boundary, &mut sfx2, &mut sev);
+        s.on_redistribute_ack(ctx(2), new_boundary, &mut sfx2);
         assert_eq!(s.item_count(), 4);
         assert_eq!(s.range(), CircularRange::new(50u64, 100u64));
         assert!(!s.is_rebalancing());
@@ -729,13 +687,15 @@ mod tests {
         // total = 1 + 2 = 3 <= 2*sf = 4: full merge.
         let mut q = live_peer(1, 0, 30, &[10]);
         let mut s = live_peer(2, 30, 100, &[40, 90]);
-        let mut events = Vec::new();
         let mut fx = Effects::new();
 
-        s.on_merge_request(ctx(2), PeerId(1), 1, PeerValue(30), &mut fx, &mut events);
-        assert!(fx.is_empty(), "full merge defers the grant to the index layer");
+        s.on_merge_request(ctx(2), PeerId(1), 1, PeerValue(30), &mut fx);
+        assert!(
+            fx.is_empty(),
+            "full merge defers the grant to the index layer"
+        );
         assert!(matches!(
-            events[0],
+            s.drain_events()[0],
             DsEvent::MergeGiveStarted { to } if to == PeerId(1)
         ));
         assert!(s.is_rebalancing());
@@ -759,12 +719,12 @@ mod tests {
 
         // Requester absorbs.
         let mut qfx = Effects::new();
-        let mut qev = Vec::new();
         q.rebalancing = true;
-        q.on_merge_grant(ctx(1), PeerId(2), range, items, gvalue, &mut qfx, &mut qev);
+        q.on_merge_grant(ctx(1), PeerId(2), range, items, gvalue, &mut qfx);
         assert_eq!(q.range(), CircularRange::new(0u64, 100u64));
         assert_eq!(q.item_count(), 3);
-        assert!(qev
+        assert!(q
+            .drain_events()
             .iter()
             .any(|e| matches!(e, DsEvent::AbsorbedSuccessor { granter } if *granter == PeerId(2))));
         assert!(qfx.iter().any(|e| matches!(
@@ -773,12 +733,14 @@ mod tests {
         )));
 
         // Granter becomes free.
-        let mut sev2 = Vec::new();
         let mut sfx2 = Effects::new();
-        s.on_merge_grant_ack(ctx(2), &mut sfx2, &mut sev2);
+        s.on_merge_grant_ack(ctx(2), &mut sfx2);
         assert_eq!(s.status(), DsStatus::Free);
         assert_eq!(s.item_count(), 0);
-        assert!(sev2.iter().any(|e| matches!(e, DsEvent::BecameFree)));
+        assert!(s
+            .drain_events()
+            .iter()
+            .any(|e| matches!(e, DsEvent::BecameFree)));
     }
 
     #[test]
@@ -786,27 +748,37 @@ mod tests {
         let mut s = live_peer(2, 30, 100, &[40, 50, 60, 70, 80]);
         s.rebalancing = true;
         let mut fx = Effects::new();
-        let mut events = Vec::new();
-        s.on_merge_request(ctx(2), PeerId(1), 1, PeerValue(30), &mut fx, &mut events);
+        s.on_merge_request(ctx(2), PeerId(1), 1, PeerValue(30), &mut fx);
         assert!(fx.iter().any(|e| matches!(
             e,
-            Effect::Send { msg: DsMsg::MergeDeclined, .. }
+            Effect::Send {
+                msg: DsMsg::MergeDeclined,
+                ..
+            }
         )));
 
         let mut q = live_peer(1, 0, 30, &[10]);
         q.rebalancing = true;
         let mut qfx = Effects::new();
-        q.on_merge_declined(ctx(1), &mut qfx, &mut events);
+        q.on_merge_declined(ctx(1), &mut qfx);
         assert!(!q.is_rebalancing());
-        assert!(qfx.iter().any(|e| matches!(e, Effect::Timer { msg: DsMsg::RebalanceRetry, .. })));
+        assert!(qfx.iter().any(|e| matches!(
+            e,
+            Effect::Timer {
+                msg: DsMsg::RebalanceRetry,
+                ..
+            }
+        )));
     }
 
     #[test]
     fn rebalance_retry_rechecks_thresholds() {
         let mut q = live_peer(1, 0, 30, &[10]);
-        let mut events = Vec::new();
-        q.on_rebalance_retry(ctx(1), &mut events);
-        assert!(events.iter().any(|e| matches!(e, DsEvent::MergeNeeded { .. })));
+        q.on_rebalance_retry(ctx(1));
+        assert!(q
+            .drain_events()
+            .iter()
+            .any(|e| matches!(e, DsEvent::MergeNeeded { .. })));
     }
 
     #[test]
@@ -815,7 +787,6 @@ mod tests {
         q.rebalancing = true;
         q.acquire_scan_lock();
         let mut fx = Effects::new();
-        let mut events = Vec::new();
         q.on_merge_grant(
             ctx(1),
             PeerId(2),
@@ -823,14 +794,19 @@ mod tests {
             vec![(40, item(40))],
             PeerValue(100),
             &mut fx,
-            &mut events,
         );
         // Nothing applied, no ack sent while the scan lock is held.
         assert_eq!(q.range(), CircularRange::new(0u64, 30u64));
         assert!(fx.is_empty());
-        q.release_scan_lock(ctx(1), &mut fx, &mut events);
+        q.release_scan_lock(ctx(1), &mut fx);
         assert_eq!(q.range(), CircularRange::new(0u64, 100u64));
-        assert!(fx.iter().any(|e| matches!(e, Effect::Send { msg: DsMsg::MergeGrantAck, .. })));
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            Effect::Send {
+                msg: DsMsg::MergeGrantAck,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -840,7 +816,13 @@ mod tests {
         let mut fx = Effects::new();
         q.cancel_rebalance(&mut fx);
         assert!(!q.is_rebalancing());
-        assert!(fx.iter().any(|e| matches!(e, Effect::Timer { msg: DsMsg::RebalanceRetry, .. })));
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            Effect::Timer {
+                msg: DsMsg::RebalanceRetry,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -848,9 +830,14 @@ mod tests {
         let mut s = DataStoreState::new_first(PeerId(2), PeerValue(100), DsConfig::test());
         s.store.insert(40, item(40));
         let mut fx = Effects::new();
-        let mut events = Vec::new();
-        s.on_merge_request(ctx(2), PeerId(1), 0, PeerValue(30), &mut fx, &mut events);
-        assert!(fx.iter().any(|e| matches!(e, Effect::Send { msg: DsMsg::MergeDeclined, .. })));
+        s.on_merge_request(ctx(2), PeerId(1), 0, PeerValue(30), &mut fx);
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            Effect::Send {
+                msg: DsMsg::MergeDeclined,
+                ..
+            }
+        )));
     }
 
     #[test]

@@ -42,7 +42,6 @@ impl DataStoreState {
     }
 
     /// One hop of the PEPPER `scanRange`.
-    #[allow(clippy::too_many_arguments)]
     pub(crate) fn on_scan_step(
         &mut self,
         ctx: LayerCtx,
@@ -51,7 +50,6 @@ impl DataStoreState {
         prev: Option<PeerId>,
         hop: u32,
         fx: &mut Effects<DsMsg>,
-        events: &mut Vec<DsEvent>,
     ) {
         if self.status != DsStatus::Live {
             if prev.is_none() {
@@ -85,7 +83,7 @@ impl DataStoreState {
 
         if self.range.contains(interval.hi()) || hop >= MAX_SCAN_HOPS {
             fx.send(query.origin, DsMsg::ScanDone { query, hops: hop });
-            self.release_scan_lock(ctx, fx, events);
+            self.release_scan_lock(ctx, fx);
             return;
         }
 
@@ -121,7 +119,7 @@ impl DataStoreState {
             }
             _ => {
                 fx.send(query.origin, DsMsg::ScanFailed { query });
-                self.release_scan_lock(ctx, fx, events);
+                self.release_scan_lock(ctx, fx);
             }
         }
     }
@@ -132,10 +130,9 @@ impl DataStoreState {
         ctx: LayerCtx,
         query: QueryId,
         fx: &mut Effects<DsMsg>,
-        events: &mut Vec<DsEvent>,
     ) {
         if self.pending_forwards.remove(&query).is_some() {
-            self.release_scan_lock(ctx, fx, events);
+            self.release_scan_lock(ctx, fx);
         }
     }
 
@@ -148,7 +145,6 @@ impl DataStoreState {
         target: PeerId,
         attempt: usize,
         fx: &mut Effects<DsMsg>,
-        events: &mut Vec<DsEvent>,
     ) {
         let Some(pending) = self.pending_forwards.get(&query) else {
             return;
@@ -194,27 +190,22 @@ impl DataStoreState {
             _ => {
                 self.pending_forwards.remove(&query);
                 fx.send(query.origin, DsMsg::ScanFailed { query });
-                self.release_scan_lock(ctx, fx, events);
+                self.release_scan_lock(ctx, fx);
             }
         }
     }
 
     /// The first peer rejected the scan (stale routing): ask the index layer
     /// to re-route, or finalize after too many attempts.
-    pub(crate) fn on_scan_rejected(
-        &mut self,
-        ctx: LayerCtx,
-        query: QueryId,
-        events: &mut Vec<DsEvent>,
-    ) {
+    pub(crate) fn on_scan_rejected(&mut self, ctx: LayerCtx, query: QueryId) {
         let Some(progress) = self.queries.get_mut(&query) else {
             return;
         };
         progress.reroutes += 1;
         if progress.reroutes > MAX_SCAN_REROUTES {
-            self.finalize_query(ctx, query, events);
+            self.finalize_query(ctx, query);
         } else {
-            events.push(DsEvent::QueryRejected { query });
+            self.emit(DsEvent::QueryRejected { query });
         }
     }
 
@@ -226,7 +217,6 @@ impl DataStoreState {
         interval: KeyInterval,
         hop: u32,
         fx: &mut Effects<DsMsg>,
-        _events: &mut Vec<DsEvent>,
     ) {
         if self.status != DsStatus::Live {
             // The naive scan has no recovery: the origin's timeout finalizes
@@ -280,17 +270,11 @@ impl DataStoreState {
     }
 
     /// Scan completion arriving at the query origin.
-    pub(crate) fn on_scan_done(
-        &mut self,
-        ctx: LayerCtx,
-        query: QueryId,
-        hops: u32,
-        events: &mut Vec<DsEvent>,
-    ) {
+    pub(crate) fn on_scan_done(&mut self, ctx: LayerCtx, query: QueryId, hops: u32) {
         if let Some(progress) = self.queries.get_mut(&query) {
             progress.hops = progress.hops.max(hops);
         }
-        self.finalize_query(ctx, query, events);
+        self.finalize_query(ctx, query);
     }
 }
 
@@ -299,7 +283,7 @@ mod tests {
     use super::*;
     use crate::config::DsConfig;
     use crate::state::DeferredWrite;
-    use pepper_net::{Effect, SimTime};
+    use pepper_net::{Effect, ProtocolLayer, SimTime};
     use pepper_types::{CircularRange, PeerValue, SearchKey};
 
     fn ctx(id: u64) -> LayerCtx {
@@ -330,9 +314,8 @@ mod tests {
     fn single_peer_scan_completes_in_zero_hops() {
         let mut p = live_peer(1, 0, 100, &[10, 20, 30]);
         let mut fx = Effects::new();
-        let mut events = Vec::new();
         let interval = KeyInterval::new(15, 35).unwrap();
-        p.on_scan_step(ctx(1), qid(9, 0), interval, None, 0, &mut fx, &mut events);
+        p.on_scan_step(ctx(1), qid(9, 0), interval, None, 0, &mut fx);
         let effects = fx.drain();
         // Result with items 20 and 30, then done; the lock is released.
         let result_items: Vec<u64> = effects
@@ -346,9 +329,13 @@ mod tests {
             })
             .unwrap();
         assert_eq!(result_items, vec![20, 30]);
-        assert!(effects
-            .iter()
-            .any(|e| matches!(e, Effect::Send { msg: DsMsg::ScanDone { hops: 0, .. }, .. })));
+        assert!(effects.iter().any(|e| matches!(
+            e,
+            Effect::Send {
+                msg: DsMsg::ScanDone { hops: 0, .. },
+                ..
+            }
+        )));
         assert_eq!(p.scan_locks(), 0);
     }
 
@@ -356,9 +343,8 @@ mod tests {
     fn first_peer_rejects_when_not_owner_of_lower_bound() {
         let mut p = live_peer(1, 50, 100, &[60]);
         let mut fx = Effects::new();
-        let mut events = Vec::new();
         let interval = KeyInterval::new(10, 70).unwrap();
-        p.on_scan_step(ctx(1), qid(9, 0), interval, None, 0, &mut fx, &mut events);
+        p.on_scan_step(ctx(1), qid(9, 0), interval, None, 0, &mut fx);
         assert!(fx.iter().any(|e| matches!(
             e,
             Effect::Send { to, msg: DsMsg::ScanRejected { .. } } if *to == PeerId(9)
@@ -371,9 +357,8 @@ mod tests {
         let mut p = live_peer(1, 0, 50, &[10, 40]);
         p.set_successor(PeerId(2), PeerValue(100));
         let mut fx = Effects::new();
-        let mut events = Vec::new();
         let interval = KeyInterval::new(5, 90).unwrap();
-        p.on_scan_step(ctx(1), qid(9, 3), interval, None, 0, &mut fx, &mut events);
+        p.on_scan_step(ctx(1), qid(9, 3), interval, None, 0, &mut fx);
         let effects = fx.drain();
         // Forwarded to the successor with hop + 1 and prev = self.
         assert!(effects.iter().any(|e| matches!(
@@ -384,12 +369,15 @@ mod tests {
         // A hand-off timeout guard was armed and the lock is still held.
         assert!(effects.iter().any(|e| matches!(
             e,
-            Effect::Timer { msg: DsMsg::ScanForwardTimeout { .. }, .. }
+            Effect::Timer {
+                msg: DsMsg::ScanForwardTimeout { .. },
+                ..
+            }
         )));
         assert_eq!(p.scan_locks(), 1);
 
         // The successor acknowledges: the lock is released.
-        p.on_scan_step_ack(ctx(1), qid(9, 3), &mut fx, &mut events);
+        p.on_scan_step_ack(ctx(1), qid(9, 3), &mut fx);
         assert_eq!(p.scan_locks(), 0);
     }
 
@@ -397,17 +385,8 @@ mod tests {
     fn forwarded_step_acknowledges_previous_hop() {
         let mut p2 = live_peer(2, 50, 100, &[60, 90]);
         let mut fx = Effects::new();
-        let mut events = Vec::new();
         let interval = KeyInterval::new(5, 90).unwrap();
-        p2.on_scan_step(
-            ctx(2),
-            qid(9, 3),
-            interval,
-            Some(PeerId(1)),
-            1,
-            &mut fx,
-            &mut events,
-        );
+        p2.on_scan_step(ctx(2), qid(9, 3), interval, Some(PeerId(1)), 1, &mut fx);
         let effects = fx.drain();
         assert!(effects.iter().any(|e| matches!(
             e,
@@ -416,7 +395,10 @@ mod tests {
         // 90 is in p2's range: the scan is done there.
         assert!(effects.iter().any(|e| matches!(
             e,
-            Effect::Send { msg: DsMsg::ScanDone { hops: 1, .. }, .. }
+            Effect::Send {
+                msg: DsMsg::ScanDone { hops: 1, .. },
+                ..
+            }
         )));
         assert_eq!(p2.scan_locks(), 0);
     }
@@ -429,9 +411,8 @@ mod tests {
         p.set_successor(PeerId(2), PeerValue(100));
         p.rebalancing = true;
         let mut fx = Effects::new();
-        let mut events = Vec::new();
         let interval = KeyInterval::new(5, 90).unwrap();
-        p.on_scan_step(ctx(1), qid(9, 0), interval, None, 0, &mut fx, &mut events);
+        p.on_scan_step(ctx(1), qid(9, 0), interval, None, 0, &mut fx);
         assert_eq!(p.scan_locks(), 1);
 
         p.write_or_defer(
@@ -442,11 +423,10 @@ mod tests {
                 granter: PeerId(2),
             },
             &mut fx,
-            &mut events,
         );
         assert_eq!(p.range(), CircularRange::new(0u64, 50u64));
         // Ack from the successor releases the lock and applies the change.
-        p.on_scan_step_ack(ctx(1), qid(9, 0), &mut fx, &mut events);
+        p.on_scan_step_ack(ctx(1), qid(9, 0), &mut fx);
         assert_eq!(p.range(), CircularRange::new(0u64, 60u64));
         assert!(p.store.contains(60));
     }
@@ -456,15 +436,14 @@ mod tests {
         let mut p = live_peer(1, 0, 50, &[10]);
         p.set_successor(PeerId(2), PeerValue(100));
         let mut fx = Effects::new();
-        let mut events = Vec::new();
         let interval = KeyInterval::new(5, 90).unwrap();
-        p.on_scan_step(ctx(1), qid(9, 0), interval, None, 0, &mut fx, &mut events);
+        p.on_scan_step(ctx(1), qid(9, 0), interval, None, 0, &mut fx);
         fx.drain();
 
         // First timeout: the successor has changed (failure handled by the
         // ring); the scan is re-forwarded to the new successor.
         p.set_successor(PeerId(3), PeerValue(100));
-        p.on_scan_forward_timeout(ctx(1), qid(9, 0), PeerId(2), 1, &mut fx, &mut events);
+        p.on_scan_forward_timeout(ctx(1), qid(9, 0), PeerId(2), 1, &mut fx);
         let effects = fx.drain();
         assert!(effects.iter().any(|e| matches!(
             e,
@@ -473,7 +452,7 @@ mod tests {
         assert_eq!(p.scan_locks(), 1);
 
         // Exhausting the retries reports failure and releases the lock.
-        p.on_scan_forward_timeout(ctx(1), qid(9, 0), PeerId(3), 2, &mut fx, &mut events);
+        p.on_scan_forward_timeout(ctx(1), qid(9, 0), PeerId(3), 2, &mut fx);
         let effects = fx.drain();
         assert!(effects.iter().any(|e| matches!(
             e,
@@ -482,7 +461,7 @@ mod tests {
         assert_eq!(p.scan_locks(), 0);
 
         // A stale timeout afterwards is ignored.
-        p.on_scan_forward_timeout(ctx(1), qid(9, 0), PeerId(3), 2, &mut fx, &mut events);
+        p.on_scan_forward_timeout(ctx(1), qid(9, 0), PeerId(3), 2, &mut fx);
         assert_eq!(p.scan_locks(), 0);
     }
 
@@ -491,13 +470,15 @@ mod tests {
         let mut p = live_peer(1, 0, 50, &[10, 40]);
         p.set_successor(PeerId(2), PeerValue(100));
         let mut fx = Effects::new();
-        let mut events = Vec::new();
         let interval = KeyInterval::new(5, 90).unwrap();
-        p.on_naive_scan_step(ctx(1), qid(9, 0), interval, 0, &mut fx, &mut events);
+        p.on_naive_scan_step(ctx(1), qid(9, 0), interval, 0, &mut fx);
         let effects = fx.drain();
         assert!(effects.iter().any(|e| matches!(
             e,
-            Effect::Send { msg: DsMsg::ScanResult { .. }, .. }
+            Effect::Send {
+                msg: DsMsg::ScanResult { .. },
+                ..
+            }
         )));
         assert!(effects.iter().any(|e| matches!(
             e,
@@ -511,24 +492,31 @@ mod tests {
         let mut issuer = live_peer(9, 0, 100, &[]);
         let mut fx = Effects::new();
         let (id, _) = issuer
-            .register_query(ctx(9), pepper_types::RangeQuery::closed(10u64, 20u64), &mut fx)
+            .register_query(
+                ctx(9),
+                pepper_types::RangeQuery::closed(10u64, 20u64),
+                &mut fx,
+            )
             .unwrap();
-        let mut events = Vec::new();
         for _ in 0..MAX_SCAN_REROUTES {
-            issuer.on_scan_rejected(ctx(9), id, &mut events);
+            issuer.on_scan_rejected(ctx(9), id);
         }
         assert_eq!(
-            events
+            issuer
+                .drain_events()
                 .iter()
                 .filter(|e| matches!(e, DsEvent::QueryRejected { .. }))
                 .count(),
             MAX_SCAN_REROUTES as usize
         );
         // One more rejection finalizes the query as incomplete.
-        issuer.on_scan_rejected(ctx(9), id, &mut events);
-        assert!(events.iter().any(|e| matches!(
+        issuer.on_scan_rejected(ctx(9), id);
+        assert!(issuer.drain_events().iter().any(|e| matches!(
             e,
-            DsEvent::QueryCompleted { complete: false, .. }
+            DsEvent::QueryCompleted {
+                complete: false,
+                ..
+            }
         )));
         assert_eq!(issuer.open_queries(), 0);
     }
@@ -538,7 +526,11 @@ mod tests {
         let mut issuer = live_peer(9, 0, 100, &[]);
         let mut fx = Effects::new();
         let (id, _) = issuer
-            .register_query(ctx(9), pepper_types::RangeQuery::closed(10u64, 60u64), &mut fx)
+            .register_query(
+                ctx(9),
+                pepper_types::RangeQuery::closed(10u64, 60u64),
+                &mut fx,
+            )
             .unwrap();
         issuer.on_scan_result(
             id,
@@ -552,9 +544,8 @@ mod tests {
             vec![KeyInterval::new(31, 60).unwrap()],
             1,
         );
-        let mut events = Vec::new();
-        issuer.on_scan_done(ctx(9), id, 1, &mut events);
-        match &events[0] {
+        issuer.on_scan_done(ctx(9), id, 1);
+        match &issuer.drain_events()[0] {
             DsEvent::QueryCompleted {
                 items,
                 hops,
@@ -562,7 +553,10 @@ mod tests {
                 ..
             } => {
                 // Duplicates are removed, items sorted by key.
-                assert_eq!(items.iter().map(|i| i.skv.raw()).collect::<Vec<_>>(), vec![15, 45]);
+                assert_eq!(
+                    items.iter().map(|i| i.skv.raw()).collect::<Vec<_>>(),
+                    vec![15, 45]
+                );
                 assert_eq!(*hops, 1);
                 assert!(complete);
             }
@@ -575,16 +569,27 @@ mod tests {
         let mut issuer = live_peer(9, 0, 100, &[]);
         let mut fx = Effects::new();
         let (id, _) = issuer
-            .register_query(ctx(9), pepper_types::RangeQuery::closed(10u64, 60u64), &mut fx)
+            .register_query(
+                ctx(9),
+                pepper_types::RangeQuery::closed(10u64, 60u64),
+                &mut fx,
+            )
             .unwrap();
-        issuer.on_scan_result(id, vec![item(15)], vec![KeyInterval::new(10, 30).unwrap()], 0);
-        let mut events = Vec::new();
+        issuer.on_scan_result(
+            id,
+            vec![item(15)],
+            vec![KeyInterval::new(10, 30).unwrap()],
+            0,
+        );
         // The scan "finished" but a sub-range was skipped (naive scan over an
         // inconsistent ring): completeness is false.
-        issuer.on_scan_done(ctx(9), id, 2, &mut events);
-        assert!(events.iter().any(|e| matches!(
+        issuer.on_scan_done(ctx(9), id, 2);
+        assert!(issuer.drain_events().iter().any(|e| matches!(
             e,
-            DsEvent::QueryCompleted { complete: false, .. }
+            DsEvent::QueryCompleted {
+                complete: false,
+                ..
+            }
         )));
     }
 
@@ -592,25 +597,19 @@ mod tests {
     fn scan_step_on_free_peer_is_dropped_or_rejected() {
         let mut free = DataStoreState::new_free(PeerId(3), DsConfig::test());
         let mut fx = Effects::new();
-        let mut events = Vec::new();
         let interval = KeyInterval::new(5, 90).unwrap();
         // First hop: rejected back to the origin.
-        free.on_scan_step(ctx(3), qid(9, 0), interval, None, 0, &mut fx, &mut events);
+        free.on_scan_step(ctx(3), qid(9, 0), interval, None, 0, &mut fx);
         assert!(fx.iter().any(|e| matches!(
             e,
-            Effect::Send { msg: DsMsg::ScanRejected { .. }, .. }
+            Effect::Send {
+                msg: DsMsg::ScanRejected { .. },
+                ..
+            }
         )));
         // Forwarded hop: silently dropped (recovered by the sender timeout).
         let mut fx2 = Effects::new();
-        free.on_scan_step(
-            ctx(3),
-            qid(9, 0),
-            interval,
-            Some(PeerId(1)),
-            1,
-            &mut fx2,
-            &mut events,
-        );
+        free.on_scan_step(ctx(3), qid(9, 0), interval, Some(PeerId(1)), 1, &mut fx2);
         assert!(fx2.is_empty());
     }
 
@@ -618,14 +617,12 @@ mod tests {
     fn naive_scan_on_departed_peer_is_silently_lost() {
         let mut free = DataStoreState::new_free(PeerId(3), DsConfig::test_naive());
         let mut fx = Effects::new();
-        let mut events = Vec::new();
         free.on_naive_scan_step(
             ctx(3),
             qid(9, 0),
             KeyInterval::new(5, 90).unwrap(),
             1,
             &mut fx,
-            &mut events,
         );
         assert!(fx.is_empty());
     }

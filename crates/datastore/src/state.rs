@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 use std::time::Duration;
 
-use pepper_net::{Effects, LayerCtx, SimTime};
+use pepper_net::{Effects, LayerCtx, ProtocolLayer, SimTime};
 use pepper_types::{CircularRange, Item, KeyInterval, PeerId, PeerValue, RangeQuery};
 
 use crate::config::DsConfig;
@@ -127,6 +127,9 @@ pub struct DataStoreState {
     /// item can land in (or vanish from) the sub-range that is moving.
     pub(crate) item_writes_blocked: bool,
     pub(crate) blocked_item_writes: Vec<(PeerId, DsMsg)>,
+    /// Events buffered for the composed peer, drained through
+    /// [`ProtocolLayer::drain_events`].
+    pub(crate) events: Vec<DsEvent>,
 }
 
 impl DataStoreState {
@@ -150,6 +153,7 @@ impl DataStoreState {
             pending_split: None,
             item_writes_blocked: false,
             blocked_item_writes: Vec::new(),
+            events: Vec::new(),
         }
     }
 
@@ -172,7 +176,13 @@ impl DataStoreState {
             pending_split: None,
             item_writes_blocked: false,
             blocked_item_writes: Vec::new(),
+            events: Vec::new(),
         }
+    }
+
+    /// Buffers an event for the composed peer.
+    pub(crate) fn emit(&mut self, event: DsEvent) {
+        self.events.push(event);
     }
 
     // ------------------------------------------------------------------
@@ -277,11 +287,7 @@ impl DataStoreState {
     ///
     /// Returns the newly acquired sub-range (to be revived from replicas), if
     /// the range actually grew.
-    pub fn extend_low_to(
-        &mut self,
-        pred_value: PeerValue,
-        events: &mut Vec<DsEvent>,
-    ) -> Option<CircularRange> {
+    pub fn extend_low_to(&mut self, pred_value: PeerValue) -> Option<CircularRange> {
         if self.status != DsStatus::Live || self.range.is_full() {
             return None;
         }
@@ -304,7 +310,7 @@ impl DataStoreState {
             return None;
         }
         self.range = CircularRange::new(pred_value, current.high());
-        events.push(DsEvent::RangeChanged {
+        self.emit(DsEvent::RangeChanged {
             range: self.range,
             value: self.range.high(),
         });
@@ -312,10 +318,10 @@ impl DataStoreState {
     }
 
     /// Inserts items revived from replicas (after a predecessor failure).
-    pub fn install_revived(&mut self, items: Vec<(u64, Item)>, events: &mut Vec<DsEvent>) {
+    pub fn install_revived(&mut self, items: Vec<(u64, Item)>) {
         for (mapped, item) in items {
             if self.range.contains(mapped) && !self.store.contains(mapped) {
-                events.push(DsEvent::ItemStored { item: item.clone() });
+                self.emit(DsEvent::ItemStored { item: item.clone() });
                 self.store.insert(mapped, item);
             }
         }
@@ -329,16 +335,11 @@ impl DataStoreState {
         self.scan_locks += 1;
     }
 
-    pub(crate) fn release_scan_lock(
-        &mut self,
-        ctx: LayerCtx,
-        fx: &mut Effects<DsMsg>,
-        events: &mut Vec<DsEvent>,
-    ) {
+    pub(crate) fn release_scan_lock(&mut self, ctx: LayerCtx, fx: &mut Effects<DsMsg>) {
         debug_assert!(self.scan_locks > 0, "releasing a lock that is not held");
         self.scan_locks = self.scan_locks.saturating_sub(1);
         if self.scan_locks == 0 {
-            self.apply_deferred(ctx, fx, events);
+            self.apply_deferred(ctx, fx);
         }
     }
 
@@ -350,24 +351,18 @@ impl DataStoreState {
         ctx: LayerCtx,
         write: DeferredWrite,
         fx: &mut Effects<DsMsg>,
-        events: &mut Vec<DsEvent>,
     ) {
         if self.scan_locks > 0 {
             self.deferred.push(write);
         } else {
-            self.apply_write(ctx, write, fx, events);
+            self.apply_write(ctx, write, fx);
         }
     }
 
-    pub(crate) fn apply_deferred(
-        &mut self,
-        ctx: LayerCtx,
-        fx: &mut Effects<DsMsg>,
-        events: &mut Vec<DsEvent>,
-    ) {
+    pub(crate) fn apply_deferred(&mut self, ctx: LayerCtx, fx: &mut Effects<DsMsg>) {
         let pending = std::mem::take(&mut self.deferred);
         for write in pending {
-            self.apply_write(ctx, write, fx, events);
+            self.apply_write(ctx, write, fx);
         }
     }
 
@@ -381,7 +376,6 @@ impl DataStoreState {
         item: Item,
         reply_to: PeerId,
         fx: &mut Effects<DsMsg>,
-        events: &mut Vec<DsEvent>,
     ) {
         if self.item_writes_blocked {
             self.blocked_item_writes
@@ -393,10 +387,10 @@ impl DataStoreState {
             fx.send(reply_to, DsMsg::NotResponsible { mapped });
             return;
         }
-        events.push(DsEvent::ItemStored { item: item.clone() });
+        self.emit(DsEvent::ItemStored { item: item.clone() });
         fx.send(reply_to, DsMsg::InsertItemAck { item: item.id });
         self.store.insert(mapped, item);
-        self.check_overflow(events);
+        self.check_overflow();
     }
 
     fn on_delete_item(
@@ -405,7 +399,6 @@ impl DataStoreState {
         mapped: u64,
         reply_to: PeerId,
         fx: &mut Effects<DsMsg>,
-        events: &mut Vec<DsEvent>,
     ) {
         if self.item_writes_blocked {
             self.blocked_item_writes
@@ -418,7 +411,7 @@ impl DataStoreState {
         }
         let removed = self.store.remove(mapped);
         if let Some(item) = &removed {
-            events.push(DsEvent::ItemRemoved { item: item.id });
+            self.emit(DsEvent::ItemRemoved { item: item.id });
         }
         fx.send(
             reply_to,
@@ -427,7 +420,7 @@ impl DataStoreState {
                 found: removed.is_some(),
             },
         );
-        self.check_underflow(events);
+        self.check_underflow();
     }
 
     // ------------------------------------------------------------------
@@ -469,12 +462,7 @@ impl DataStoreState {
         Some((id, interval))
     }
 
-    pub(crate) fn finalize_query(
-        &mut self,
-        ctx: LayerCtx,
-        query: QueryId,
-        events: &mut Vec<DsEvent>,
-    ) {
+    pub(crate) fn finalize_query(&mut self, ctx: LayerCtx, query: QueryId) {
         let Some(progress) = self.queries.remove(&query) else {
             return;
         };
@@ -482,7 +470,7 @@ impl DataStoreState {
         let mut items = progress.items;
         items.sort_by_key(|i| i.skv);
         items.dedup_by_key(|i| i.id);
-        events.push(DsEvent::QueryCompleted {
+        self.emit(DsEvent::QueryCompleted {
             query,
             items,
             hops: progress.hops,
@@ -495,79 +483,95 @@ impl DataStoreState {
     // dispatch
     // ------------------------------------------------------------------
 
-    /// Handles a Data Store message.
-    pub fn handle(
+    /// Dispatches one Data Store message. Also re-entered by
+    /// [`DataStoreState::unblock_item_writes`] when parked writes resume.
+    pub(crate) fn dispatch(
         &mut self,
         ctx: LayerCtx,
         from: PeerId,
         msg: DsMsg,
         fx: &mut Effects<DsMsg>,
-        events: &mut Vec<DsEvent>,
     ) {
         match msg {
-            DsMsg::InsertItem { item, reply_to } => {
-                self.on_insert_item(ctx, item, reply_to, fx, events)
-            }
-            DsMsg::InsertItemAck { item } => events.push(DsEvent::InsertAcked { item }),
+            DsMsg::InsertItem { item, reply_to } => self.on_insert_item(ctx, item, reply_to, fx),
+            DsMsg::InsertItemAck { item } => self.emit(DsEvent::InsertAcked { item }),
             DsMsg::DeleteItem { mapped, reply_to } => {
-                self.on_delete_item(ctx, mapped, reply_to, fx, events)
+                self.on_delete_item(ctx, mapped, reply_to, fx)
             }
             DsMsg::DeleteItemAck { mapped, found } => {
-                events.push(DsEvent::DeleteAcked { mapped, found })
+                self.emit(DsEvent::DeleteAcked { mapped, found })
             }
-            DsMsg::NotResponsible { mapped } => events.push(DsEvent::Rerouted { mapped }),
+            DsMsg::NotResponsible { mapped } => self.emit(DsEvent::Rerouted { mapped }),
 
             DsMsg::ScanStep {
                 query,
                 interval,
                 prev,
                 hop,
-            } => self.on_scan_step(ctx, query, interval, prev, hop, fx, events),
-            DsMsg::ScanStepAck { query } => self.on_scan_step_ack(ctx, query, fx, events),
+            } => self.on_scan_step(ctx, query, interval, prev, hop, fx),
+            DsMsg::ScanStepAck { query } => self.on_scan_step_ack(ctx, query, fx),
             DsMsg::ScanForwardTimeout {
                 query,
                 target,
                 attempt,
-            } => self.on_scan_forward_timeout(ctx, query, target, attempt, fx, events),
-            DsMsg::ScanRejected { query } => self.on_scan_rejected(ctx, query, events),
+            } => self.on_scan_forward_timeout(ctx, query, target, attempt, fx),
+            DsMsg::ScanRejected { query } => self.on_scan_rejected(ctx, query),
             DsMsg::NaiveScanStep {
                 query,
                 interval,
                 hop,
-            } => self.on_naive_scan_step(ctx, query, interval, hop, fx, events),
+            } => self.on_naive_scan_step(ctx, query, interval, hop, fx),
             DsMsg::ScanResult {
                 query,
                 items,
                 covered,
                 hop,
             } => self.on_scan_result(query, items, covered, hop),
-            DsMsg::ScanDone { query, hops } => self.on_scan_done(ctx, query, hops, events),
-            DsMsg::ScanFailed { query } => self.finalize_query(ctx, query, events),
+            DsMsg::ScanDone { query, hops } => self.on_scan_done(ctx, query, hops),
+            DsMsg::ScanFailed { query } => self.finalize_query(ctx, query),
 
             DsMsg::HandoffInstall { range, items } => {
-                self.on_handoff_install(ctx, from, range, items, fx, events)
+                self.on_handoff_install(ctx, from, range, items, fx)
             }
-            DsMsg::HandoffAck => self.on_handoff_ack(ctx, fx, events),
+            DsMsg::HandoffAck => self.on_handoff_ack(ctx, fx),
             DsMsg::MergeRequest {
                 requester_items,
                 requester_value,
-            } => self.on_merge_request(ctx, from, requester_items, requester_value, fx, events),
+            } => self.on_merge_request(ctx, from, requester_items, requester_value, fx),
             DsMsg::RedistributeGrant {
                 items,
                 new_boundary,
-            } => self.on_redistribute_grant(ctx, from, items, new_boundary, fx, events),
+            } => self.on_redistribute_grant(ctx, from, items, new_boundary, fx),
             DsMsg::RedistributeAck { new_boundary } => {
-                self.on_redistribute_ack(ctx, new_boundary, fx, events)
+                self.on_redistribute_ack(ctx, new_boundary, fx)
             }
             DsMsg::MergeGrant {
                 range,
                 items,
                 granter_value,
-            } => self.on_merge_grant(ctx, from, range, items, granter_value, fx, events),
-            DsMsg::MergeGrantAck => self.on_merge_grant_ack(ctx, fx, events),
-            DsMsg::MergeDeclined => self.on_merge_declined(ctx, fx, events),
-            DsMsg::RebalanceRetry => self.on_rebalance_retry(ctx, events),
+            } => self.on_merge_grant(ctx, from, range, items, granter_value, fx),
+            DsMsg::MergeGrantAck => self.on_merge_grant_ack(ctx, fx),
+            DsMsg::MergeDeclined => self.on_merge_declined(ctx, fx),
+            DsMsg::RebalanceRetry => self.on_rebalance_retry(ctx),
         }
+    }
+}
+
+impl ProtocolLayer for DataStoreState {
+    type Msg = DsMsg;
+    type Event = DsEvent;
+
+    /// The Data Store has no periodic protocol of its own; its only timers
+    /// (scan-forward timeouts, rebalance retries, query deadlines) are armed
+    /// by the handlers that need them.
+    fn start_timers(&mut self, _ctx: LayerCtx, _fx: &mut Effects<DsMsg>) {}
+
+    fn handle(&mut self, ctx: LayerCtx, from: PeerId, msg: DsMsg, fx: &mut Effects<DsMsg>) {
+        self.dispatch(ctx, from, msg, fx);
+    }
+
+    fn drain_events(&mut self) -> Vec<DsEvent> {
+        std::mem::take(&mut self.events)
     }
 }
 
@@ -607,6 +611,17 @@ mod tests {
     use super::*;
     use pepper_types::SearchKey;
 
+    fn handle(
+        ds: &mut DataStoreState,
+        ctx: LayerCtx,
+        from: PeerId,
+        msg: DsMsg,
+        fx: &mut Effects<DsMsg>,
+    ) -> Vec<DsEvent> {
+        ProtocolLayer::handle(ds, ctx, from, msg, fx);
+        ds.drain_events()
+    }
+
     fn ctx(id: u64) -> LayerCtx {
         LayerCtx::new(PeerId(id), SimTime::from_secs(1))
     }
@@ -644,8 +659,8 @@ mod tests {
     fn insert_stores_and_acks() {
         let mut ds = live_peer(1, 0, 100, &[]);
         let mut fx = Effects::new();
-        let mut events = Vec::new();
-        ds.handle(
+        let events = handle(
+            &mut ds,
             ctx(1),
             PeerId(9),
             DsMsg::InsertItem {
@@ -653,10 +668,11 @@ mod tests {
                 reply_to: PeerId(9),
             },
             &mut fx,
-            &mut events,
         );
         assert_eq!(ds.item_count(), 1);
-        assert!(events.iter().any(|e| matches!(e, DsEvent::ItemStored { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, DsEvent::ItemStored { .. })));
         assert!(fx.iter().any(|e| matches!(
             e,
             pepper_net::Effect::Send { to, msg: DsMsg::InsertItemAck { .. } } if *to == PeerId(9)
@@ -667,8 +683,8 @@ mod tests {
     fn insert_outside_range_bounces() {
         let mut ds = live_peer(1, 0, 100, &[]);
         let mut fx = Effects::new();
-        let mut events = Vec::new();
-        ds.handle(
+        handle(
+            &mut ds,
             ctx(1),
             PeerId(9),
             DsMsg::InsertItem {
@@ -676,12 +692,14 @@ mod tests {
                 reply_to: PeerId(9),
             },
             &mut fx,
-            &mut events,
         );
         assert_eq!(ds.item_count(), 0);
         assert!(fx.iter().any(|e| matches!(
             e,
-            pepper_net::Effect::Send { msg: DsMsg::NotResponsible { mapped: 500 }, .. }
+            pepper_net::Effect::Send {
+                msg: DsMsg::NotResponsible { mapped: 500 },
+                ..
+            }
         )));
     }
 
@@ -692,7 +710,8 @@ mod tests {
         let mut events = Vec::new();
         // sf = 2, overflow threshold = 4: the 5th item triggers the event.
         for k in 1..=5u64 {
-            ds.handle(
+            events.extend(handle(
+                &mut ds,
                 ctx(1),
                 PeerId(9),
                 DsMsg::InsertItem {
@@ -700,8 +719,7 @@ mod tests {
                     reply_to: PeerId(9),
                 },
                 &mut fx,
-                &mut events,
-            );
+            ));
         }
         let splits = events
             .iter()
@@ -715,8 +733,8 @@ mod tests {
     fn delete_removes_and_may_trigger_merge() {
         let mut ds = live_peer(1, 0, 100, &[10, 20, 30]);
         let mut fx = Effects::new();
-        let mut events = Vec::new();
-        ds.handle(
+        handle(
+            &mut ds,
             ctx(1),
             PeerId(9),
             DsMsg::DeleteItem {
@@ -724,10 +742,10 @@ mod tests {
                 reply_to: PeerId(9),
             },
             &mut fx,
-            &mut events,
         );
         assert_eq!(ds.item_count(), 2);
-        ds.handle(
+        let events = handle(
+            &mut ds,
             ctx(1),
             PeerId(9),
             DsMsg::DeleteItem {
@@ -735,13 +753,15 @@ mod tests {
                 reply_to: PeerId(9),
             },
             &mut fx,
-            &mut events,
         );
         // sf = 2: one item left < sf triggers MergeNeeded.
-        assert!(events.iter().any(|e| matches!(e, DsEvent::MergeNeeded { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, DsEvent::MergeNeeded { .. })));
         // Deleting a missing item reports found = false.
         let mut fx2 = Effects::new();
-        ds.handle(
+        handle(
+            &mut ds,
             ctx(1),
             PeerId(9),
             DsMsg::DeleteItem {
@@ -749,11 +769,13 @@ mod tests {
                 reply_to: PeerId(9),
             },
             &mut fx2,
-            &mut events,
         );
         assert!(fx2.iter().any(|e| matches!(
             e,
-            pepper_net::Effect::Send { msg: DsMsg::NotResponsible { .. }, .. }
+            pepper_net::Effect::Send {
+                msg: DsMsg::NotResponsible { .. },
+                ..
+            }
         )));
     }
 
@@ -762,8 +784,8 @@ mod tests {
         let mut ds = DataStoreState::new_first(PeerId(0), PeerValue(100), DsConfig::test());
         ds.store.insert(10, item(10));
         let mut fx = Effects::new();
-        let mut events = Vec::new();
-        ds.handle(
+        let events = handle(
+            &mut ds,
             ctx(0),
             PeerId(9),
             DsMsg::DeleteItem {
@@ -771,33 +793,35 @@ mod tests {
                 reply_to: PeerId(9),
             },
             &mut fx,
-            &mut events,
         );
-        assert!(!events.iter().any(|e| matches!(e, DsEvent::MergeNeeded { .. })));
+        assert!(!events
+            .iter()
+            .any(|e| matches!(e, DsEvent::MergeNeeded { .. })));
     }
 
     #[test]
     fn extend_low_grows_but_never_shrinks() {
         let mut ds = live_peer(1, 50, 100, &[]);
-        let mut events = Vec::new();
         // New predecessor farther back: range extends.
-        let acquired = ds.extend_low_to(PeerValue(20), &mut events).unwrap();
+        let acquired = ds.extend_low_to(PeerValue(20)).unwrap();
         assert_eq!(acquired, CircularRange::new(20u64, 50u64));
         assert_eq!(ds.range(), CircularRange::new(20u64, 100u64));
-        assert!(events.iter().any(|e| matches!(e, DsEvent::RangeChanged { .. })));
+        assert!(ds
+            .drain_events()
+            .iter()
+            .any(|e| matches!(e, DsEvent::RangeChanged { .. })));
         // A predecessor inside our range is ignored (that shrink must come
         // from an explicit hand-off).
-        assert!(ds.extend_low_to(PeerValue(60), &mut events).is_none());
+        assert!(ds.extend_low_to(PeerValue(60)).is_none());
         assert_eq!(ds.range(), CircularRange::new(20u64, 100u64));
         // Same low is a no-op.
-        assert!(ds.extend_low_to(PeerValue(20), &mut events).is_none());
+        assert!(ds.extend_low_to(PeerValue(20)).is_none());
     }
 
     #[test]
     fn install_revived_respects_range_and_duplicates() {
         let mut ds = live_peer(1, 50, 100, &[60]);
-        let mut events = Vec::new();
-        ds.install_revived(vec![(55, item(55)), (60, item(60)), (10, item(10))], &mut events);
+        ds.install_revived(vec![(55, item(55)), (60, item(60)), (10, item(10))]);
         assert_eq!(ds.item_count(), 2); // 55 added, 60 duplicate, 10 outside
         assert!(ds.store.contains(55));
         assert!(!ds.store.contains(10));
@@ -814,11 +838,14 @@ mod tests {
         assert_eq!(ds.open_queries(), 1);
         assert!(ds.query_info(id).is_some());
         // A safety-net timer was armed.
-        assert!(fx.iter().any(|e| matches!(e, pepper_net::Effect::Timer { .. })));
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, pepper_net::Effect::Timer { .. })));
 
         // Simulate results arriving and the scan finishing.
         let mut events = Vec::new();
-        ds.handle(
+        events.extend(handle(
+            &mut ds,
             ctx(1),
             PeerId(2),
             DsMsg::ScanResult {
@@ -828,15 +855,14 @@ mod tests {
                 hop: 0,
             },
             &mut fx,
-            &mut events,
-        );
-        ds.handle(
+        ));
+        events.extend(handle(
+            &mut ds,
             ctx(1),
             PeerId(2),
             DsMsg::ScanDone { query: id, hops: 0 },
             &mut fx,
-            &mut events,
-        );
+        ));
         let done = events
             .iter()
             .find_map(|e| match e {
@@ -864,7 +890,6 @@ mod tests {
     fn deferred_writes_wait_for_scan_lock_release() {
         let mut ds = live_peer(1, 0, 100, &[10, 20, 30, 40]);
         let mut fx = Effects::new();
-        let mut events = Vec::new();
         ds.acquire_scan_lock();
         // A split completion arrives while the scan lock is held: deferred.
         ds.write_or_defer(
@@ -873,12 +898,11 @@ mod tests {
                 moved: CircularRange::new(20u64, 100u64),
             },
             &mut fx,
-            &mut events,
         );
         assert_eq!(ds.item_count(), 4);
         assert_eq!(ds.range(), CircularRange::new(0u64, 100u64));
         // Releasing the lock applies it.
-        ds.release_scan_lock(ctx(1), &mut fx, &mut events);
+        ds.release_scan_lock(ctx(1), &mut fx);
         assert_eq!(ds.item_count(), 2);
         assert_eq!(ds.range(), CircularRange::new(0u64, 20u64));
     }

@@ -163,7 +163,11 @@ mod tests {
     fn interval_and_range_queries() {
         let s = store_with(&[1, 5, 8, 12, 20]);
         let iv = KeyInterval::new(5, 12).unwrap();
-        let got: Vec<u64> = s.items_in_interval(&iv).iter().map(|i| i.skv.raw()).collect();
+        let got: Vec<u64> = s
+            .items_in_interval(&iv)
+            .iter()
+            .map(|i| i.skv.raw())
+            .collect();
         assert_eq!(got, vec![5, 8, 12]);
         let r = CircularRange::new(8u64, 20u64);
         let got: Vec<u64> = s.items_in_range(&r).iter().map(|(k, _)| *k).collect();

@@ -80,7 +80,10 @@ mod tests {
         assert_eq!(PeerMsg::Ring(RingMsg::StabilizeTick).tag(), "StabilizeTick");
         assert_eq!(PeerMsg::Ds(DsMsg::HandoffAck).tag(), "HandoffAck");
         assert_eq!(PeerMsg::Repl(ReplMsg::RefreshTick).tag(), "RefreshTick");
-        assert_eq!(PeerMsg::Router(RouterMsg::MaintainTick).tag(), "MaintainTick");
+        assert_eq!(
+            PeerMsg::Router(RouterMsg::MaintainTick).tag(),
+            "MaintainTick"
+        );
         assert_eq!(
             PeerMsg::Route {
                 target: 5,

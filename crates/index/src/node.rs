@@ -4,11 +4,13 @@ use std::collections::HashMap;
 use std::time::Duration;
 
 use pepper_datastore::{DataStoreState, DsConfig, DsEvent, DsMsg, DsStatus, QueryId};
-use pepper_net::{Context, Effects, LayerCtx, Node, SimTime};
-use pepper_replication::{ReplicaConfig, ReplicationManager};
-use pepper_ring::{RingConfig, RingEvent, RingState};
+use pepper_net::{Context, Effects, LayerCtx, LayerSlot, Node, SimTime};
+use pepper_replication::{ReplEvent, ReplicaConfig, ReplicationManager};
+use pepper_ring::{EntryState, RingConfig, RingEvent, RingState};
 use pepper_router::{HierarchicalRouter, RouterConfig};
-use pepper_types::{Item, ItemId, KeyInterval, PeerId, PeerValue, RangeQuery, SearchKey, SystemConfig};
+use pepper_types::{
+    Item, ItemId, KeyInterval, PeerId, PeerValue, RangeQuery, SearchKey, SystemConfig,
+};
 
 use crate::free_pool::FreePool;
 use crate::messages::{PeerMsg, RoutePayload};
@@ -41,10 +43,10 @@ struct PendingItemDelete {
 pub struct PeerNode {
     id: PeerId,
     cfg: SystemConfig,
-    ring: RingState,
-    ds: DataStoreState,
-    repl: ReplicationManager,
-    router: HierarchicalRouter,
+    ring: LayerSlot<RingState, PeerMsg>,
+    ds: LayerSlot<DataStoreState, PeerMsg>,
+    repl: LayerSlot<ReplicationManager, PeerMsg>,
+    router: LayerSlot<HierarchicalRouter, PeerMsg>,
     pool: FreePool,
     /// The free peer an in-flight split is waiting to hand off to.
     pending_split: Option<PeerId>,
@@ -60,10 +62,22 @@ impl PeerNode {
     pub fn first(id: PeerId, value: PeerValue, cfg: SystemConfig, pool: FreePool) -> Self {
         PeerNode {
             id,
-            ring: RingState::new_first(id, value, RingConfig::from_system(&cfg)),
-            ds: DataStoreState::new_first(id, value, DsConfig::from_system(&cfg)),
-            repl: ReplicationManager::new(id, ReplicaConfig::from_system(&cfg)),
-            router: HierarchicalRouter::new(id, RouterConfig::from_system(&cfg)),
+            ring: LayerSlot::new(
+                RingState::new_first(id, value, RingConfig::from_system(&cfg)),
+                PeerMsg::Ring,
+            ),
+            ds: LayerSlot::new(
+                DataStoreState::new_first(id, value, DsConfig::from_system(&cfg)),
+                PeerMsg::Ds,
+            ),
+            repl: LayerSlot::new(
+                ReplicationManager::new(id, ReplicaConfig::from_system(&cfg)),
+                PeerMsg::Repl,
+            ),
+            router: LayerSlot::new(
+                HierarchicalRouter::new(id, RouterConfig::from_system(&cfg)),
+                PeerMsg::Router,
+            ),
             pool,
             cfg,
             pending_split: None,
@@ -80,10 +94,22 @@ impl PeerNode {
         pool.release(id);
         PeerNode {
             id,
-            ring: RingState::new_free(id, RingConfig::from_system(&cfg)),
-            ds: DataStoreState::new_free(id, DsConfig::from_system(&cfg)),
-            repl: ReplicationManager::new(id, ReplicaConfig::from_system(&cfg)),
-            router: HierarchicalRouter::new(id, RouterConfig::from_system(&cfg)),
+            ring: LayerSlot::new(
+                RingState::new_free(id, RingConfig::from_system(&cfg)),
+                PeerMsg::Ring,
+            ),
+            ds: LayerSlot::new(
+                DataStoreState::new_free(id, DsConfig::from_system(&cfg)),
+                PeerMsg::Ds,
+            ),
+            repl: LayerSlot::new(
+                ReplicationManager::new(id, ReplicaConfig::from_system(&cfg)),
+                PeerMsg::Repl,
+            ),
+            router: LayerSlot::new(
+                HierarchicalRouter::new(id, RouterConfig::from_system(&cfg)),
+                PeerMsg::Router,
+            ),
             pool,
             cfg,
             pending_split: None,
@@ -219,11 +245,11 @@ impl PeerNode {
     ) -> Option<QueryId> {
         let now = ctx.now();
         let mut out = Effects::new();
-        let mut ds_fx = Effects::new();
-        let registered = self
+        let lctx = LayerCtx::new(self.id, now);
+        let (registered, ds_events) = self
             .ds
-            .register_query(LayerCtx::new(self.id, now), query, &mut ds_fx);
-        out.absorb(ds_fx, PeerMsg::Ds);
+            .with(&mut out, |ds, fx| ds.register_query(lctx, query, fx));
+        self.process_ds_events(now, ds_events, &mut out);
         let result = registered.map(|(id, interval)| {
             self.route_scan_start(now, id, interval, self.cfg.protocol.pepper_scan, &mut out);
             id
@@ -240,53 +266,53 @@ impl PeerNode {
         LayerCtx::new(self.id, now)
     }
 
+    /// Starts every layer's periodic timers through the uniform
+    /// [`ProtocolLayer`] boundary (idempotent per layer).
     fn start_layers(&mut self, now: SimTime, out: &mut Effects<PeerMsg>) {
         let ctx = self.layer_ctx(now);
-        let mut ring_fx = Effects::new();
-        self.ring.start_timers(ctx, &mut ring_fx);
-        out.absorb(ring_fx, PeerMsg::Ring);
-        let mut repl_fx = Effects::new();
-        self.repl.start_timers(ctx, &mut repl_fx);
-        out.absorb(repl_fx, PeerMsg::Repl);
-        let mut router_fx = Effects::new();
-        self.router.start_timers(ctx, &mut router_fx);
-        out.absorb(router_fx, PeerMsg::Router);
+        let ring_events = self.ring.start_timers(ctx, out);
+        self.process_ring_events(now, ring_events, out);
+        let ds_events = self.ds.start_timers(ctx, out);
+        self.process_ds_events(now, ds_events, out);
+        let repl_events = self.repl.start_timers(ctx, out);
+        self.process_repl_events(now, repl_events, out);
+        // RouterEvent is uninhabited: nothing to process.
+        self.router.start_timers(ctx, out);
     }
 
+    /// The currently `JOINED` ring successors, in list order (the snapshot
+    /// the replication layer works against).
+    fn joined_successors(&self) -> Vec<PeerId> {
+        self.ring
+            .succ_list()
+            .iter()
+            .filter(|e| e.state == EntryState::Joined)
+            .map(|e| e.peer)
+            .collect()
+    }
+
+    /// Unwraps the unified message and hands it to the owning layer through
+    /// its [`LayerSlot`]. The arms only route; all effect-mapping lives in
+    /// [`LayerSlot::with`], and every layer's events come back through the
+    /// same typed drain.
     fn dispatch(&mut self, now: SimTime, from: PeerId, msg: PeerMsg, out: &mut Effects<PeerMsg>) {
         let ctx = self.layer_ctx(now);
         match msg {
             PeerMsg::Ring(m) => {
-                let mut fx = Effects::new();
-                let mut events = Vec::new();
-                self.ring.handle(ctx, from, m, &mut fx, &mut events);
-                out.absorb(fx, PeerMsg::Ring);
+                let events = self.ring.handle(ctx, from, m, out);
                 self.process_ring_events(now, events, out);
             }
             PeerMsg::Ds(m) => {
-                let mut fx = Effects::new();
-                let mut events = Vec::new();
-                self.ds.handle(ctx, from, m, &mut fx, &mut events);
-                out.absorb(fx, PeerMsg::Ds);
+                let events = self.ds.handle(ctx, from, m, out);
                 self.process_ds_events(now, events, out);
             }
             PeerMsg::Repl(m) => {
-                let own_items = self.ds.local_items_mapped();
-                let succs: Vec<PeerId> = self
-                    .ring
-                    .succ_list()
-                    .iter()
-                    .filter(|e| e.state == pepper_ring::EntryState::Joined)
-                    .map(|e| e.peer)
-                    .collect();
-                let mut fx = Effects::new();
-                self.repl.handle(ctx, from, m, &own_items, &succs, &mut fx);
-                out.absorb(fx, PeerMsg::Repl);
+                let events = self.repl.handle(ctx, from, m, out);
+                self.process_repl_events(now, events, out);
             }
             PeerMsg::Router(m) => {
-                let mut fx = Effects::new();
-                self.router.handle(ctx, from, m, &mut fx);
-                out.absorb(fx, PeerMsg::Router);
+                // RouterEvent is uninhabited: nothing to process.
+                self.router.handle(ctx, from, m, out);
             }
             PeerMsg::Route {
                 target,
@@ -312,24 +338,23 @@ impl PeerNode {
                     self.observations.push(Observation::JoinedRing);
                 }
                 RingEvent::InsertSuccComplete { new_peer, elapsed } => {
-                    self.observations.push(Observation::InsertSuccCompleted {
-                        new_peer,
-                        elapsed,
-                    });
+                    self.observations
+                        .push(Observation::InsertSuccCompleted { new_peer, elapsed });
                     if self.pending_split == Some(new_peer) {
                         self.pending_split = None;
-                        let mut fx = Effects::new();
-                        self.ds.send_handoff(self.layer_ctx(now), new_peer, &mut fx);
-                        out.absorb(fx, PeerMsg::Ds);
+                        let ctx = self.layer_ctx(now);
+                        let (_, ds_events) = self
+                            .ds
+                            .with(out, |ds, fx| ds.send_handoff(ctx, new_peer, fx));
+                        self.process_ds_events(now, ds_events, out);
                     }
                 }
                 RingEvent::InsertSuccAborted { new_peer } => {
                     if self.pending_split == Some(new_peer) {
                         self.pending_split = None;
                         self.pool.release(new_peer);
-                        let mut fx = Effects::new();
-                        self.ds.cancel_rebalance(&mut fx);
-                        out.absorb(fx, PeerMsg::Ds);
+                        let ((), ds_events) = self.ds.with(out, |ds, fx| ds.cancel_rebalance(fx));
+                        self.process_ds_events(now, ds_events, out);
                     }
                 }
                 RingEvent::NewSuccessor { peer, value } => {
@@ -341,10 +366,13 @@ impl PeerNode {
                     // split hand-off; its range is installed by the hand-off,
                     // not by predecessor observations.
                     if self.ds.status() == DsStatus::Live && !self.ds.range().is_empty() {
-                        let mut ds_events = Vec::new();
-                        if let Some(acquired) = self.ds.extend_low_to(value, &mut ds_events) {
+                        let (acquired, mut ds_events) =
+                            self.ds.with(out, |ds, _fx| ds.extend_low_to(value));
+                        if let Some(acquired) = acquired {
                             let revived = self.repl.take_replicas_in(&acquired);
-                            self.ds.install_revived(revived, &mut ds_events);
+                            let ((), more) =
+                                self.ds.with(out, |ds, _fx| ds.install_revived(revived));
+                            ds_events.extend(more);
                         }
                         self.process_ds_events(now, ds_events, out);
                     }
@@ -354,9 +382,8 @@ impl PeerNode {
                         .push(Observation::LeaveCompleted { elapsed });
                     // If this leave is part of a merge-give, hand the range
                     // and items to the predecessor now.
-                    let mut fx = Effects::new();
-                    self.ds.send_merge_grant(&mut fx);
-                    out.absorb(fx, PeerMsg::Ds);
+                    let (_, ds_events) = self.ds.with(out, |ds, fx| ds.send_merge_grant(fx));
+                    self.process_ds_events(now, ds_events, out);
                 }
                 RingEvent::SuccessorFailed { peer } => {
                     self.router.forget_peer(peer);
@@ -377,55 +404,39 @@ impl PeerNode {
             match event {
                 DsEvent::SplitNeeded { .. } => self.start_split(now, out),
                 DsEvent::MergeNeeded { .. } => {
-                    let succ = self.ring.stabilized_succ().or_else(|| self.ring.best_succ());
-                    let mut fx = Effects::new();
-                    match succ {
-                        Some(e) if e.peer != self.id => {
-                            self.ds.send_merge_request(e.peer, &mut fx);
-                        }
-                        _ => self.ds.cancel_rebalance(&mut fx),
-                    }
-                    out.absorb(fx, PeerMsg::Ds);
+                    let succ = self
+                        .ring
+                        .stabilized_succ()
+                        .or_else(|| self.ring.best_succ());
+                    let ((), ds_events) = self.ds.with(out, |ds, fx| match succ {
+                        Some(e) if e.peer != ds.id() => ds.send_merge_request(e.peer, fx),
+                        _ => ds.cancel_rebalance(fx),
+                    });
+                    self.process_ds_events(now, ds_events, out);
                 }
                 DsEvent::MergeGiveStarted { to } => {
                     self.merge_started = Some(now);
+                    let ctx = self.layer_ctx(now);
                     // Item availability protection: replicate everything this
                     // peer stores one additional hop before leaving.
                     let own_items = self.ds.local_items_mapped();
-                    let succs: Vec<PeerId> = self
-                        .ring
-                        .succ_list()
-                        .iter()
-                        .filter(|e| e.state == pepper_ring::EntryState::Joined)
-                        .map(|e| e.peer)
-                        .collect();
-                    let mut repl_fx = Effects::new();
-                    self.repl.replicate_additional_hop(
-                        self.layer_ctx(now),
-                        &own_items,
-                        &succs,
-                        &mut repl_fx,
-                    );
-                    out.absorb(repl_fx, PeerMsg::Repl);
+                    let succs = self.joined_successors();
+                    let (_, repl_events) = self.repl.with(out, |repl, fx| {
+                        repl.replicate_additional_hop(ctx, &own_items, &succs, fx)
+                    });
+                    self.process_repl_events(now, repl_events, out);
                     // System availability protection: leave the ring properly
                     // before departing.
-                    let mut ring_fx = Effects::new();
-                    let mut ring_events = Vec::new();
-                    let leave = self
-                        .ring
-                        .leave(self.layer_ctx(now), &mut ring_fx, &mut ring_events);
-                    out.absorb(ring_fx, PeerMsg::Ring);
+                    let (leave, ring_events) = self.ring.with(out, |ring, fx| ring.leave(ctx, fx));
                     if leave.is_err() {
                         // Cannot leave right now (e.g. an insert is in
                         // flight); decline the merge so the requester retries.
                         self.merge_started = None;
-                        let mut fx = Effects::new();
-                        self.ds.cancel_merge_give(&mut fx);
-                        out.absorb(fx, PeerMsg::Ds);
+                        let ((), ds_events) = self.ds.with(out, |ds, fx| ds.cancel_merge_give(fx));
+                        self.process_ds_events(now, ds_events, out);
                         out.send(to, PeerMsg::Ds(DsMsg::MergeDeclined));
-                    } else {
-                        self.process_ring_events(now, ring_events, out);
                     }
+                    self.process_ring_events(now, ring_events, out);
                 }
                 DsEvent::RangeChanged { range, value } => {
                     self.ring.set_value(value);
@@ -499,30 +510,48 @@ impl PeerNode {
         }
     }
 
+    // ---- replication event glue -----------------------------------------
+
+    fn process_repl_events(
+        &mut self,
+        now: SimTime,
+        events: Vec<ReplEvent>,
+        out: &mut Effects<PeerMsg>,
+    ) {
+        for event in events {
+            match event {
+                ReplEvent::RefreshDue => {
+                    // One refresh round of the CFS scheme, fed with the
+                    // cross-layer snapshot only the composed peer can take.
+                    let own_items = self.ds.local_items_mapped();
+                    let succs = self.joined_successors();
+                    let ctx = self.layer_ctx(now);
+                    let ((), repl_events) = self.repl.with(out, |repl, fx| {
+                        repl.push_to_successors(ctx, &own_items, &succs, fx)
+                    });
+                    self.process_repl_events(now, repl_events, out);
+                }
+            }
+        }
+    }
+
     /// Starts a split: draw a free peer, plan the split, insert the free peer
     /// into the ring as our successor; the hand-off follows once the ring
     /// reports completion.
     fn start_split(&mut self, now: SimTime, out: &mut Effects<PeerMsg>) {
         let Some(free) = self.pool.acquire() else {
-            let mut fx = Effects::new();
-            self.ds.cancel_rebalance(&mut fx);
-            out.absorb(fx, PeerMsg::Ds);
+            let ((), ds_events) = self.ds.with(out, |ds, fx| ds.cancel_rebalance(fx));
+            self.process_ds_events(now, ds_events, out);
             return;
         };
         let Some((new_value, boundary)) = self.ds.begin_split() else {
             self.pool.release(free);
             return;
         };
-        let mut ring_fx = Effects::new();
-        let mut ring_events = Vec::new();
-        let res = self.ring.insert_succ(
-            self.layer_ctx(now),
-            free,
-            new_value,
-            &mut ring_fx,
-            &mut ring_events,
-        );
-        out.absorb(ring_fx, PeerMsg::Ring);
+        let ctx = self.layer_ctx(now);
+        let (res, ring_events) = self
+            .ring
+            .with(out, |ring, fx| ring.insert_succ(ctx, free, new_value, fx));
         match res {
             Ok(()) => {
                 // The ring value (and the Data Store range) only move to
@@ -531,16 +560,14 @@ impl PeerNode {
                 // range over items this peer still owns.
                 let _ = boundary;
                 self.pending_split = Some(free);
-                self.process_ring_events(now, ring_events, out);
             }
             Err(_) => {
                 self.pool.release(free);
-                let mut fx = Effects::new();
-                self.ds.cancel_rebalance(&mut fx);
-                out.absorb(fx, PeerMsg::Ds);
-                self.process_ring_events(now, ring_events, out);
+                let ((), ds_events) = self.ds.with(out, |ds, fx| ds.cancel_rebalance(fx));
+                self.process_ds_events(now, ds_events, out);
             }
         }
+        self.process_ring_events(now, ring_events, out);
     }
 
     /// Re-routes an item insert/delete that bounced off a non-responsible
@@ -580,7 +607,8 @@ impl PeerNode {
                 }
                 None => {
                     self.pending_inserts.remove(&id);
-                    self.observations.push(Observation::InsertFailed { item: id });
+                    self.observations
+                        .push(Observation::InsertFailed { item: id });
                 }
             }
             return;
@@ -654,17 +682,17 @@ impl PeerNode {
             }
         };
         let ctx = self.layer_ctx(now);
-        let mut fx = Effects::new();
-        let mut events = Vec::new();
-        self.ds.handle(ctx, self.id, msg, &mut fx, &mut events);
-        out.absorb(fx, PeerMsg::Ds);
+        let events = self.ds.handle(ctx, self.id, msg, out);
         self.process_ds_events(now, events, out);
     }
 
     fn bounce(&mut self, payload: RoutePayload, target: u64, out: &mut Effects<PeerMsg>) {
         match payload {
             RoutePayload::Insert { reply_to, .. } | RoutePayload::Delete { reply_to, .. } => {
-                out.send(reply_to, PeerMsg::Ds(DsMsg::NotResponsible { mapped: target }));
+                out.send(
+                    reply_to,
+                    PeerMsg::Ds(DsMsg::NotResponsible { mapped: target }),
+                );
             }
             RoutePayload::ScanStart { query, .. } => {
                 out.send(query.origin, PeerMsg::Ds(DsMsg::ScanRejected { query }));
@@ -731,12 +759,18 @@ impl Node for PeerNode {
 mod tests {
     use super::*;
     use pepper_net::{NetworkConfig, Simulator};
-    use pepper_ring::consistency::{check_connectivity, check_consistent_successor_pointers, RingSnapshot};
+    use pepper_ring::consistency::{
+        check_connectivity, check_consistent_successor_pointers, RingSnapshot,
+    };
     use pepper_types::ProtocolConfig;
 
     /// Builds a cluster: one first peer plus `free` free peers, with fast
     /// test timers derived from the paper configuration.
-    fn cluster(cfg: &SystemConfig, free: usize, seed: u64) -> (Simulator<PeerNode>, FreePool, PeerId) {
+    fn cluster(
+        cfg: &SystemConfig,
+        free: usize,
+        seed: u64,
+    ) -> (Simulator<PeerNode>, FreePool, PeerId) {
         let pool = FreePool::new();
         let mut sim = Simulator::new(NetworkConfig::lan(seed));
         let cfg_first = cfg.clone();
@@ -939,7 +973,11 @@ mod tests {
         let victim = sim
             .peer_ids()
             .into_iter()
-            .find(|p| *p != first && sim.node(*p).unwrap().is_ring_member() && sim.node(*p).unwrap().item_count() > 0)
+            .find(|p| {
+                *p != first
+                    && sim.node(*p).unwrap().is_ring_member()
+                    && sim.node(*p).unwrap().item_count() > 0
+            })
             .expect("a ring member with items");
         sim.kill(victim);
         // Give the ring time to detect the failure, take over the range and

@@ -53,10 +53,7 @@ impl<M> Effect<M> {
     pub fn map<N>(self, f: &mut impl FnMut(M) -> N) -> Effect<N> {
         match self {
             Effect::Send { to, msg } => Effect::Send { to, msg: f(msg) },
-            Effect::Timer { delay, msg } => Effect::Timer {
-                delay,
-                msg: f(msg),
-            },
+            Effect::Timer { delay, msg } => Effect::Timer { delay, msg: f(msg) },
         }
     }
 }
@@ -161,7 +158,9 @@ mod tests {
                 msg: Low::Ping
             }
         );
-        assert!(matches!(drained[1], Effect::Timer { delay, .. } if delay == Duration::from_secs(1)));
+        assert!(
+            matches!(drained[1], Effect::Timer { delay, .. } if delay == Duration::from_secs(1))
+        );
         assert!(fx.is_empty());
     }
 

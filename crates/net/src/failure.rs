@@ -85,7 +85,8 @@ mod tests {
     #[test]
     fn zero_rate_has_no_failures() {
         let mut rng = StdRng::seed_from_u64(1);
-        let s = FailureSchedule::poisson_like(0.0, SimTime::ZERO, Duration::from_secs(100), &mut rng);
+        let s =
+            FailureSchedule::poisson_like(0.0, SimTime::ZERO, Duration::from_secs(100), &mut rng);
         assert!(s.is_empty());
         assert!(FailureSchedule::none().is_empty());
     }

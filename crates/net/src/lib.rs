@@ -23,6 +23,7 @@
 pub mod effect;
 pub mod failure;
 pub mod latency;
+pub mod layer;
 pub mod sim;
 pub mod stats;
 pub mod time;
@@ -30,6 +31,7 @@ pub mod time;
 pub use effect::{Effect, Effects, LayerCtx};
 pub use failure::FailureSchedule;
 pub use latency::{LatencyModel, NetworkConfig};
+pub use layer::{LayerSlot, ProtocolLayer};
 pub use sim::{Context, Node, Simulator};
 pub use stats::NetStats;
 pub use time::SimTime;

@@ -50,7 +50,10 @@ impl SimTime {
 
     /// Checked addition of a duration (saturates at the maximum time).
     pub fn saturating_add(self, d: Duration) -> SimTime {
-        SimTime(self.0.saturating_add(d.as_nanos().min(u64::MAX as u128) as u64))
+        SimTime(
+            self.0
+                .saturating_add(d.as_nanos().min(u64::MAX as u128) as u64),
+        )
     }
 }
 

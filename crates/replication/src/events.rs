@@ -1,0 +1,17 @@
+//! Events reported by the Replication Manager to the composed peer.
+
+/// An event emitted by the replication layer.
+///
+/// The refresh loop needs the peer's current Data Store content and successor
+/// list — state owned by *other* layers. Instead of threading that state into
+/// the message handler (which would break the uniform
+/// [`ProtocolLayer`](pepper_net::ProtocolLayer) boundary), the layer reports
+/// that a refresh round is due and the composed peer calls
+/// [`push_to_successors`](crate::ReplicationManager::push_to_successors) with
+/// the cross-layer snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplEvent {
+    /// The periodic refresh timer fired: the composed peer should push the
+    /// Data Store's items to the current successors.
+    RefreshDue,
+}

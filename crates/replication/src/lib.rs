@@ -13,8 +13,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod events;
 pub mod manager;
 pub mod messages;
 
+pub use events::ReplEvent;
 pub use manager::{ReplicaConfig, ReplicationManager};
 pub use messages::ReplMsg;

@@ -3,9 +3,10 @@
 use std::collections::BTreeMap;
 use std::time::Duration;
 
-use pepper_net::{Effects, LayerCtx};
+use pepper_net::{Effects, LayerCtx, ProtocolLayer};
 use pepper_types::{CircularRange, Item, KeyInterval, PeerId, SystemConfig};
 
+use crate::events::ReplEvent;
 use crate::messages::ReplMsg;
 
 /// Configuration of the Replication Manager.
@@ -58,6 +59,8 @@ pub struct ReplicationManager {
     pushes_received: u64,
     /// Number of extra-hop pushes performed (metrics).
     extra_hop_pushes: u64,
+    /// Events buffered for the composed peer.
+    events: Vec<ReplEvent>,
 }
 
 impl ReplicationManager {
@@ -70,6 +73,7 @@ impl ReplicationManager {
             timers_started: false,
             pushes_received: 0,
             extra_hop_pushes: 0,
+            events: Vec::new(),
         }
     }
 
@@ -99,45 +103,6 @@ impl ReplicationManager {
     /// Number of additional-hop pushes performed (metrics).
     pub fn extra_hop_pushes(&self) -> u64 {
         self.extra_hop_pushes
-    }
-
-    /// Schedules the periodic refresh timer. Idempotent.
-    pub fn start_timers(&mut self, _ctx: LayerCtx, fx: &mut Effects<ReplMsg>) {
-        if self.timers_started {
-            return;
-        }
-        self.timers_started = true;
-        let stagger = Duration::from_micros((self.id.raw() % 89) * 300);
-        fx.timer(self.cfg.refresh_period / 2 + stagger, ReplMsg::RefreshTick);
-    }
-
-    /// Handles a replication message. `own_items` is the current content of
-    /// this peer's Data Store (provided by the composed peer), `successors`
-    /// its current successor list. Returns `true` when a refresh round was
-    /// performed (so the composed peer can refresh dependent state).
-    pub fn handle(
-        &mut self,
-        ctx: LayerCtx,
-        _from: PeerId,
-        msg: ReplMsg,
-        own_items: &[(u64, Item)],
-        successors: &[PeerId],
-        fx: &mut Effects<ReplMsg>,
-    ) -> bool {
-        match msg {
-            ReplMsg::RefreshTick => {
-                fx.timer(self.cfg.refresh_period, ReplMsg::RefreshTick);
-                self.push_to_successors(ctx, own_items, successors, fx);
-                true
-            }
-            ReplMsg::Push { items, extra_hop: _ } => {
-                self.pushes_received += 1;
-                for (mapped, item) in items {
-                    self.replica_store.insert(mapped, item);
-                }
-                false
-            }
-        }
     }
 
     /// Pushes this peer's items to its `k` nearest successors (one refresh
@@ -271,11 +236,75 @@ impl ReplicationManager {
     }
 }
 
+impl ProtocolLayer for ReplicationManager {
+    type Msg = ReplMsg;
+    type Event = ReplEvent;
+
+    /// Schedules the periodic refresh timer. Idempotent.
+    fn start_timers(&mut self, _ctx: LayerCtx, fx: &mut Effects<ReplMsg>) {
+        if self.timers_started {
+            return;
+        }
+        self.timers_started = true;
+        let stagger = Duration::from_micros((self.id.raw() % 89) * 300);
+        fx.timer(self.cfg.refresh_period / 2 + stagger, ReplMsg::RefreshTick);
+    }
+
+    /// Handles a replication message. The refresh round itself is performed
+    /// by the composed peer in response to [`ReplEvent::RefreshDue`], because
+    /// it needs the Data Store's items and the ring's successor list.
+    fn handle(&mut self, _ctx: LayerCtx, _from: PeerId, msg: ReplMsg, fx: &mut Effects<ReplMsg>) {
+        match msg {
+            ReplMsg::RefreshTick => {
+                fx.timer(self.cfg.refresh_period, ReplMsg::RefreshTick);
+                self.events.push(ReplEvent::RefreshDue);
+            }
+            ReplMsg::Push {
+                items,
+                extra_hop: _,
+            } => {
+                self.pushes_received += 1;
+                for (mapped, item) in items {
+                    self.replica_store.insert(mapped, item);
+                }
+            }
+        }
+    }
+
+    fn drain_events(&mut self) -> Vec<ReplEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use pepper_net::{Effect, SimTime};
     use pepper_types::{ProtocolConfig, SearchKey};
+
+    /// Drives one message through the layer the way the composed peer does:
+    /// handle, then serve a `RefreshDue` event with the given snapshot.
+    fn handle_with_snapshot(
+        rm: &mut ReplicationManager,
+        ctx: LayerCtx,
+        from: PeerId,
+        msg: ReplMsg,
+        own_items: &[(u64, Item)],
+        successors: &[PeerId],
+        fx: &mut Effects<ReplMsg>,
+    ) -> bool {
+        ProtocolLayer::handle(rm, ctx, from, msg, fx);
+        let mut refreshed = false;
+        for event in rm.drain_events() {
+            match event {
+                ReplEvent::RefreshDue => {
+                    refreshed = true;
+                    rm.push_to_successors(ctx, own_items, successors, fx);
+                }
+            }
+        }
+        refreshed
+    }
 
     fn ctx(id: u64) -> LayerCtx {
         LayerCtx::new(PeerId(id), SimTime::from_secs(1))
@@ -302,7 +331,15 @@ mod tests {
         let mut fx = Effects::new();
         let own = vec![item(10), item(20)];
         let succs = vec![PeerId(1), PeerId(2), PeerId(3)];
-        let refreshed = rm.handle(ctx(0), PeerId(0), ReplMsg::RefreshTick, &own, &succs, &mut fx);
+        let refreshed = handle_with_snapshot(
+            &mut rm,
+            ctx(0),
+            PeerId(0),
+            ReplMsg::RefreshTick,
+            &own,
+            &succs,
+            &mut fx,
+        );
         assert!(refreshed);
         let effects = fx.drain();
         // Timer re-arm + pushes to exactly k = 2 successors.
@@ -311,15 +348,22 @@ mod tests {
             .filter_map(|e| match e {
                 Effect::Send {
                     to,
-                    msg: ReplMsg::Push { extra_hop: false, .. },
+                    msg:
+                        ReplMsg::Push {
+                            extra_hop: false, ..
+                        },
                 } => Some(*to),
                 _ => None,
             })
             .collect();
         assert_eq!(targets, vec![PeerId(1), PeerId(2)]);
-        assert!(effects
-            .iter()
-            .any(|e| matches!(e, Effect::Timer { msg: ReplMsg::RefreshTick, .. })));
+        assert!(effects.iter().any(|e| matches!(
+            e,
+            Effect::Timer {
+                msg: ReplMsg::RefreshTick,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -334,7 +378,8 @@ mod tests {
     fn push_is_stored_in_replica_store() {
         let mut rm = ReplicationManager::new(PeerId(1), ReplicaConfig::test(2));
         let mut fx = Effects::new();
-        rm.handle(
+        let refreshed = handle_with_snapshot(
+            &mut rm,
             ctx(1),
             PeerId(0),
             ReplMsg::Push {
@@ -345,6 +390,7 @@ mod tests {
             &[],
             &mut fx,
         );
+        assert!(!refreshed);
         assert_eq!(rm.replica_count(), 2);
         assert_eq!(rm.pushes_received(), 1);
         assert!(fx.is_empty());
@@ -354,7 +400,8 @@ mod tests {
     fn revival_takes_only_acquired_range() {
         let mut rm = ReplicationManager::new(PeerId(1), ReplicaConfig::test(2));
         let mut fx = Effects::new();
-        rm.handle(
+        handle_with_snapshot(
+            &mut rm,
             ctx(1),
             PeerId(0),
             ReplMsg::Push {
@@ -371,7 +418,8 @@ mod tests {
         // Taken replicas are removed; the rest stays.
         assert_eq!(rm.replica_count(), 1);
         assert_eq!(
-            rm.replicas_in_interval(&KeyInterval::new(0, 100).unwrap()).len(),
+            rm.replicas_in_interval(&KeyInterval::new(0, 100).unwrap())
+                .len(),
             1
         );
     }
@@ -381,7 +429,8 @@ mod tests {
         let mut rm = ReplicationManager::new(PeerId(0), ReplicaConfig::test(2));
         let mut fx = Effects::new();
         // Pre-existing replicas held for predecessors.
-        rm.handle(
+        handle_with_snapshot(
+            &mut rm,
             ctx(0),
             PeerId(9),
             ReplMsg::Push {
@@ -438,7 +487,8 @@ mod tests {
     fn prune_owned_drops_replicas_inside_own_range() {
         let mut rm = ReplicationManager::new(PeerId(1), ReplicaConfig::test(2));
         let mut fx = Effects::new();
-        rm.handle(
+        handle_with_snapshot(
+            &mut rm,
             ctx(1),
             PeerId(0),
             ReplMsg::Push {

@@ -174,7 +174,13 @@ pub fn check_connectivity(snapshots: &[RingSnapshot]) -> ConsistencyReport {
 mod tests {
     use super::*;
 
-    fn snap(id: u64, value: u64, phase: RingPhase, succs: &[(u64, u64)], alive: bool) -> RingSnapshot {
+    fn snap(
+        id: u64,
+        value: u64,
+        phase: RingPhase,
+        succs: &[(u64, u64)],
+        alive: bool,
+    ) -> RingSnapshot {
         RingSnapshot {
             id: PeerId(id),
             value: PeerValue(value),

@@ -91,7 +91,9 @@ mod tests {
                 new_peer: PeerId(1),
                 elapsed: Duration::ZERO,
             },
-            RingEvent::InsertSuccAborted { new_peer: PeerId(1) },
+            RingEvent::InsertSuccAborted {
+                new_peer: PeerId(1),
+            },
             RingEvent::NewSuccessor {
                 peer: PeerId(1),
                 value: PeerValue(1),

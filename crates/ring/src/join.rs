@@ -31,10 +31,9 @@ impl RingState {
         new_peer: PeerId,
         new_value: PeerValue,
         fx: &mut Effects<RingMsg>,
-        events: &mut Vec<RingEvent>,
     ) -> Result<()> {
         if self.phase != RingPhase::Joined {
-            events.push(RingEvent::InsertSuccAborted { new_peer });
+            self.emit(RingEvent::InsertSuccAborted { new_peer });
             return Err(Error::NotJoined(self.id));
         }
         self.pending_insert = Some(PendingInsert {
@@ -57,7 +56,7 @@ impl RingState {
                 },
             );
             self.trim_succ_list();
-            self.maybe_emit_new_successor(events);
+            self.maybe_emit_new_successor();
             fx.send(
                 new_peer,
                 RingMsg::NaiveJoin {
@@ -72,10 +71,8 @@ impl RingState {
 
         // PEPPER insertSucc: insert as JOINING and wait for the ack.
         self.phase = RingPhase::Inserting;
-        self.succ_list.insert(
-            0,
-            SuccEntry::new(new_peer, new_value, EntryState::Joining),
-        );
+        self.succ_list
+            .insert(0, SuccEntry::new(new_peer, new_value, EntryState::Joining));
 
         match self.pred {
             Some((pred, _)) if pred != self.id => {
@@ -89,7 +86,7 @@ impl RingState {
                 // Single-peer ring (or unknown predecessor pointing at
                 // ourselves): no other peer needs to learn about the new
                 // peer, complete immediately.
-                self.on_join_ack(ctx, new_peer, fx, events);
+                self.on_join_ack(ctx, new_peer, fx);
             }
         }
         Ok(())
@@ -102,7 +99,6 @@ impl RingState {
         _ctx: LayerCtx,
         joining: PeerId,
         fx: &mut Effects<RingMsg>,
-        events: &mut Vec<RingEvent>,
     ) {
         if self.phase != RingPhase::Inserting {
             return;
@@ -124,7 +120,7 @@ impl RingState {
         self.trim_succ_list();
         // The freshly joined peer is now this peer's first stabilized
         // successor: announce it to the higher layers right away.
-        self.maybe_emit_new_successor(events);
+        self.maybe_emit_new_successor();
         // Hand the new peer its successor list (everything after itself) and
         // its predecessor (us).
         let succ_list_for_new: Vec<SuccEntry> = self
@@ -147,7 +143,6 @@ impl RingState {
 
     /// Handles the final join message at the joining peer: install the
     /// successor list and become a full member.
-    #[allow(clippy::too_many_arguments)]
     pub(crate) fn on_join(
         &mut self,
         ctx: LayerCtx,
@@ -156,7 +151,6 @@ impl RingState {
         pred_value: PeerValue,
         your_value: PeerValue,
         fx: &mut Effects<RingMsg>,
-        events: &mut Vec<RingEvent>,
     ) {
         if self.phase != RingPhase::Free && self.phase != RingPhase::Joining {
             return;
@@ -176,9 +170,9 @@ impl RingState {
         self.phase = RingPhase::Joined;
         self.last_new_succ = None;
         self.start_timers(ctx, fx);
-        self.maybe_emit_new_successor(events);
+        self.maybe_emit_new_successor();
         fx.send(pred, RingMsg::JoinInstalled);
-        events.push(RingEvent::Joined {
+        self.emit(RingEvent::Joined {
             value: your_value,
             pred,
             pred_value,
@@ -187,12 +181,7 @@ impl RingState {
 
     /// Handles the joining peer's confirmation at the inserter: the
     /// `insertSucc` operation is complete.
-    pub(crate) fn on_join_installed(
-        &mut self,
-        ctx: LayerCtx,
-        from: PeerId,
-        events: &mut Vec<RingEvent>,
-    ) {
+    pub(crate) fn on_join_installed(&mut self, ctx: LayerCtx, from: PeerId) {
         let Some(pending) = self.pending_insert else {
             return;
         };
@@ -200,7 +189,7 @@ impl RingState {
             return;
         }
         self.pending_insert = None;
-        events.push(RingEvent::InsertSuccComplete {
+        self.emit(RingEvent::InsertSuccComplete {
             new_peer: from,
             elapsed: ctx.now - pending.started,
         });
@@ -211,7 +200,7 @@ impl RingState {
 mod tests {
     use super::*;
     use crate::config::RingConfig;
-    use pepper_net::{Effect, SimTime};
+    use pepper_net::{Effect, ProtocolLayer, SimTime};
     use std::time::Duration;
 
     fn ctx_at(id: u64, secs: u64) -> LayerCtx {
@@ -228,8 +217,7 @@ mod tests {
         p5.succ_list = vec![joined(1, 10), joined(2, 20)];
         p5.pred = Some((PeerId(4), PeerValue(40)));
         let mut fx = Effects::new();
-        let mut events = Vec::new();
-        p5.insert_succ(ctx_at(5, 1), PeerId(9), PeerValue(55), &mut fx, &mut events)
+        p5.insert_succ(ctx_at(5, 1), PeerId(9), PeerValue(55), &mut fx)
             .unwrap();
         assert_eq!(p5.phase(), RingPhase::Inserting);
         assert_eq!(p5.succ_list()[0].peer, PeerId(9));
@@ -239,17 +227,20 @@ mod tests {
             Effect::Send { to, msg: RingMsg::StabilizeNow } if *to == PeerId(4)
         )));
         // The new peer has not been contacted yet.
-        assert!(!fx
-            .iter()
-            .any(|e| matches!(e, Effect::Send { msg: RingMsg::Join { .. }, .. })));
+        assert!(!fx.iter().any(|e| matches!(
+            e,
+            Effect::Send {
+                msg: RingMsg::Join { .. },
+                ..
+            }
+        )));
     }
 
     #[test]
     fn single_peer_ring_completes_immediately() {
         let mut p = RingState::new_first(PeerId(0), PeerValue(100), RingConfig::test(3));
         let mut fx = Effects::new();
-        let mut events = Vec::new();
-        p.insert_succ(ctx_at(0, 1), PeerId(1), PeerValue(200), &mut fx, &mut events)
+        p.insert_succ(ctx_at(0, 1), PeerId(1), PeerValue(200), &mut fx)
             .unwrap();
         // The join message is sent straight away because no other peer needs
         // to learn about the new one.
@@ -268,8 +259,7 @@ mod tests {
         p5.succ_list = vec![joined(1, 10), joined(2, 20)];
         p5.pred = Some((PeerId(4), PeerValue(40)));
         let mut fx = Effects::new();
-        let mut events = Vec::new();
-        p5.insert_succ(ctx_at(5, 1), PeerId(9), PeerValue(55), &mut fx, &mut events)
+        p5.insert_succ(ctx_at(5, 1), PeerId(9), PeerValue(55), &mut fx)
             .unwrap();
         assert_eq!(p5.phase(), RingPhase::Joined);
         assert_eq!(p5.succ_list()[0].peer, PeerId(9));
@@ -291,13 +281,12 @@ mod tests {
         let mut p = RingState::new_first(PeerId(5), PeerValue(50), RingConfig::test(2));
         p.phase = RingPhase::Leaving;
         let mut fx = Effects::new();
-        let mut events = Vec::new();
         let err = p
-            .insert_succ(ctx_at(5, 1), PeerId(9), PeerValue(55), &mut fx, &mut events)
+            .insert_succ(ctx_at(5, 1), PeerId(9), PeerValue(55), &mut fx)
             .unwrap_err();
         assert_eq!(err, Error::NotJoined(PeerId(5)));
         assert!(matches!(
-            events[0],
+            p.drain_events()[0],
             RingEvent::InsertSuccAborted { new_peer } if new_peer == PeerId(9)
         ));
     }
@@ -308,12 +297,11 @@ mod tests {
         p5.succ_list = vec![joined(1, 10), joined(2, 20)];
         p5.pred = Some((PeerId(4), PeerValue(40)));
         let mut fx = Effects::new();
-        let mut events = Vec::new();
-        p5.insert_succ(ctx_at(5, 1), PeerId(9), PeerValue(55), &mut fx, &mut events)
+        p5.insert_succ(ctx_at(5, 1), PeerId(9), PeerValue(55), &mut fx)
             .unwrap();
         fx.drain();
 
-        p5.on_join_ack(ctx_at(5, 2), PeerId(9), &mut fx, &mut events);
+        p5.on_join_ack(ctx_at(5, 2), PeerId(9), &mut fx);
         assert_eq!(p5.phase(), RingPhase::Joined);
         assert_eq!(p5.succ_list()[0].state, EntryState::Joined);
         let effects = fx.drain();
@@ -338,7 +326,7 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         // A duplicate ack is ignored.
-        p5.on_join_ack(ctx_at(5, 3), PeerId(9), &mut fx, &mut events);
+        p5.on_join_ack(ctx_at(5, 3), PeerId(9), &mut fx);
         assert!(fx.is_empty());
     }
 
@@ -348,11 +336,10 @@ mod tests {
         p5.succ_list = vec![joined(1, 10)];
         p5.pred = Some((PeerId(4), PeerValue(40)));
         let mut fx = Effects::new();
-        let mut events = Vec::new();
-        p5.insert_succ(ctx_at(5, 1), PeerId(9), PeerValue(55), &mut fx, &mut events)
+        p5.insert_succ(ctx_at(5, 1), PeerId(9), PeerValue(55), &mut fx)
             .unwrap();
         fx.drain();
-        p5.on_join_ack(ctx_at(5, 2), PeerId(77), &mut fx, &mut events);
+        p5.on_join_ack(ctx_at(5, 2), PeerId(77), &mut fx);
         assert_eq!(p5.phase(), RingPhase::Inserting);
         assert!(fx.is_empty());
     }
@@ -361,7 +348,6 @@ mod tests {
     fn joining_peer_installs_list_and_confirms() {
         let mut p9 = RingState::new_free(PeerId(9), RingConfig::test(2));
         let mut fx = Effects::new();
-        let mut events = Vec::new();
         p9.on_join(
             ctx_at(9, 2),
             vec![joined(1, 10), joined(2, 20)],
@@ -369,8 +355,8 @@ mod tests {
             PeerValue(50),
             PeerValue(55),
             &mut fx,
-            &mut events,
         );
+        let events = p9.drain_events();
         assert_eq!(p9.phase(), RingPhase::Joined);
         assert_eq!(p9.value(), PeerValue(55));
         assert_eq!(p9.pred(), Some((PeerId(5), PeerValue(50))));
@@ -388,18 +374,19 @@ mod tests {
             Effect::Send { to, msg: RingMsg::JoinInstalled } if *to == PeerId(5)
         )));
         // Timers started.
-        assert!(effects
-            .iter()
-            .filter(|e| matches!(e, Effect::Timer { .. }))
-            .count()
-            >= 2);
+        assert!(
+            effects
+                .iter()
+                .filter(|e| matches!(e, Effect::Timer { .. }))
+                .count()
+                >= 2
+        );
     }
 
     #[test]
     fn joining_with_empty_list_points_back_at_inserter() {
         let mut p9 = RingState::new_free(PeerId(9), RingConfig::test(2));
         let mut fx = Effects::new();
-        let mut events = Vec::new();
         p9.on_join(
             ctx_at(9, 2),
             vec![],
@@ -407,7 +394,6 @@ mod tests {
             PeerValue(50),
             PeerValue(55),
             &mut fx,
-            &mut events,
         );
         assert_eq!(p9.succ_list()[0].peer, PeerId(5));
     }
@@ -418,13 +404,12 @@ mod tests {
         p5.succ_list = vec![joined(1, 10)];
         p5.pred = Some((PeerId(4), PeerValue(40)));
         let mut fx = Effects::new();
-        let mut events = Vec::new();
-        p5.insert_succ(ctx_at(5, 1), PeerId(9), PeerValue(55), &mut fx, &mut events)
+        p5.insert_succ(ctx_at(5, 1), PeerId(9), PeerValue(55), &mut fx)
             .unwrap();
-        p5.on_join_ack(ctx_at(5, 2), PeerId(9), &mut fx, &mut events);
-        events.clear();
-        p5.on_join_installed(ctx_at(5, 3), PeerId(9), &mut events);
-        match &events[0] {
+        p5.on_join_ack(ctx_at(5, 2), PeerId(9), &mut fx);
+        p5.drain_events();
+        p5.on_join_installed(ctx_at(5, 3), PeerId(9));
+        match &p5.drain_events()[0] {
             RingEvent::InsertSuccComplete { new_peer, elapsed } => {
                 assert_eq!(*new_peer, PeerId(9));
                 assert_eq!(*elapsed, Duration::from_secs(2));
@@ -432,9 +417,8 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         // Duplicate confirmations are ignored.
-        events.clear();
-        p5.on_join_installed(ctx_at(5, 4), PeerId(9), &mut events);
-        assert!(events.is_empty());
+        p5.on_join_installed(ctx_at(5, 4), PeerId(9));
+        assert!(p5.drain_events().is_empty());
     }
 
     #[test]
@@ -442,7 +426,6 @@ mod tests {
         let mut p = RingState::new_first(PeerId(9), PeerValue(55), RingConfig::test(2));
         let before = p.succ_list().to_vec();
         let mut fx = Effects::new();
-        let mut events = Vec::new();
         p.on_join(
             ctx_at(9, 2),
             vec![joined(1, 10)],
@@ -450,10 +433,9 @@ mod tests {
             PeerValue(50),
             PeerValue(60),
             &mut fx,
-            &mut events,
         );
         assert_eq!(p.succ_list(), &before[..]);
         assert_eq!(p.value(), PeerValue(55));
-        assert!(events.is_empty());
+        assert!(p.drain_events().is_empty());
     }
 }

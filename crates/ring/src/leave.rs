@@ -24,12 +24,7 @@ impl RingState {
     /// With the PEPPER protocol [`RingEvent::LeaveComplete`] is emitted once
     /// the leave ack arrives; with the naive protocol it is emitted
     /// immediately and the peer departs on the spot.
-    pub fn leave(
-        &mut self,
-        ctx: LayerCtx,
-        fx: &mut Effects<RingMsg>,
-        events: &mut Vec<RingEvent>,
-    ) -> Result<()> {
+    pub fn leave(&mut self, ctx: LayerCtx, fx: &mut Effects<RingMsg>) -> Result<()> {
         if self.phase != RingPhase::Joined {
             return Err(Error::NotJoined(self.id));
         }
@@ -38,7 +33,7 @@ impl RingState {
         if !self.cfg.pepper_leave {
             // Naive leave: just go. The ring is not told anything; dangling
             // pointers are discovered later by pings and stabilization.
-            events.push(RingEvent::LeaveComplete {
+            self.emit(RingEvent::LeaveComplete {
                 elapsed: std::time::Duration::ZERO,
             });
             return Ok(());
@@ -54,7 +49,7 @@ impl RingState {
             _ => {
                 // Only peer in the ring: nobody points at us, leaving cannot
                 // reduce availability.
-                self.on_leave_ack(ctx, events);
+                self.on_leave_ack(ctx);
             }
         }
         Ok(())
@@ -62,7 +57,7 @@ impl RingState {
 
     /// Handles the leave ack: all predecessors pointing at this peer have
     /// lengthened their successor lists, so it is safe to go.
-    pub(crate) fn on_leave_ack(&mut self, ctx: LayerCtx, events: &mut Vec<RingEvent>) {
+    pub(crate) fn on_leave_ack(&mut self, ctx: LayerCtx) {
         if self.phase != RingPhase::Leaving {
             return;
         }
@@ -74,7 +69,7 @@ impl RingState {
         // `depart`. Emitting the event twice is prevented by clearing the
         // start timestamp.
         self.leave_started = None;
-        events.push(RingEvent::LeaveComplete {
+        self.emit(RingEvent::LeaveComplete {
             elapsed: ctx.now - started,
         });
     }
@@ -85,7 +80,7 @@ mod tests {
     use super::*;
     use crate::config::RingConfig;
     use crate::entry::SuccEntry;
-    use pepper_net::{Effect, SimTime};
+    use pepper_net::{Effect, ProtocolLayer, SimTime};
     use pepper_types::{PeerId, PeerValue};
     use std::time::Duration;
 
@@ -103,10 +98,9 @@ mod tests {
         p.succ_list = vec![joined(1, 10), joined(2, 20)];
         p.pred = Some((PeerId(5), PeerValue(50)));
         let mut fx = Effects::new();
-        let mut events = Vec::new();
-        p.leave(ctx_at(7, 10), &mut fx, &mut events).unwrap();
+        p.leave(ctx_at(7, 10), &mut fx).unwrap();
         assert_eq!(p.phase(), RingPhase::Leaving);
-        assert!(events.is_empty());
+        assert!(p.drain_events().is_empty());
         // Predecessor is poked proactively.
         assert!(fx.iter().any(|e| matches!(
             e,
@@ -115,16 +109,15 @@ mod tests {
 
         // The ack completes the operation but the peer stays LEAVING until
         // the hand-off is done and `depart` is called.
-        p.on_leave_ack(ctx_at(7, 12), &mut events);
-        match &events[0] {
+        p.on_leave_ack(ctx_at(7, 12));
+        match &p.drain_events()[0] {
             RingEvent::LeaveComplete { elapsed } => assert_eq!(*elapsed, Duration::from_secs(2)),
             other => panic!("unexpected {other:?}"),
         }
         assert_eq!(p.phase(), RingPhase::Leaving);
         // A duplicate ack does not emit a second completion.
-        events.clear();
-        p.on_leave_ack(ctx_at(7, 13), &mut events);
-        assert!(events.is_empty());
+        p.on_leave_ack(ctx_at(7, 13));
+        assert!(p.drain_events().is_empty());
 
         p.depart();
         assert_eq!(p.phase(), RingPhase::Free);
@@ -136,10 +129,9 @@ mod tests {
         p.succ_list = vec![joined(1, 10)];
         p.pred = Some((PeerId(5), PeerValue(50)));
         let mut fx = Effects::new();
-        let mut events = Vec::new();
-        p.leave(ctx_at(7, 10), &mut fx, &mut events).unwrap();
+        p.leave(ctx_at(7, 10), &mut fx).unwrap();
         assert!(matches!(
-            events[0],
+            p.drain_events()[0],
             RingEvent::LeaveComplete { elapsed } if elapsed == Duration::ZERO
         ));
         // No ring traffic whatsoever.
@@ -150,9 +142,9 @@ mod tests {
     fn only_peer_in_ring_leaves_instantly() {
         let mut p = RingState::new_first(PeerId(0), PeerValue(1), RingConfig::test(2));
         let mut fx = Effects::new();
-        let mut events = Vec::new();
-        p.leave(ctx_at(0, 3), &mut fx, &mut events).unwrap();
-        assert!(events
+        p.leave(ctx_at(0, 3), &mut fx).unwrap();
+        assert!(p
+            .drain_events()
             .iter()
             .any(|e| matches!(e, RingEvent::LeaveComplete { .. })));
     }
@@ -162,18 +154,16 @@ mod tests {
         let mut p = RingState::new_first(PeerId(7), PeerValue(70), RingConfig::test(2));
         p.phase = RingPhase::Inserting;
         let mut fx = Effects::new();
-        let mut events = Vec::new();
-        assert!(p.leave(ctx_at(7, 1), &mut fx, &mut events).is_err());
+        assert!(p.leave(ctx_at(7, 1), &mut fx).is_err());
         let mut free = RingState::new_free(PeerId(8), RingConfig::test(2));
-        assert!(free.leave(ctx_at(8, 1), &mut fx, &mut events).is_err());
+        assert!(free.leave(ctx_at(8, 1), &mut fx).is_err());
     }
 
     #[test]
     fn stray_leave_ack_is_ignored() {
         let mut p = RingState::new_first(PeerId(7), PeerValue(70), RingConfig::test(2));
-        let mut events = Vec::new();
-        p.on_leave_ack(ctx_at(7, 1), &mut events);
-        assert!(events.is_empty());
+        p.on_leave_ack(ctx_at(7, 1));
+        assert!(p.drain_events().is_empty());
         assert_eq!(p.phase(), RingPhase::Joined);
     }
 }

@@ -79,7 +79,6 @@ impl RingState {
         seq: u64,
         member: bool,
         state: EntryState,
-        events: &mut Vec<RingEvent>,
     ) {
         let answered = self.answered_pings.entry(from).or_insert(0);
         *answered = (*answered).max(seq);
@@ -90,7 +89,7 @@ impl RingState {
             // The peer has departed the ring (graceful leave already
             // completed): drop it from the list.
             if self.remove_peer(from) {
-                self.maybe_emit_new_successor(events);
+                self.maybe_emit_new_successor();
             }
             return;
         }
@@ -105,13 +104,7 @@ impl RingState {
 
     /// Handles a ping timeout: if no reply with a sequence at least `seq`
     /// arrived from `target`, declare it failed.
-    pub(crate) fn on_ping_timeout(
-        &mut self,
-        _ctx: LayerCtx,
-        target: PeerId,
-        seq: u64,
-        events: &mut Vec<RingEvent>,
-    ) {
+    pub(crate) fn on_ping_timeout(&mut self, _ctx: LayerCtx, target: PeerId, seq: u64) {
         if !self.is_member() {
             return;
         }
@@ -121,7 +114,7 @@ impl RingState {
         }
         self.outstanding_pings.remove(&target);
         if self.remove_peer(target) {
-            events.push(RingEvent::SuccessorFailed { peer: target });
+            self.emit(RingEvent::SuccessorFailed { peer: target });
             // If the head of the list is now a JOINING entry whose inserter
             // just failed, it will never be promoted by its inserter; drop it
             // and let stabilization rebuild the list.
@@ -130,7 +123,7 @@ impl RingState {
                     self.succ_list.remove(0);
                 }
             }
-            self.maybe_emit_new_successor(events);
+            self.maybe_emit_new_successor();
         }
     }
 }
@@ -140,7 +133,7 @@ mod tests {
     use super::*;
     use crate::config::RingConfig;
     use crate::entry::SuccEntry;
-    use pepper_net::{Effect, SimTime};
+    use pepper_net::{Effect, ProtocolLayer, SimTime};
     use pepper_types::PeerValue;
 
     fn ctx(id: u64) -> LayerCtx {
@@ -210,7 +203,10 @@ mod tests {
         p.on_ping(ctx(4), PeerId(3), 8, &mut fx);
         assert!(matches!(
             &fx.drain()[0],
-            Effect::Send { msg: RingMsg::PingReply { member: false, .. }, .. }
+            Effect::Send {
+                msg: RingMsg::PingReply { member: false, .. },
+                ..
+            }
         ));
     }
 
@@ -219,8 +215,8 @@ mod tests {
         let mut p = member_with(vec![joined(5, 50), joined(1, 10)]);
         let mut fx = Effects::new();
         p.on_ping_tick(ctx(4), &mut fx);
-        let mut events = Vec::new();
-        p.on_ping_timeout(ctx(4), PeerId(5), 1, &mut events);
+        p.on_ping_timeout(ctx(4), PeerId(5), 1);
+        let events = p.drain_events();
         assert!(events
             .iter()
             .any(|e| matches!(e, RingEvent::SuccessorFailed { peer } if *peer == PeerId(5))));
@@ -236,20 +232,19 @@ mod tests {
         let mut p = member_with(vec![joined(5, 50), joined(1, 10)]);
         let mut fx = Effects::new();
         p.on_ping_tick(ctx(4), &mut fx);
-        let mut events = Vec::new();
-        p.on_ping_reply(ctx(4), PeerId(5), 1, true, EntryState::Joined, &mut events);
-        p.on_ping_timeout(ctx(4), PeerId(5), 1, &mut events);
+        p.on_ping_reply(ctx(4), PeerId(5), 1, true, EntryState::Joined);
+        p.on_ping_timeout(ctx(4), PeerId(5), 1);
         assert!(p.succ_list().iter().any(|e| e.peer == PeerId(5)));
-        assert!(events.is_empty());
+        assert!(p.drain_events().is_empty());
     }
 
     #[test]
     fn reply_with_member_false_removes_departed_peer() {
         let mut p = member_with(vec![joined(7, 45), joined(5, 50)]);
-        let mut events = Vec::new();
-        p.on_ping_reply(ctx(4), PeerId(7), 1, false, EntryState::Joined, &mut events);
+        p.on_ping_reply(ctx(4), PeerId(7), 1, false, EntryState::Joined);
         assert!(p.succ_list().iter().all(|e| e.peer != PeerId(7)));
-        assert!(events
+        assert!(p
+            .drain_events()
             .iter()
             .any(|e| matches!(e, RingEvent::NewSuccessor { peer, .. } if *peer == PeerId(5))));
     }
@@ -257,8 +252,7 @@ mod tests {
     #[test]
     fn reply_updates_advertised_state_to_leaving() {
         let mut p = member_with(vec![joined(5, 50), joined(1, 10)]);
-        let mut events = Vec::new();
-        p.on_ping_reply(ctx(4), PeerId(5), 1, true, EntryState::Leaving, &mut events);
+        p.on_ping_reply(ctx(4), PeerId(5), 1, true, EntryState::Leaving);
         assert_eq!(p.succ_list()[0].state, EntryState::Leaving);
     }
 
@@ -271,11 +265,10 @@ mod tests {
         // stale seq-1 timeout must not remove it.
         p.on_ping_tick(ctx(4), &mut fx);
         p.on_ping_tick(ctx(4), &mut fx);
-        let mut events = Vec::new();
-        p.on_ping_reply(ctx(4), PeerId(5), 2, true, EntryState::Joined, &mut events);
-        p.on_ping_timeout(ctx(4), PeerId(5), 1, &mut events);
+        p.on_ping_reply(ctx(4), PeerId(5), 2, true, EntryState::Joined);
+        p.on_ping_timeout(ctx(4), PeerId(5), 1);
         assert!(p.succ_list().iter().any(|e| e.peer == PeerId(5)));
-        assert!(events.is_empty());
+        assert!(p.drain_events().is_empty());
     }
 
     #[test]
@@ -287,11 +280,11 @@ mod tests {
         p.on_ping_tick(ctx(4), &mut fx);
         p.on_ping_tick(ctx(4), &mut fx);
         p.on_ping_tick(ctx(4), &mut fx);
-        let mut events = Vec::new();
         // No reply ever arrived: the oldest timeout already removes the peer.
-        p.on_ping_timeout(ctx(4), PeerId(5), 1, &mut events);
+        p.on_ping_timeout(ctx(4), PeerId(5), 1);
         assert!(p.succ_list().iter().all(|e| e.peer != PeerId(5)));
-        assert!(events
+        assert!(p
+            .drain_events()
             .iter()
             .any(|e| matches!(e, RingEvent::SuccessorFailed { peer } if *peer == PeerId(5))));
     }
@@ -308,8 +301,7 @@ mod tests {
         // the JOINING entry is at the head and must be dropped too.
         let mut fx = Effects::new();
         p.on_ping_tick(ctx(4), &mut fx);
-        let mut events = Vec::new();
-        p.on_ping_timeout(ctx(4), PeerId(5), 1, &mut events);
+        p.on_ping_timeout(ctx(4), PeerId(5), 1);
         let peers: Vec<PeerId> = p.succ_list().iter().map(|e| e.peer).collect();
         assert_eq!(peers, vec![PeerId(1)]);
     }

@@ -21,7 +21,6 @@ use pepper_net::{Effects, LayerCtx};
 use pepper_types::{PeerId, PeerValue};
 
 use crate::entry::{EntryState, RingPhase, SuccEntry};
-use crate::events::RingEvent;
 use crate::messages::RingMsg;
 use crate::state::RingState;
 
@@ -38,21 +37,26 @@ impl RingState {
         self.run_stabilization(ctx, fx);
     }
 
-    /// Sends a stabilization request to the first eligible successor.
-    pub(crate) fn run_stabilization(&mut self, _ctx: LayerCtx, fx: &mut Effects<RingMsg>) {
-        if !self.is_member() {
-            return;
-        }
+    /// The peer this node currently stabilizes with: the first `JOINED`
+    /// successor (skipping a `JOINING` head while an `insertSucc` is in
+    /// flight). Used both to address the request and to validate responses.
+    pub(crate) fn stabilization_target(&self) -> Option<PeerId> {
         let skip_first = self.phase == RingPhase::Inserting;
-        let target = self
-            .succ_list
+        self.succ_list
             .iter()
             .enumerate()
             .find(|(i, e)| {
                 e.state == EntryState::Joined && (!skip_first || *i > 0) && e.peer != self.id
             })
-            .map(|(_, e)| e.peer);
-        if let Some(target) = target {
+            .map(|(_, e)| e.peer)
+    }
+
+    /// Sends a stabilization request to the first eligible successor.
+    pub(crate) fn run_stabilization(&mut self, _ctx: LayerCtx, fx: &mut Effects<RingMsg>) {
+        if !self.is_member() {
+            return;
+        }
+        if let Some(target) = self.stabilization_target() {
             fx.send(
                 target,
                 RingMsg::StabRequest {
@@ -70,13 +74,12 @@ impl RingState {
         from: PeerId,
         from_value: PeerValue,
         fx: &mut Effects<RingMsg>,
-        events: &mut Vec<RingEvent>,
     ) {
         // JOINING and FREE peers do not answer stabilization requests.
         if !self.is_member() {
             return;
         }
-        self.update_pred(from, from_value, events);
+        self.update_pred(from, from_value);
         fx.send(
             from,
             RingMsg::StabResponse {
@@ -89,7 +92,6 @@ impl RingState {
 
     /// Handles the successor's stabilization response: rebuild the successor
     /// list and fire the join / leave acknowledgements when appropriate.
-    #[allow(clippy::too_many_arguments)]
     pub(crate) fn on_stab_response(
         &mut self,
         _ctx: LayerCtx,
@@ -98,9 +100,19 @@ impl RingState {
         responder_state: EntryState,
         responder_value: PeerValue,
         fx: &mut Effects<RingMsg>,
-        events: &mut Vec<RingEvent>,
     ) {
         if !self.is_member() {
+            return;
+        }
+        // Stale-response guard: only adopt a list from the peer this node
+        // *currently* stabilizes with. The rebuild below anchors the new list
+        // at the responder and drops every non-LEAVING entry in front of it,
+        // so a response from a previous round — e.g. one requested from the
+        // old successor while an `insertSucc` was in flight, arriving after
+        // the new peer was promoted to JOINED — would silently exclude the
+        // newly joined peer from the ring forever (and let stale predecessor
+        // values corrupt the Data Store ranges downstream).
+        if self.stabilization_target() != Some(from) {
             return;
         }
 
@@ -166,12 +178,12 @@ impl RingState {
                     if len >= 3 {
                         let inserter = self.succ_list[len - 3].peer;
                         if inserter == self.id {
-                            self.complete_pending_insert_locally(_ctx, joining, fx, events);
+                            self.complete_pending_insert_locally(_ctx, joining, fx);
                         } else {
                             fx.send(inserter, RingMsg::JoinAck { joining });
                         }
                     } else {
-                        self.complete_pending_insert_locally(_ctx, joining, fx, events);
+                        self.complete_pending_insert_locally(_ctx, joining, fx);
                     }
                 }
                 EntryState::Leaving => {
@@ -182,13 +194,10 @@ impl RingState {
         }
 
         // ---- events and proactive propagation -----------------------------
-        self.maybe_emit_new_successor(events);
+        self.maybe_emit_new_successor();
 
         if self.cfg.proactive_stabilization
-            && self
-                .succ_list
-                .iter()
-                .any(|e| e.state != EntryState::Joined)
+            && self.succ_list.iter().any(|e| e.state != EntryState::Joined)
         {
             if let Some((pred, _)) = self.pred {
                 if pred != self.id {
@@ -205,9 +214,8 @@ impl RingState {
         ctx: LayerCtx,
         joining: PeerId,
         fx: &mut Effects<RingMsg>,
-        events: &mut Vec<RingEvent>,
     ) {
-        self.on_join_ack(ctx, joining, fx, events);
+        self.on_join_ack(ctx, joining, fx);
     }
 }
 
@@ -215,7 +223,8 @@ impl RingState {
 mod tests {
     use super::*;
     use crate::config::RingConfig;
-    use pepper_net::{Effect, SimTime};
+    use crate::events::RingEvent;
+    use pepper_net::{Effect, ProtocolLayer, SimTime};
 
     fn ctx(id: u64) -> LayerCtx {
         LayerCtx::new(PeerId(id), SimTime::from_secs(1))
@@ -286,10 +295,12 @@ mod tests {
     fn request_records_predecessor_and_replies() {
         let mut p5 = member(5, 50, 2, vec![joined(1, 10), joined(2, 20)]);
         let mut fx = Effects::new();
-        let mut events = Vec::new();
-        p5.on_stab_request(ctx(5), PeerId(4), PeerValue(40), &mut fx, &mut events);
+        p5.on_stab_request(ctx(5), PeerId(4), PeerValue(40), &mut fx);
         assert_eq!(p5.pred(), Some((PeerId(4), PeerValue(40))));
-        assert!(matches!(events[0], RingEvent::NewPredecessor { peer, .. } if peer == PeerId(4)));
+        assert!(matches!(
+            p5.drain_events()[0],
+            RingEvent::NewPredecessor { peer, .. } if peer == PeerId(4)
+        ));
         let effects = fx.drain();
         match &effects[0] {
             Effect::Send {
@@ -314,10 +325,9 @@ mod tests {
     fn joining_and_free_peers_do_not_answer_stabilization() {
         let mut free = RingState::new_free(PeerId(3), RingConfig::test(2));
         let mut fx = Effects::new();
-        let mut events = Vec::new();
-        free.on_stab_request(ctx(3), PeerId(4), PeerValue(40), &mut fx, &mut events);
+        free.on_stab_request(ctx(3), PeerId(4), PeerValue(40), &mut fx);
         assert!(fx.is_empty());
-        assert!(events.is_empty());
+        assert!(free.drain_events().is_empty());
     }
 
     #[test]
@@ -325,7 +335,6 @@ mod tests {
         // p4 stabilizes with p5; p5's list is [p1, p2].
         let mut p4 = member(4, 40, 2, vec![joined(5, 50), joined(1, 10)]);
         let mut fx = Effects::new();
-        let mut events = Vec::new();
         p4.on_stab_response(
             ctx(4),
             PeerId(5),
@@ -333,16 +342,19 @@ mod tests {
             EntryState::Joined,
             PeerValue(50),
             &mut fx,
-            &mut events,
         );
         let peers: Vec<PeerId> = p4.succ_list().iter().map(|e| e.peer).collect();
         assert_eq!(peers, vec![PeerId(5), PeerId(1)]);
         assert!(p4.succ_list()[0].stabilized);
         assert!(!p4.succ_list()[1].stabilized);
         // No join/leave ack traffic for a plain stabilization.
-        assert!(fx
-            .iter()
-            .all(|e| !matches!(e, Effect::Send { msg: RingMsg::JoinAck { .. }, .. })));
+        assert!(fx.iter().all(|e| !matches!(
+            e,
+            Effect::Send {
+                msg: RingMsg::JoinAck { .. },
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -352,7 +364,6 @@ mod tests {
         // [p5, p*, p1] and p4 must ack the inserter p5.
         let mut p4 = member(4, 40, 2, vec![joined(5, 50), joined(1, 10)]);
         let mut fx = Effects::new();
-        let mut events = Vec::new();
         p4.on_stab_response(
             ctx(4),
             PeerId(5),
@@ -364,7 +375,6 @@ mod tests {
             EntryState::Joined,
             PeerValue(50),
             &mut fx,
-            &mut events,
         );
         let peers: Vec<PeerId> = p4.succ_list().iter().map(|e| e.peer).collect();
         assert_eq!(peers, vec![PeerId(5), PeerId(9), PeerId(1)]);
@@ -382,7 +392,6 @@ mod tests {
         // end of its trimmed list and no ack is sent.
         let mut p3 = member(3, 30, 2, vec![joined(4, 40), joined(5, 50)]);
         let mut fx = Effects::new();
-        let mut events = Vec::new();
         p3.on_stab_response(
             ctx(3),
             PeerId(4),
@@ -394,13 +403,16 @@ mod tests {
             EntryState::Joined,
             PeerValue(40),
             &mut fx,
-            &mut events,
         );
         let peers: Vec<PeerId> = p3.succ_list().iter().map(|e| e.peer).collect();
         assert_eq!(peers, vec![PeerId(4), PeerId(5)]);
-        assert!(!fx
-            .iter()
-            .any(|e| matches!(e, Effect::Send { msg: RingMsg::JoinAck { .. }, .. })));
+        assert!(!fx.iter().any(|e| matches!(
+            e,
+            Effect::Send {
+                msg: RingMsg::JoinAck { .. },
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -409,7 +421,6 @@ mod tests {
         // as a LEAVING prefix and lengthens to d + 1.
         let mut p5 = member(5, 50, 2, vec![joined(7, 55), joined(1, 10)]);
         let mut fx = Effects::new();
-        let mut events = Vec::new();
         p5.on_stab_response(
             ctx(5),
             PeerId(7),
@@ -417,7 +428,6 @@ mod tests {
             EntryState::Leaving,
             PeerValue(55),
             &mut fx,
-            &mut events,
         );
         let states: Vec<EntryState> = p5.succ_list().iter().map(|e| e.state).collect();
         assert_eq!(
@@ -430,7 +440,6 @@ mod tests {
         // LEAVING entry in the penultimate slot, acks the leaving peer.
         let mut p4 = member(4, 40, 2, vec![joined(5, 50), joined(7, 55)]);
         let mut fx4 = Effects::new();
-        let mut ev4 = Vec::new();
         p4.on_stab_response(
             ctx(4),
             PeerId(5),
@@ -438,7 +447,6 @@ mod tests {
             EntryState::Joined,
             PeerValue(50),
             &mut fx4,
-            &mut ev4,
         );
         let peers: Vec<PeerId> = p4.succ_list().iter().map(|e| e.peer).collect();
         assert_eq!(peers, vec![PeerId(5), PeerId(7), PeerId(1)]);
@@ -453,7 +461,6 @@ mod tests {
         let mut p4 = member(4, 40, 2, vec![joined(5, 50), joined(1, 10)]);
         p4.pred = Some((PeerId(3), PeerValue(30)));
         let mut fx = Effects::new();
-        let mut events = Vec::new();
         p4.on_stab_response(
             ctx(4),
             PeerId(5),
@@ -465,7 +472,6 @@ mod tests {
             EntryState::Joined,
             PeerValue(50),
             &mut fx,
-            &mut events,
         );
         assert!(fx.iter().any(|e| matches!(
             e,
@@ -478,7 +484,6 @@ mod tests {
         let mut p4 = member(4, 40, 2, vec![joined(5, 50), joined(1, 10)]);
         p4.last_new_succ = None;
         let mut fx = Effects::new();
-        let mut events = Vec::new();
         p4.on_stab_response(
             ctx(4),
             PeerId(5),
@@ -486,9 +491,9 @@ mod tests {
             EntryState::Joined,
             PeerValue(50),
             &mut fx,
-            &mut events,
         );
-        assert!(events
+        assert!(p4
+            .drain_events()
             .iter()
             .any(|e| matches!(e, RingEvent::NewSuccessor { peer, .. } if *peer == PeerId(5))));
     }
@@ -497,7 +502,6 @@ mod tests {
     fn duplicate_entries_are_removed() {
         let mut p = member(4, 40, 3, vec![joined(5, 50)]);
         let mut fx = Effects::new();
-        let mut events = Vec::new();
         p.on_stab_response(
             ctx(4),
             PeerId(5),
@@ -505,7 +509,6 @@ mod tests {
             EntryState::Joined,
             PeerValue(50),
             &mut fx,
-            &mut events,
         );
         let peers: Vec<PeerId> = p.succ_list().iter().map(|e| e.peer).collect();
         assert_eq!(peers, vec![PeerId(5), PeerId(1), PeerId(2)]);

@@ -12,7 +12,7 @@
 use std::collections::HashMap;
 use std::time::Duration;
 
-use pepper_net::{Effects, LayerCtx, SimTime};
+use pepper_net::{Effects, LayerCtx, ProtocolLayer, SimTime};
 use pepper_types::{PeerId, PeerValue};
 
 use crate::config::RingConfig;
@@ -47,6 +47,9 @@ pub struct RingState {
     pub(crate) answered_pings: HashMap<PeerId, u64>,
     pub(crate) last_new_succ: Option<PeerId>,
     pub(crate) timers_started: bool,
+    /// Events buffered for the composed peer, drained through
+    /// [`ProtocolLayer::drain_events`].
+    pub(crate) events: Vec<RingEvent>,
 }
 
 impl RingState {
@@ -68,6 +71,7 @@ impl RingState {
             answered_pings: HashMap::new(),
             last_new_succ: Some(id),
             timers_started: false,
+            events: Vec::new(),
         }
     }
 
@@ -88,6 +92,7 @@ impl RingState {
             answered_pings: HashMap::new(),
             last_new_succ: None,
             timers_started: false,
+            events: Vec::new(),
         }
     }
 
@@ -253,13 +258,18 @@ impl RingState {
         before != self.succ_list.len()
     }
 
+    /// Buffers an event for the composed peer.
+    pub(crate) fn emit(&mut self, event: RingEvent) {
+        self.events.push(event);
+    }
+
     /// Emits a [`RingEvent::NewSuccessor`] if the first stabilized `JOINED`
     /// successor changed since the last notification.
-    pub(crate) fn maybe_emit_new_successor(&mut self, events: &mut Vec<RingEvent>) {
+    pub(crate) fn maybe_emit_new_successor(&mut self) {
         if let Some(e) = self.stabilized_succ() {
             if self.last_new_succ != Some(e.peer) {
                 self.last_new_succ = Some(e.peer);
-                events.push(RingEvent::NewSuccessor {
+                self.emit(RingEvent::NewSuccessor {
                     peer: e.peer,
                     value: e.value,
                 });
@@ -269,74 +279,58 @@ impl RingState {
 
     /// Records a new predecessor, emitting [`RingEvent::NewPredecessor`] if
     /// the peer or its value changed.
-    pub(crate) fn update_pred(
-        &mut self,
-        peer: PeerId,
-        value: PeerValue,
-        events: &mut Vec<RingEvent>,
-    ) {
+    pub(crate) fn update_pred(&mut self, peer: PeerId, value: PeerValue) {
         if self.pred != Some((peer, value)) {
             self.pred = Some((peer, value));
-            events.push(RingEvent::NewPredecessor { peer, value });
+            self.emit(RingEvent::NewPredecessor { peer, value });
         }
     }
+}
 
-    // ------------------------------------------------------------------
-    // dispatch
-    // ------------------------------------------------------------------
+impl ProtocolLayer for RingState {
+    type Msg = RingMsg;
+    type Event = RingEvent;
 
-    /// Handles a ring message, emitting effects and events.
-    pub fn handle(
-        &mut self,
-        ctx: LayerCtx,
-        from: PeerId,
-        msg: RingMsg,
-        fx: &mut Effects<RingMsg>,
-        events: &mut Vec<RingEvent>,
-    ) {
+    fn start_timers(&mut self, ctx: LayerCtx, fx: &mut Effects<RingMsg>) {
+        RingState::start_timers(self, ctx, fx);
+    }
+
+    fn handle(&mut self, ctx: LayerCtx, from: PeerId, msg: RingMsg, fx: &mut Effects<RingMsg>) {
         match msg {
             RingMsg::StabilizeTick => self.on_stabilize_tick(ctx, fx),
             RingMsg::StabilizeNow => self.on_stabilize_now(ctx, fx),
-            RingMsg::StabRequest { from_value } => {
-                self.on_stab_request(ctx, from, from_value, fx, events)
-            }
+            RingMsg::StabRequest { from_value } => self.on_stab_request(ctx, from, from_value, fx),
             RingMsg::StabResponse {
                 succ_list,
                 responder_state,
                 responder_value,
-            } => self.on_stab_response(
-                ctx,
-                from,
-                succ_list,
-                responder_state,
-                responder_value,
-                fx,
-                events,
-            ),
-            RingMsg::JoinAck { joining } => self.on_join_ack(ctx, joining, fx, events),
+            } => self.on_stab_response(ctx, from, succ_list, responder_state, responder_value, fx),
+            RingMsg::JoinAck { joining } => self.on_join_ack(ctx, joining, fx),
             RingMsg::Join {
                 succ_list,
                 pred,
                 pred_value,
                 your_value,
-            } => self.on_join(ctx, succ_list, pred, pred_value, your_value, fx, events),
+            } => self.on_join(ctx, succ_list, pred, pred_value, your_value, fx),
             RingMsg::NaiveJoin {
                 succ_list,
                 pred,
                 pred_value,
                 your_value,
-            } => self.on_join(ctx, succ_list, pred, pred_value, your_value, fx, events),
-            RingMsg::JoinInstalled => self.on_join_installed(ctx, from, events),
-            RingMsg::LeaveAck => self.on_leave_ack(ctx, events),
+            } => self.on_join(ctx, succ_list, pred, pred_value, your_value, fx),
+            RingMsg::JoinInstalled => self.on_join_installed(ctx, from),
+            RingMsg::LeaveAck => self.on_leave_ack(ctx),
             RingMsg::PingTick => self.on_ping_tick(ctx, fx),
             RingMsg::Ping { seq } => self.on_ping(ctx, from, seq, fx),
             RingMsg::PingReply { seq, member, state } => {
-                self.on_ping_reply(ctx, from, seq, member, state, events)
+                self.on_ping_reply(ctx, from, seq, member, state)
             }
-            RingMsg::PingTimeout { target, seq } => {
-                self.on_ping_timeout(ctx, target, seq, events)
-            }
+            RingMsg::PingTimeout { target, seq } => self.on_ping_timeout(ctx, target, seq),
         }
+    }
+
+    fn drain_events(&mut self) -> Vec<RingEvent> {
+        std::mem::take(&mut self.events)
     }
 }
 
@@ -464,24 +458,22 @@ mod tests {
     fn new_successor_event_fires_once_per_change() {
         let mut s = RingState::new_free(PeerId(0), RingConfig::test(2));
         s.succ_list = vec![joined(1, 1)];
-        let mut events = Vec::new();
-        s.maybe_emit_new_successor(&mut events);
-        s.maybe_emit_new_successor(&mut events);
-        assert_eq!(events.len(), 1);
+        s.maybe_emit_new_successor();
+        s.maybe_emit_new_successor();
+        assert_eq!(s.drain_events().len(), 1);
         s.succ_list = vec![joined(2, 2)];
-        s.maybe_emit_new_successor(&mut events);
-        assert_eq!(events.len(), 2);
+        s.maybe_emit_new_successor();
+        assert_eq!(s.drain_events().len(), 1);
     }
 
     #[test]
     fn update_pred_emits_on_change_only() {
         let mut s = RingState::new_free(PeerId(0), RingConfig::test(2));
-        let mut events = Vec::new();
-        s.update_pred(PeerId(3), PeerValue(30), &mut events);
-        s.update_pred(PeerId(3), PeerValue(30), &mut events);
-        assert_eq!(events.len(), 1);
-        s.update_pred(PeerId(3), PeerValue(31), &mut events);
-        assert_eq!(events.len(), 2);
+        s.update_pred(PeerId(3), PeerValue(30));
+        s.update_pred(PeerId(3), PeerValue(30));
+        assert_eq!(s.drain_events().len(), 1);
+        s.update_pred(PeerId(3), PeerValue(31));
+        assert_eq!(s.drain_events().len(), 1);
         assert_eq!(s.pred(), Some((PeerId(3), PeerValue(31))));
     }
 

@@ -24,4 +24,4 @@ pub mod messages;
 pub mod router;
 
 pub use messages::RouterMsg;
-pub use router::{HierarchicalRouter, RouterConfig};
+pub use router::{HierarchicalRouter, RouterConfig, RouterEvent};

@@ -2,11 +2,20 @@
 
 use std::time::Duration;
 
-use pepper_net::{Effects, LayerCtx};
+use pepper_net::{Effects, LayerCtx, ProtocolLayer};
 use pepper_types::range::in_open;
 use pepper_types::{PeerId, PeerValue, SystemConfig};
 
 use crate::messages::RouterMsg;
+
+/// Events reported by the content router.
+///
+/// The router is a pure cache: it currently has nothing to tell the composed
+/// peer, so this enum is uninhabited — it exists so the router satisfies the
+/// uniform [`ProtocolLayer`] contract, and documents where future events
+/// (e.g. "shortcut table converged") would go.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterEvent {}
 
 /// Configuration of the content router.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -101,18 +110,71 @@ impl HierarchicalRouter {
         }
     }
 
+    /// One maintenance round: level `i` is refreshed by asking the level
+    /// `i-1` target for *its* level `i-1` shortcut (doubling the distance).
+    fn run_maintenance(&mut self, fx: &mut Effects<RouterMsg>) {
+        for slot in 1..self.entries.len() {
+            if let Some((peer, _)) = self.entries[slot - 1] {
+                if peer != self.id {
+                    fx.send(
+                        peer,
+                        RouterMsg::GetEntry {
+                            level: slot - 1,
+                            slot,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Chooses the next hop towards the peer responsible for `target`:
+    /// the farthest shortcut that lies strictly between this peer's value and
+    /// the target (so it never overshoots), falling back to the successor.
+    ///
+    /// Returns `None` when the router knows no other peer.
+    pub fn next_hop(
+        &self,
+        self_value: PeerValue,
+        target: PeerValue,
+    ) -> Option<(PeerId, PeerValue)> {
+        let mut best: Option<(PeerId, PeerValue)> = None;
+        for entry in self.entries.iter().flatten() {
+            let (peer, value) = *entry;
+            if peer == self.id {
+                continue;
+            }
+            if in_open(self_value.raw(), value.raw(), target.raw()) {
+                match best {
+                    Some((_, best_value))
+                        if !in_open(best_value.raw(), value.raw(), target.raw()) => {}
+                    _ => best = Some((peer, value)),
+                }
+            }
+        }
+        best.or_else(|| self.entries[0].filter(|(p, _)| *p != self.id))
+    }
+}
+
+impl ProtocolLayer for HierarchicalRouter {
+    type Msg = RouterMsg;
+    type Event = RouterEvent;
+
     /// Schedules the periodic maintenance timer. Idempotent.
-    pub fn start_timers(&mut self, _ctx: LayerCtx, fx: &mut Effects<RouterMsg>) {
+    fn start_timers(&mut self, _ctx: LayerCtx, fx: &mut Effects<RouterMsg>) {
         if self.timers_started {
             return;
         }
         self.timers_started = true;
         let stagger = Duration::from_micros((self.id.raw() % 83) * 400);
-        fx.timer(self.cfg.maintain_period / 2 + stagger, RouterMsg::MaintainTick);
+        fx.timer(
+            self.cfg.maintain_period / 2 + stagger,
+            RouterMsg::MaintainTick,
+        );
     }
 
     /// Handles a router message.
-    pub fn handle(
+    fn handle(
         &mut self,
         _ctx: LayerCtx,
         from: PeerId,
@@ -137,45 +199,8 @@ impl HierarchicalRouter {
         }
     }
 
-    /// One maintenance round: level `i` is refreshed by asking the level
-    /// `i-1` target for *its* level `i-1` shortcut (doubling the distance).
-    fn run_maintenance(&mut self, fx: &mut Effects<RouterMsg>) {
-        for slot in 1..self.entries.len() {
-            if let Some((peer, _)) = self.entries[slot - 1] {
-                if peer != self.id {
-                    fx.send(
-                        peer,
-                        RouterMsg::GetEntry {
-                            level: slot - 1,
-                            slot,
-                        },
-                    );
-                }
-            }
-        }
-    }
-
-    /// Chooses the next hop towards the peer responsible for `target`:
-    /// the farthest shortcut that lies strictly between this peer's value and
-    /// the target (so it never overshoots), falling back to the successor.
-    ///
-    /// Returns `None` when the router knows no other peer.
-    pub fn next_hop(&self, self_value: PeerValue, target: PeerValue) -> Option<(PeerId, PeerValue)> {
-        let mut best: Option<(PeerId, PeerValue)> = None;
-        for entry in self.entries.iter().flatten() {
-            let (peer, value) = *entry;
-            if peer == self.id {
-                continue;
-            }
-            if in_open(self_value.raw(), value.raw(), target.raw()) {
-                match best {
-                    Some((_, best_value))
-                        if !in_open(best_value.raw(), value.raw(), target.raw()) => {}
-                    _ => best = Some((peer, value)),
-                }
-            }
-        }
-        best.or_else(|| self.entries[0].filter(|(p, _)| *p != self.id))
+    fn drain_events(&mut self) -> Vec<RouterEvent> {
+        Vec::new()
     }
 }
 
@@ -212,9 +237,13 @@ mod tests {
         r.handle(ctx(0), PeerId(0), RouterMsg::MaintainTick, &mut fx);
         let effects = fx.drain();
         // Re-armed timer plus one GetEntry per populated predecessor level.
-        assert!(effects
-            .iter()
-            .any(|e| matches!(e, Effect::Timer { msg: RouterMsg::MaintainTick, .. })));
+        assert!(effects.iter().any(|e| matches!(
+            e,
+            Effect::Timer {
+                msg: RouterMsg::MaintainTick,
+                ..
+            }
+        )));
         assert!(effects.iter().any(|e| matches!(
             e,
             Effect::Send { to, msg: RouterMsg::GetEntry { level: 0, slot: 1 } } if *to == PeerId(1)

@@ -106,9 +106,8 @@ impl Cluster {
         let pool_first = pool.clone();
         let sys_first = system.clone();
         let first_value = cfg.first_value;
-        let first = sim.add_node(move |id| {
-            PeerNode::first(id, PeerValue(first_value), sys_first, pool_first)
-        });
+        let first = sim
+            .add_node(move |id| PeerNode::first(id, PeerValue(first_value), sys_first, pool_first));
         sim.with_node_ctx(first, |node, ctx| node.start(ctx));
         let mut cluster = Cluster {
             sim,
@@ -175,7 +174,9 @@ impl Cluster {
     /// Issues the range query `[lo, hi]` at peer `at`.
     pub fn query_at(&mut self, at: PeerId, lo: u64, hi: u64) -> Option<QueryId> {
         self.sim
-            .with_node_ctx(at, |node, ctx| node.range_query(ctx, RangeQuery::closed(lo, hi)))
+            .with_node_ctx(at, |node, ctx| {
+                node.range_query(ctx, RangeQuery::closed(lo, hi))
+            })
             .flatten()
     }
 
@@ -226,7 +227,12 @@ impl Cluster {
             .peer_ids()
             .into_iter()
             .filter(|p| self.sim.is_alive(*p))
-            .filter(|p| self.sim.node(*p).map(|n| n.is_ring_member()).unwrap_or(false))
+            .filter(|p| {
+                self.sim
+                    .node(*p)
+                    .map(|n| n.is_ring_member())
+                    .unwrap_or(false)
+            })
             .collect()
     }
 
@@ -306,11 +312,7 @@ impl Cluster {
     }
 
     /// Kills a random alive ring member not listed in `exclude`.
-    pub fn kill_random_member(
-        &mut self,
-        rng: &mut impl Rng,
-        exclude: &[PeerId],
-    ) -> Option<PeerId> {
+    pub fn kill_random_member(&mut self, rng: &mut impl Rng, exclude: &[PeerId]) -> Option<PeerId> {
         let candidates: Vec<PeerId> = self
             .ring_members()
             .into_iter()

@@ -62,7 +62,12 @@ pub fn leave_then_fail_trial(system: SystemConfig, seed: u64) -> AvailabilityTri
     }
     let values: Vec<(PeerId, u64)> = members
         .iter()
-        .map(|p| (*p, cluster.node(*p).unwrap().data_store().range().high().raw()))
+        .map(|p| {
+            (
+                *p,
+                cluster.node(*p).unwrap().data_store().range().high().raw(),
+            )
+        })
         .collect();
     cluster.drain_observations();
 
@@ -160,7 +165,10 @@ pub fn ring_availability(effort: Effort, seed: u64) -> Table {
         "Ring availability after a leave followed by one failure (0 = naive, 1 = PEPPER)",
         &["pepper", "trials", "disconnected"],
     );
-    for (flag, protocol) in [(0.0, ProtocolConfig::naive()), (1.0, ProtocolConfig::pepper())] {
+    for (flag, protocol) in [
+        (0.0, ProtocolConfig::naive()),
+        (1.0, ProtocolConfig::pepper()),
+    ] {
         let mut done = 0usize;
         let mut disconnected = 0usize;
         for t in 0..trials {
@@ -185,7 +193,10 @@ pub fn item_availability(effort: Effort, seed: u64) -> Table {
         "Item availability after a merge followed by one failure (0 = naive, 1 = PEPPER)",
         &["pepper", "trials", "items_before", "items_lost"],
     );
-    for (flag, protocol) in [(0.0, ProtocolConfig::naive()), (1.0, ProtocolConfig::pepper())] {
+    for (flag, protocol) in [
+        (0.0, ProtocolConfig::naive()),
+        (1.0, ProtocolConfig::pepper()),
+    ] {
         let mut done = 0usize;
         let mut before = 0usize;
         let mut lost = 0usize;
@@ -209,8 +220,14 @@ mod tests {
     #[test]
     fn pepper_survives_leave_then_fail() {
         let trial = leave_then_fail_trial(availability_system(ProtocolConfig::pepper()), 61);
-        assert!(trial.leave_observed, "the workload must force a merge/leave");
-        assert!(!trial.disconnected, "PEPPER leave must not reduce availability");
+        assert!(
+            trial.leave_observed,
+            "the workload must force a merge/leave"
+        );
+        assert!(
+            !trial.disconnected,
+            "PEPPER leave must not reduce availability"
+        );
         // Item availability: with replicate-to-additional-hop the vast
         // majority of items survive the leave + failure. (A handful of items
         // whose replica refresh raced the merge can still be in flight; the

@@ -104,7 +104,10 @@ pub fn query_correctness(effort: Effort, seed: u64) -> Table {
         "Query correctness under churn (0 = naive, 1 = PEPPER)",
         &["pepper", "queries", "incorrect", "incorrect_fraction"],
     );
-    for (flag, protocol) in [(0.0, ProtocolConfig::naive()), (1.0, ProtocolConfig::pepper())] {
+    for (flag, protocol) in [
+        (0.0, ProtocolConfig::naive()),
+        (1.0, ProtocolConfig::pepper()),
+    ] {
         let outcome = run_correctness(
             SystemConfig::paper_defaults().with_protocol(protocol),
             seed,
@@ -115,7 +118,12 @@ pub fn query_correctness(effort: Effort, seed: u64) -> Table {
         } else {
             outcome.incorrect as f64 / outcome.queries as f64
         };
-        table.push_row(vec![flag, outcome.queries as f64, outcome.incorrect as f64, frac]);
+        table.push_row(vec![
+            flag,
+            outcome.queries as f64,
+            outcome.incorrect as f64,
+            frac,
+        ]);
     }
     table
 }
@@ -127,7 +135,14 @@ pub fn load_balance(effort: Effort, seed: u64) -> Table {
     let items = effort.scale(40, 150);
     let mut table = Table::new(
         "Storage balance (items per live peer) under different key distributions",
-        &["distribution", "peers", "mean_items", "min_items", "max_items", "max_over_mean"],
+        &[
+            "distribution",
+            "peers",
+            "mean_items",
+            "min_items",
+            "max_items",
+            "max_over_mean",
+        ],
     );
     let distributions = [
         (

@@ -142,7 +142,11 @@ pub fn figure_19(effort: Effort, seed: u64) -> Table {
 pub fn figure_20(effort: Effort, seed: u64) -> Table {
     let mut table = Table::new(
         "Figure 20: overhead of insertSucc vs ring stabilization period (seconds)",
-        &["stabilization_period_s", "pepper_insert_succ", "naive_insert_succ"],
+        &[
+            "stabilization_period_s",
+            "pepper_insert_succ",
+            "naive_insert_succ",
+        ],
     );
     let items = effort.scale(30, 120);
     let periods: Vec<u64> = match effort {
@@ -150,8 +154,8 @@ pub fn figure_20(effort: Effort, seed: u64) -> Table {
         Effort::Full => (2..=8).collect(),
     };
     for p in periods {
-        let system = SystemConfig::paper_defaults()
-            .with_stabilization_period(Duration::from_secs(p));
+        let system =
+            SystemConfig::paper_defaults().with_stabilization_period(Duration::from_secs(p));
         let pepper = measure_insert_succ(&InsertSuccRun::paper(system.clone(), items, seed));
         let naive = measure_insert_succ(&InsertSuccRun::paper(
             system.with_protocol(ProtocolConfig::naive()),
@@ -201,7 +205,11 @@ mod tests {
             30,
             seed,
         ));
-        assert!(pepper.count >= 2, "expected several splits, got {}", pepper.count);
+        assert!(
+            pepper.count >= 2,
+            "expected several splits, got {}",
+            pepper.count
+        );
         assert!(naive.count >= 2);
         // The consistency protocol costs more than the naive join…
         assert!(pepper.mean > naive.mean);

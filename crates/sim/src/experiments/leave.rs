@@ -65,7 +65,12 @@ pub fn measure_leave(system: SystemConfig, seed: u64, items: usize) -> LeaveMeas
 pub fn figure_22(effort: Effort, seed: u64) -> Table {
     let mut table = Table::new(
         "Figure 22: overhead of leave (milliseconds)",
-        &["succ_list_len", "leave_ring_plus_merge_ms", "leave_ring_ms", "naive_leave_ms"],
+        &[
+            "succ_list_len",
+            "leave_ring_plus_merge_ms",
+            "leave_ring_ms",
+            "naive_leave_ms",
+        ],
     );
     let items = effort.scale(24, 60);
     let lengths: Vec<usize> = match effort {
@@ -119,7 +124,11 @@ mod tests {
         assert!(pepper.leave.mean > naive.leave.mean);
         // …but stays far below the stabilization period thanks to the
         // proactive propagation (the paper reports ~100 ms).
-        assert!(pepper.leave.mean < 2.0, "leave mean = {}", pepper.leave.mean);
+        assert!(
+            pepper.leave.mean < 2.0,
+            "leave mean = {}",
+            pepper.leave.mean
+        );
         // The full merge includes the leave.
         assert!(pepper.merge.mean >= pepper.leave.mean);
     }

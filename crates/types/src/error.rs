@@ -45,7 +45,10 @@ impl fmt::Display for Error {
             Error::PeerNotFound(p) => write!(f, "peer {p} not found"),
             Error::NotJoined(p) => write!(f, "peer {p} has not completed joining"),
             Error::NotResponsible { peer, range } => {
-                write!(f, "peer {peer} (range {range}) is not responsible for the request")
+                write!(
+                    f,
+                    "peer {peer} (range {range}) is not responsible for the request"
+                )
             }
             Error::Aborted(why) => write!(f, "operation aborted: {why}"),
             Error::Timeout(what) => write!(f, "timed out: {what}"),

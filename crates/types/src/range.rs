@@ -488,7 +488,10 @@ mod tests {
     fn intersect_interval_non_wrapping() {
         let r = CircularRange::new(5u64, 10u64);
         let iv = KeyInterval::new(0, 100).unwrap();
-        assert_eq!(r.intersect_interval(&iv), vec![KeyInterval::new(6, 10).unwrap()]);
+        assert_eq!(
+            r.intersect_interval(&iv),
+            vec![KeyInterval::new(6, 10).unwrap()]
+        );
         let iv2 = KeyInterval::new(8, 9).unwrap();
         assert_eq!(r.intersect_interval(&iv2), vec![iv2]);
         let iv3 = KeyInterval::new(11, 20).unwrap();

@@ -48,7 +48,9 @@ fn main() {
 
     // Query a region of the battlespace.
     let issuer = cluster.first;
-    let id = cluster.query_at(issuer, 0, 200_000_000).expect("query registered");
+    let id = cluster
+        .query_at(issuer, 0, 200_000_000)
+        .expect("query registered");
     let outcome = cluster
         .wait_for_query(issuer, id, Duration::from_secs(30))
         .expect("query completed");
