@@ -29,8 +29,9 @@ fn bench_item_store(c: &mut Criterion) {
     c.bench_function("item_store_range_collect_1k", |b| {
         b.iter(|| black_box(store.items_in_interval(black_box(&iv))))
     });
+    let full_range = CircularRange::full(u64::MAX / 2);
     c.bench_function("item_store_split_point_1k", |b| {
-        b.iter(|| black_box(store.split_point()))
+        b.iter(|| black_box(store.split_point(black_box(&full_range))))
     });
 }
 

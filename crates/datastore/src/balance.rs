@@ -75,7 +75,57 @@ impl DataStoreState {
     pub fn cancel_rebalance(&mut self, fx: &mut Effects<DsMsg>) {
         self.rebalancing = false;
         self.pending_split = None;
+        self.handoff_to = None;
+        self.merge_requested_from = None;
         fx.timer(self.cfg.rebalance_retry_delay, DsMsg::RebalanceRetry);
+    }
+
+    /// Failure cleanup, driven by the ring's failure detector: `peer` has
+    /// been declared fail-stopped. Any two-sided transfer waiting on a reply
+    /// from `peer` would otherwise hang forever (stuck `rebalancing`, parked
+    /// item writes, storage bounds never re-checked). Copy-then-delete makes
+    /// every abort safe: the giving side still holds all items until the ack
+    /// that will now never come.
+    pub fn on_peer_failed(&mut self, ctx: LayerCtx, peer: PeerId, fx: &mut Effects<DsMsg>) {
+        // Drop deferred grants from the dead peer: its retained range is
+        // revived from replicas by its ring successor, so applying the stale
+        // grant here would double-own the granted sub-range. (The grant was
+        // a copy — the items live on as replicas — so nothing is lost.)
+        let had_grant = self.deferred.iter().any(|w| {
+            matches!(w,
+                DeferredWrite::ApplyRedistribute { granter, .. }
+                | DeferredWrite::ApplyMergeGrant { granter, .. } if *granter == peer)
+        });
+        if had_grant {
+            self.deferred.retain(|w| {
+                !matches!(w,
+                    DeferredWrite::ApplyRedistribute { granter, .. }
+                    | DeferredWrite::ApplyMergeGrant { granter, .. } if *granter == peer)
+            });
+            self.rebalancing = false;
+            fx.timer(self.cfg.rebalance_retry_delay, DsMsg::RebalanceRetry);
+        }
+        if self.handoff_to == Some(peer) {
+            // Split receiver died before acknowledging the hand-off.
+            self.handoff_to = None;
+            self.pending_split = None;
+            self.rebalancing = false;
+            self.unblock_item_writes(ctx, fx);
+            fx.timer(self.cfg.rebalance_retry_delay, DsMsg::RebalanceRetry);
+        }
+        if self.merge_requested_from == Some(peer) {
+            // The successor died before answering our merge request.
+            self.merge_requested_from = None;
+            self.rebalancing = false;
+            fx.timer(self.cfg.rebalance_retry_delay, DsMsg::RebalanceRetry);
+        }
+        if self.absorbing_leave_from == Some(peer) {
+            // The voluntary leaver died before granting; unlock early (the
+            // absorb timeout would catch it later).
+            self.absorbing_leave_from = None;
+            self.rebalancing = false;
+            self.recheck_balance();
+        }
     }
 
     pub(crate) fn on_rebalance_retry(&mut self, _ctx: LayerCtx) {
@@ -100,7 +150,7 @@ impl DataStoreState {
             self.rebalancing = false;
             return None;
         }
-        let Some(boundary) = self.store.split_point() else {
+        let Some(boundary) = self.store.split_point(&self.range) else {
             self.rebalancing = false;
             return None;
         };
@@ -137,6 +187,7 @@ impl DataStoreState {
         let moved = self.pending_split?;
         let items = self.store.items_in_range(&moved);
         self.item_writes_blocked = true;
+        self.handoff_to = Some(to);
         fx.send(
             to,
             DsMsg::HandoffInstall {
@@ -183,6 +234,7 @@ impl DataStoreState {
     /// Sends a merge request to the successor. Called by the index layer in
     /// response to [`DsEvent::MergeNeeded`].
     pub fn send_merge_request(&mut self, to: PeerId, fx: &mut Effects<DsMsg>) {
+        self.merge_requested_from = Some(to);
         fx.send(
             to,
             DsMsg::MergeRequest {
@@ -224,7 +276,7 @@ impl DataStoreState {
         // Redistribute: hand the lower portion over so both end up with
         // roughly `total / 2` items.
         let give = (total / 2).saturating_sub(requester_items).max(1);
-        let Some(new_boundary) = self.store.redistribute_point(give) else {
+        let Some(new_boundary) = self.store.redistribute_point(give, &self.range) else {
             fx.send(from, DsMsg::MergeDeclined);
             return;
         };
@@ -232,11 +284,22 @@ impl DataStoreState {
         let items = self.store.items_in_range(&moving);
         self.rebalancing = true;
         self.item_writes_blocked = true;
+        self.redistribute_give_boundary = Some(PeerValue(new_boundary));
         fx.send(
             from,
             DsMsg::RedistributeGrant {
                 items,
                 new_boundary: PeerValue(new_boundary),
+            },
+        );
+        // The requester is this peer's *predecessor*: its failure is
+        // invisible to the ping loop, so only a timer can end the wait.
+        fx.timer(
+            self.cfg.leave_absorb_timeout,
+            DsMsg::GiveTimeout {
+                to: from,
+                boundary: Some(PeerValue(new_boundary)),
+                attempt: 1,
             },
         );
     }
@@ -251,6 +314,7 @@ impl DataStoreState {
         new_boundary: PeerValue,
         fx: &mut Effects<DsMsg>,
     ) {
+        self.merge_requested_from = None;
         self.write_or_defer(
             ctx,
             DeferredWrite::ApplyRedistribute {
@@ -295,6 +359,16 @@ impl DataStoreState {
                 granter_value: range.high(),
             },
         );
+        // The requester is this peer's *predecessor*: its failure is
+        // invisible to the ping loop, so only a timer can end the wait.
+        fx.timer(
+            self.cfg.leave_absorb_timeout,
+            DsMsg::GiveTimeout {
+                to,
+                boundary: None,
+                attempt: 1,
+            },
+        );
         Some(to)
     }
 
@@ -318,6 +392,7 @@ impl DataStoreState {
         _granter_value: PeerValue,
         fx: &mut Effects<DsMsg>,
     ) {
+        self.merge_requested_from = None;
         self.write_or_defer(
             ctx,
             DeferredWrite::ApplyMergeGrant {
@@ -335,10 +410,258 @@ impl DataStoreState {
         self.write_or_defer(ctx, DeferredWrite::FinishMergeGive, fx);
     }
 
-    /// Requester side: the successor declined; retry later.
-    pub(crate) fn on_merge_declined(&mut self, _ctx: LayerCtx, fx: &mut Effects<DsMsg>) {
+    /// Requester side: the successor declined; retry later. Also unlocks a
+    /// predecessor whose accepted voluntary-leave offer was aborted by the
+    /// leaver (e.g. the ring refused to start the leave). The sender must
+    /// match the operation being declined — a stale decline from an
+    /// already-cleaned-up operation must not unlock an unrelated in-flight
+    /// one.
+    pub(crate) fn on_merge_declined(
+        &mut self,
+        _ctx: LayerCtx,
+        from: PeerId,
+        fx: &mut Effects<DsMsg>,
+    ) {
+        let was_requester = self.merge_requested_from == Some(from);
+        let was_absorbing = self.absorbing_leave_from == Some(from);
+        if !was_requester && !was_absorbing {
+            return;
+        }
+        if was_requester {
+            self.merge_requested_from = None;
+        }
+        if was_absorbing {
+            self.absorbing_leave_from = None;
+        }
         self.rebalancing = false;
         fx.timer(self.cfg.rebalance_retry_delay, DsMsg::RebalanceRetry);
+    }
+
+    // ------------------------------------------------------------------
+    // voluntary leave
+    // ------------------------------------------------------------------
+
+    /// Leaver side: offer this peer's entire range to its predecessor `pred`.
+    ///
+    /// The actual hand-off only starts once the predecessor acknowledges: the
+    /// ack locks the predecessor against concurrent splits/merges, so no new
+    /// peer can be inserted between the two while the grant is in flight
+    /// (the same protection the `rebalancing` flag gives the requester of an
+    /// underflow-driven merge). Returns `false` when this peer cannot leave
+    /// right now (free, rebalancing, sole owner of the ring, …).
+    pub fn begin_voluntary_leave(&mut self, pred: PeerId, fx: &mut Effects<DsMsg>) -> bool {
+        if self.status != DsStatus::Live
+            || self.rebalancing
+            || self.item_writes_blocked
+            || self.leave_offered_to.is_some()
+            || self.range.is_full()
+            || pred == self.id
+        {
+            return false;
+        }
+        self.leave_offered_to = Some(pred);
+        fx.send(
+            pred,
+            DsMsg::LeaveOffer {
+                leaver_value: self.range.high(),
+            },
+        );
+        // The predecessor's failure is invisible to the ping loop (it is
+        // behind this peer); time the offer out so a later leave can retry.
+        fx.timer(
+            self.cfg.leave_absorb_timeout,
+            DsMsg::LeaveOfferTimeout { to: pred },
+        );
+        true
+    }
+
+    /// Predecessor side: accept (and lock) or decline a voluntary-leave
+    /// offer. The offer is only accepted when it comes from this peer's
+    /// *direct* successor as currently cached — anything else means the
+    /// topology between the two has changed and absorbing the range would
+    /// corrupt the partition.
+    pub(crate) fn on_leave_offer(
+        &mut self,
+        _ctx: LayerCtx,
+        from: PeerId,
+        leaver_value: PeerValue,
+        fx: &mut Effects<DsMsg>,
+    ) {
+        // Only the peer identity is compared: the cached successor *value*
+        // reflects the moment the successor was announced and goes stale when
+        // the successor later splits (its value moves down). `leaver_value`
+        // stays in the message for diagnostics and tracing.
+        let _ = leaver_value;
+        let from_direct_successor = self.succ.map(|(p, _)| p) == Some(from);
+        if self.status != DsStatus::Live
+            || self.rebalancing
+            || self.item_writes_blocked
+            || self.absorbing_leave_from.is_some()
+            || !from_direct_successor
+        {
+            fx.send(from, DsMsg::LeaveOfferDeclined);
+            return;
+        }
+        self.rebalancing = true;
+        self.absorbing_leave_from = Some(from);
+        fx.send(from, DsMsg::LeaveOfferAck);
+        // Guard against the leaver failing mid-leave: unlock if the merge
+        // grant never arrives.
+        fx.timer(
+            self.cfg.leave_absorb_timeout,
+            DsMsg::LeaveAbsorbTimeout { from },
+        );
+    }
+
+    /// Leaver side: the predecessor is locked; run the availability
+    /// protections and grant, exactly like an underflow-driven full merge.
+    pub(crate) fn on_leave_offer_ack(
+        &mut self,
+        _ctx: LayerCtx,
+        from: PeerId,
+        fx: &mut Effects<DsMsg>,
+    ) {
+        if self.leave_offered_to != Some(from) {
+            return;
+        }
+        self.leave_offered_to = None;
+        if self.status != DsStatus::Live
+            || self.rebalancing
+            || self.item_writes_blocked
+            || self.range.is_full()
+        {
+            // A split/merge started while the offer was in flight: abort the
+            // leave and release the locked predecessor.
+            fx.send(from, DsMsg::MergeDeclined);
+            return;
+        }
+        self.rebalancing = true;
+        self.merge_give_to = Some(from);
+        self.emit(DsEvent::MergeGiveStarted { to: from });
+    }
+
+    /// Leaver side: the predecessor cannot absorb right now; stay in the
+    /// ring.
+    pub(crate) fn on_leave_offer_declined(&mut self, _ctx: LayerCtx, from: PeerId) {
+        if self.leave_offered_to == Some(from) {
+            self.leave_offered_to = None;
+        }
+    }
+
+    /// Predecessor side: the merge grant never arrived (the leaver probably
+    /// failed mid-leave); unlock.
+    pub(crate) fn on_leave_absorb_timeout(&mut self, _ctx: LayerCtx, from: PeerId) {
+        if self.absorbing_leave_from == Some(from) {
+            self.absorbing_leave_from = None;
+            self.rebalancing = false;
+            self.recheck_balance();
+        }
+    }
+
+    /// Giving side: the receiver's acknowledgement never arrived — it
+    /// fail-stopped mid-transfer (it is this peer's predecessor, invisible
+    /// to the ping loop).
+    ///
+    /// * A redistribute give is simply aborted: copy-then-delete means every
+    ///   item is still here, and the requester's range is revived by its own
+    ///   successor's takeover.
+    /// * A merge give cannot be aborted — this peer has already left the
+    ///   ring. It completes the give unilaterally instead: the pre-leave
+    ///   additional-hop replication has pushed every item it holds, so the
+    ///   takeover of this (now unowned) range revives them from replicas,
+    ///   exactly as if this peer had failed.
+    pub(crate) fn on_give_timeout(
+        &mut self,
+        ctx: LayerCtx,
+        to: PeerId,
+        boundary: Option<PeerValue>,
+        attempt: u32,
+        fx: &mut Effects<DsMsg>,
+    ) {
+        match boundary {
+            None => {
+                if self.merge_give_to == Some(to) {
+                    self.write_or_defer(ctx, DeferredWrite::FinishMergeGive, fx);
+                }
+            }
+            Some(b) => {
+                if self.redistribute_give_boundary != Some(b) {
+                    return; // resolved (acked or abort-acked) in the meantime
+                }
+                if attempt == 1 {
+                    // The requester may be alive with the grant parked
+                    // behind scan locks: ask it to drop the grant, and only
+                    // abort unilaterally if that, too, goes unanswered.
+                    fx.send(to, DsMsg::RedistributeAbort { new_boundary: b });
+                    fx.timer(
+                        self.cfg.leave_absorb_timeout,
+                        DsMsg::GiveTimeout {
+                            to,
+                            boundary: Some(b),
+                            attempt: 2,
+                        },
+                    );
+                } else {
+                    // Neither a RedistributeAck nor an abort ack within a
+                    // whole extra guard period: the requester is dead.
+                    // Copy-then-delete means every item is still here.
+                    self.redistribute_give_boundary = None;
+                    self.rebalancing = false;
+                    self.unblock_item_writes(ctx, fx);
+                    fx.timer(self.cfg.rebalance_retry_delay, DsMsg::RebalanceRetry);
+                }
+            }
+        }
+    }
+
+    /// Requester side: the granter's guard expired and it wants the grant
+    /// back. If the grant is still parked behind scan locks, drop it and
+    /// confirm; if it was already applied, ignore — our `RedistributeAck`
+    /// is on its way (per-pair FIFO delivery guarantees the grant itself
+    /// cannot still be in flight behind this abort).
+    pub(crate) fn on_redistribute_abort(
+        &mut self,
+        _ctx: LayerCtx,
+        from: PeerId,
+        new_boundary: PeerValue,
+        fx: &mut Effects<DsMsg>,
+    ) {
+        let before = self.deferred.len();
+        self.deferred.retain(|w| {
+            !matches!(w,
+                DeferredWrite::ApplyRedistribute { granter, new_boundary: b, .. }
+                    if *granter == from && *b == new_boundary)
+        });
+        if self.deferred.len() != before {
+            self.rebalancing = false;
+            fx.send(from, DsMsg::RedistributeAbortAck { new_boundary });
+            fx.timer(self.cfg.rebalance_retry_delay, DsMsg::RebalanceRetry);
+        }
+    }
+
+    /// Granter side: the requester dropped the unapplied grant; keep the
+    /// range and items and unlock.
+    pub(crate) fn on_redistribute_abort_ack(
+        &mut self,
+        ctx: LayerCtx,
+        new_boundary: PeerValue,
+        fx: &mut Effects<DsMsg>,
+    ) {
+        if self.redistribute_give_boundary == Some(new_boundary) {
+            self.redistribute_give_boundary = None;
+            self.rebalancing = false;
+            self.unblock_item_writes(ctx, fx);
+            fx.timer(self.cfg.rebalance_retry_delay, DsMsg::RebalanceRetry);
+        }
+    }
+
+    /// Leaver side: the offered predecessor never answered (failed, or the
+    /// cached pointer was stale); clear the offer so a later leave can be
+    /// attempted.
+    pub(crate) fn on_leave_offer_timeout(&mut self, _ctx: LayerCtx, to: PeerId) {
+        if self.leave_offered_to == Some(to) {
+            self.leave_offered_to = None;
+        }
     }
 
     // ------------------------------------------------------------------
@@ -367,10 +690,12 @@ impl DataStoreState {
                 };
                 self.range = new_range;
                 self.pending_split = None;
+                self.handoff_to = None;
                 self.rebalancing = false;
                 self.emit(DsEvent::RangeChanged {
                     range: self.range,
                     value: self.range.high(),
+                    grew: false,
                 });
                 self.unblock_item_writes(ctx, fx);
                 self.recheck_balance();
@@ -389,6 +714,7 @@ impl DataStoreState {
                 self.emit(DsEvent::RangeChanged {
                     range: self.range,
                     value: self.range.high(),
+                    grew: true,
                 });
                 fx.send(splitter, DsMsg::HandoffAck);
                 self.recheck_balance();
@@ -407,10 +733,20 @@ impl DataStoreState {
                 self.emit(DsEvent::RangeChanged {
                     range: self.range,
                     value: self.range.high(),
+                    grew: true,
                 });
                 fx.send(granter, DsMsg::RedistributeAck { new_boundary });
+                self.recheck_balance();
             }
             DeferredWrite::FinishRedistribute { new_boundary } => {
+                if self.redistribute_give_boundary != Some(new_boundary) {
+                    // Aborted by the give timeout (guard cleared), or a
+                    // stale ack from an earlier give (guard holds a newer
+                    // boundary): committing it would cut the range at the
+                    // wrong place.
+                    return;
+                }
+                self.redistribute_give_boundary = None;
                 let moving = CircularRange::new(self.range.low(), new_boundary);
                 let removed = self.store.take_range(&moving);
                 for (_, item) in &removed {
@@ -421,6 +757,7 @@ impl DataStoreState {
                 self.emit(DsEvent::RangeChanged {
                     range: self.range,
                     value: self.range.high(),
+                    grew: false,
                 });
                 self.unblock_item_writes(ctx, fx);
                 self.recheck_balance();
@@ -434,19 +771,42 @@ impl DataStoreState {
                     self.emit(DsEvent::ItemStored { item: item.clone() });
                     self.store.insert(mapped, item);
                 }
-                self.range = self
-                    .range
-                    .merge_with_successor(&range)
-                    .unwrap_or_else(|| CircularRange::new(self.range.low(), range.high()));
+                match self.range.merge_with_successor(&range) {
+                    Some(merged) => self.range = merged,
+                    None => {
+                        // The grant does not start where this range ends:
+                        // the granter departed across peers that failed in
+                        // between (their takeover had not happened yet).
+                        // Absorbing bridges their unowned stretch — report
+                        // it so the layer above revives its items from
+                        // replicas, exactly like a failure takeover.
+                        let gap = CircularRange::new(self.range.high(), range.low());
+                        if !gap.is_empty() {
+                            self.emit(DsEvent::RangeBridged { gap });
+                        }
+                        self.range = CircularRange::new(self.range.low(), range.high());
+                    }
+                }
                 self.rebalancing = false;
+                if self.absorbing_leave_from == Some(granter) {
+                    self.absorbing_leave_from = None;
+                }
                 self.emit(DsEvent::RangeChanged {
                     range: self.range,
                     value: self.range.high(),
+                    grew: true,
                 });
                 self.emit(DsEvent::AbsorbedSuccessor { granter });
                 fx.send(granter, DsMsg::MergeGrantAck);
+                // Absorbing a voluntary leaver can overflow a peer of any
+                // size; re-check so the split fires without waiting for the
+                // next item write.
+                self.recheck_balance();
             }
             DeferredWrite::FinishMergeGive => {
+                if self.status == DsStatus::Free {
+                    return; // already completed (e.g. give timeout + late ack)
+                }
                 let removed = self.store.drain_all();
                 for (_, item) in &removed {
                     self.emit(DsEvent::ItemRemoved { item: item.id });
@@ -759,8 +1119,14 @@ mod tests {
 
         let mut q = live_peer(1, 0, 30, &[10]);
         q.rebalancing = true;
+        q.merge_requested_from = Some(PeerId(2));
         let mut qfx = Effects::new();
-        q.on_merge_declined(ctx(1), &mut qfx);
+        // A decline from an unrelated peer is ignored.
+        q.on_merge_declined(ctx(1), PeerId(9), &mut qfx);
+        assert!(q.is_rebalancing());
+        assert!(qfx.is_empty());
+        // The decline from the peer actually asked releases the rebalance.
+        q.on_merge_declined(ctx(1), PeerId(2), &mut qfx);
         assert!(!q.is_rebalancing());
         assert!(qfx.iter().any(|e| matches!(
             e,
@@ -838,6 +1204,364 @@ mod tests {
                 ..
             }
         )));
+    }
+
+    #[test]
+    fn dead_handoff_receiver_releases_the_split() {
+        let mut q = live_peer(1, 0, 100, &[10, 20, 30, 40, 50, 60]);
+        q.check_overflow();
+        q.begin_split().unwrap();
+        let mut fx = Effects::new();
+        q.send_handoff(ctx(1), PeerId(9), &mut fx).unwrap();
+        // An insert arriving mid-hand-off is parked.
+        q.handle(
+            ctx(1),
+            PeerId(5),
+            DsMsg::InsertItem {
+                item: item(45),
+                reply_to: PeerId(5),
+            },
+            &mut fx,
+        );
+        assert!(q.is_item_writes_blocked());
+
+        // The receiver fail-stops: the split is released, items are intact,
+        // the parked write resumes — and immediately re-declares the
+        // overflow, so a fresh split (with a different free peer) starts.
+        let mut fx2 = Effects::new();
+        q.drain_events();
+        q.on_peer_failed(ctx(1), PeerId(9), &mut fx2);
+        assert!(!q.is_item_writes_blocked());
+        assert_eq!(q.item_count(), 7, "all items (and the parked one) remain");
+        assert!(q
+            .drain_events()
+            .iter()
+            .any(|e| matches!(e, DsEvent::SplitNeeded { .. })));
+        assert!(fx2.iter().any(|e| matches!(
+            e,
+            Effect::Timer {
+                msg: DsMsg::RebalanceRetry,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn dead_merge_target_unsticks_the_requester() {
+        let mut q = live_peer(1, 0, 30, &[10]);
+        q.check_underflow();
+        let mut fx = Effects::new();
+        q.send_merge_request(PeerId(2), &mut fx);
+        assert!(q.is_rebalancing());
+        // An unrelated peer's failure changes nothing.
+        q.on_peer_failed(ctx(1), PeerId(7), &mut fx);
+        assert!(q.is_rebalancing());
+        // The asked successor's failure releases the rebalance.
+        let mut fx2 = Effects::new();
+        q.on_peer_failed(ctx(1), PeerId(2), &mut fx2);
+        assert!(!q.is_rebalancing());
+        assert!(fx2.iter().any(|e| matches!(
+            e,
+            Effect::Timer {
+                msg: DsMsg::RebalanceRetry,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn give_timeout_aborts_redistribute_and_completes_merge_give() {
+        // Redistribute granter: requester dies before the ack.
+        let mut s = live_peer(2, 30, 100, &[40, 50, 60, 70, 80, 90]);
+        let mut fx = Effects::new();
+        s.on_merge_request(ctx(2), PeerId(1), 1, PeerValue(30), &mut fx);
+        assert!(s.is_rebalancing() && s.is_item_writes_blocked());
+        // A stale guard for a different boundary is ignored.
+        s.on_give_timeout(ctx(2), PeerId(1), Some(PeerValue(99)), 1, &mut fx);
+        assert!(s.is_rebalancing());
+        // First matching firing only *asks* the requester to drop the grant
+        // (it may be alive with the grant parked behind scan locks).
+        let mut fx_ask = Effects::new();
+        s.on_give_timeout(ctx(2), PeerId(1), Some(PeerValue(50)), 1, &mut fx_ask);
+        assert!(s.is_rebalancing());
+        assert!(fx_ask.iter().any(|e| matches!(
+            e,
+            Effect::Send { to, msg: DsMsg::RedistributeAbort { .. } } if *to == PeerId(1)
+        )));
+        // The second firing (still unanswered) aborts unilaterally: items
+        // intact, writes unblocked.
+        s.on_give_timeout(ctx(2), PeerId(1), Some(PeerValue(50)), 2, &mut fx);
+        assert!(!s.is_rebalancing() && !s.is_item_writes_blocked());
+        assert_eq!(s.item_count(), 6);
+        // The requester's late ack must not shrink the range a second time.
+        s.on_redistribute_ack(ctx(2), PeerValue(50), &mut fx);
+        assert_eq!(s.item_count(), 6);
+        assert_eq!(s.range(), CircularRange::new(30u64, 100u64));
+
+        // Merge-give granter: requester dies before MergeGrantAck. The
+        // granter has already ring-departed, so it completes unilaterally
+        // (items survive as replicas pushed by the pre-leave protection).
+        let mut g = live_peer(3, 30, 100, &[40, 90]);
+        let mut gfx = Effects::new();
+        g.on_merge_request(ctx(3), PeerId(1), 1, PeerValue(30), &mut gfx);
+        g.drain_events();
+        g.send_merge_grant(&mut gfx);
+        // Guard for a different requester is ignored.
+        g.on_give_timeout(ctx(3), PeerId(9), None, 1, &mut gfx);
+        assert_eq!(g.status(), DsStatus::Live);
+        g.on_give_timeout(ctx(3), PeerId(1), None, 1, &mut gfx);
+        assert_eq!(g.status(), DsStatus::Free);
+        assert!(g
+            .drain_events()
+            .iter()
+            .any(|e| matches!(e, DsEvent::BecameFree)));
+        // A late ack after the forced completion is a no-op.
+        g.on_merge_grant_ack(ctx(3), &mut gfx);
+        assert_eq!(g.status(), DsStatus::Free);
+    }
+
+    #[test]
+    fn slow_requester_drops_parked_grant_on_abort_and_granter_keeps_range() {
+        // Requester q holds the grant parked behind a scan lock when the
+        // granter's guard expires and the abort arrives.
+        let mut q = live_peer(1, 0, 30, &[10]);
+        q.rebalancing = true;
+        q.acquire_scan_lock();
+        let mut qfx = Effects::new();
+        q.on_redistribute_grant(
+            ctx(1),
+            PeerId(2),
+            vec![(40, item(40))],
+            PeerValue(50),
+            &mut qfx,
+        );
+        assert_eq!(q.range(), CircularRange::new(0u64, 30u64), "still parked");
+
+        // Abort for a different boundary is ignored (nothing dropped).
+        let mut qfx2 = Effects::new();
+        q.on_redistribute_abort(ctx(1), PeerId(2), PeerValue(99), &mut qfx2);
+        assert!(qfx2.is_empty());
+        // The matching abort drops the parked grant and confirms.
+        q.on_redistribute_abort(ctx(1), PeerId(2), PeerValue(50), &mut qfx2);
+        assert!(qfx2.iter().any(|e| matches!(
+            e,
+            Effect::Send { to, msg: DsMsg::RedistributeAbortAck { .. } } if *to == PeerId(2)
+        )));
+        assert!(!q.is_rebalancing());
+        // Releasing the scan lock now applies nothing.
+        q.release_scan_lock(ctx(1), &mut qfx2);
+        assert_eq!(q.range(), CircularRange::new(0u64, 30u64));
+        assert_eq!(q.item_count(), 1);
+
+        // Granter side: the abort ack unlocks with range and items intact.
+        let mut s = live_peer(2, 30, 100, &[40, 50, 60, 70, 80, 90]);
+        let mut sfx = Effects::new();
+        s.on_merge_request(ctx(2), PeerId(1), 1, PeerValue(30), &mut sfx);
+        assert!(s.is_item_writes_blocked());
+        s.on_redistribute_abort_ack(ctx(2), PeerValue(50), &mut sfx);
+        assert!(!s.is_rebalancing() && !s.is_item_writes_blocked());
+        assert_eq!(s.item_count(), 6);
+        assert_eq!(s.range(), CircularRange::new(30u64, 100u64));
+        // A duplicate/stale abort ack is a no-op.
+        s.on_redistribute_abort_ack(ctx(2), PeerValue(50), &mut sfx);
+        assert!(!s.is_rebalancing());
+    }
+
+    #[test]
+    fn leave_offer_timeout_allows_a_later_leave() {
+        let mut s = live_peer(2, 30, 100, &[40, 90]);
+        let mut fx = Effects::new();
+        assert!(s.begin_voluntary_leave(PeerId(1), &mut fx));
+        // The predecessor died and never answers; the guard clears the offer.
+        s.on_leave_offer_timeout(ctx(2), PeerId(1));
+        assert!(s.begin_voluntary_leave(PeerId(1), &mut fx));
+        // An offer guard was armed both times.
+        assert_eq!(
+            fx.iter()
+                .filter(|e| matches!(
+                    e,
+                    Effect::Timer {
+                        msg: DsMsg::LeaveOfferTimeout { .. },
+                        ..
+                    }
+                ))
+                .count(),
+            2
+        );
+    }
+
+    // ---------------------------------------------------- voluntary leave
+
+    #[test]
+    fn voluntary_leave_handshake_locks_predecessor_and_merges() {
+        // Leaver s owns (30, 100]; predecessor q owns (0, 30].
+        let mut q = live_peer(1, 0, 30, &[10, 20]);
+        q.set_successor(PeerId(2), PeerValue(100));
+        let mut s = live_peer(2, 30, 100, &[40, 90]);
+
+        let mut sfx = Effects::new();
+        assert!(s.begin_voluntary_leave(PeerId(1), &mut sfx));
+        // Double offers are rejected while one is in flight.
+        assert!(!s.begin_voluntary_leave(PeerId(1), &mut sfx));
+        let offer = match sfx.drain().remove(0) {
+            Effect::Send { to, msg } => {
+                assert_eq!(to, PeerId(1));
+                msg
+            }
+            other => panic!("unexpected {other:?}"),
+        };
+
+        // The predecessor locks itself and acknowledges (with a guard timer).
+        let mut qfx = Effects::new();
+        q.handle(ctx(1), PeerId(2), offer, &mut qfx);
+        assert!(q.is_rebalancing());
+        let q_effects = qfx.drain();
+        assert!(q_effects.iter().any(|e| matches!(
+            e,
+            Effect::Send { to, msg: DsMsg::LeaveOfferAck } if *to == PeerId(2)
+        )));
+        assert!(q_effects.iter().any(|e| matches!(
+            e,
+            Effect::Timer {
+                msg: DsMsg::LeaveAbsorbTimeout { .. },
+                ..
+            }
+        )));
+        // While locked, the predecessor declines competing offers/merges.
+        let mut qfx2 = Effects::new();
+        q.on_merge_request(ctx(1), PeerId(9), 0, PeerValue(5), &mut qfx2);
+        assert!(qfx2.iter().any(|e| matches!(
+            e,
+            Effect::Send {
+                msg: DsMsg::MergeDeclined,
+                ..
+            }
+        )));
+
+        // The ack starts the usual merge-give at the leaver.
+        let mut sfx2 = Effects::new();
+        s.handle(ctx(2), PeerId(1), DsMsg::LeaveOfferAck, &mut sfx2);
+        assert!(matches!(
+            s.drain_events()[0],
+            DsEvent::MergeGiveStarted { to } if to == PeerId(1)
+        ));
+        // Grant, absorb, ack: the predecessor unlocks on absorption.
+        let mut sfx3 = Effects::new();
+        assert_eq!(s.send_merge_grant(&mut sfx3), Some(PeerId(1)));
+        let (range, items, gvalue) = match sfx3.drain().remove(0) {
+            Effect::Send {
+                msg:
+                    DsMsg::MergeGrant {
+                        range,
+                        items,
+                        granter_value,
+                    },
+                ..
+            } => (range, items, granter_value),
+            other => panic!("unexpected {other:?}"),
+        };
+        let mut qfx3 = Effects::new();
+        q.on_merge_grant(ctx(1), PeerId(2), range, items, gvalue, &mut qfx3);
+        assert_eq!(q.range(), CircularRange::new(0u64, 100u64));
+        assert_eq!(q.item_count(), 4);
+        assert!(!q.is_rebalancing());
+        // A late guard timeout after the grant applied is a no-op.
+        let mut qfx4 = Effects::new();
+        q.handle(
+            ctx(1),
+            PeerId(1),
+            DsMsg::LeaveAbsorbTimeout { from: PeerId(2) },
+            &mut qfx4,
+        );
+        assert!(!q.is_rebalancing());
+    }
+
+    #[test]
+    fn leave_offer_from_non_successor_is_declined() {
+        let mut q = live_peer(1, 0, 30, &[10, 20]);
+        q.set_successor(PeerId(2), PeerValue(100));
+        // Offer from peer 7, which is not q's cached direct successor.
+        let mut fx = Effects::new();
+        q.on_leave_offer(ctx(1), PeerId(7), PeerValue(60), &mut fx);
+        assert!(!q.is_rebalancing());
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            Effect::Send { to, msg: DsMsg::LeaveOfferDeclined } if *to == PeerId(7)
+        )));
+        // A stale cached *value* does not decline: only the peer identity
+        // matters (values go stale when the successor splits).
+        let mut fx2 = Effects::new();
+        q.on_leave_offer(ctx(1), PeerId(2), PeerValue(60), &mut fx2);
+        assert!(fx2.iter().any(|e| matches!(
+            e,
+            Effect::Send {
+                msg: DsMsg::LeaveOfferAck,
+                ..
+            }
+        )));
+        // The declined leaver clears its pending offer.
+        let mut s = live_peer(2, 30, 100, &[40]);
+        let mut sfx = Effects::new();
+        assert!(s.begin_voluntary_leave(PeerId(1), &mut sfx));
+        s.handle(ctx(2), PeerId(1), DsMsg::LeaveOfferDeclined, &mut sfx);
+        assert!(s.begin_voluntary_leave(PeerId(1), &mut sfx));
+    }
+
+    #[test]
+    fn leave_ack_after_concurrent_rebalance_releases_predecessor() {
+        let mut s = live_peer(2, 30, 100, &[40, 90]);
+        let mut fx = Effects::new();
+        assert!(s.begin_voluntary_leave(PeerId(1), &mut fx));
+        // A split/merge started at the leaver while the offer was in flight.
+        s.rebalancing = true;
+        let mut fx2 = Effects::new();
+        s.handle(ctx(2), PeerId(1), DsMsg::LeaveOfferAck, &mut fx2);
+        assert!(s.drain_events().is_empty());
+        assert!(fx2.iter().any(|e| matches!(
+            e,
+            Effect::Send { to, msg: DsMsg::MergeDeclined } if *to == PeerId(1)
+        )));
+    }
+
+    #[test]
+    fn absorb_timeout_unlocks_predecessor_when_leaver_dies() {
+        let mut q = live_peer(1, 0, 30, &[10, 20]);
+        q.set_successor(PeerId(2), PeerValue(100));
+        let mut fx = Effects::new();
+        q.on_leave_offer(ctx(1), PeerId(2), PeerValue(100), &mut fx);
+        assert!(q.is_rebalancing());
+        // The leaver failed: no grant ever arrives. A guard for a different
+        // leaver is ignored; the matching one unlocks.
+        let mut fx2 = Effects::new();
+        q.handle(
+            ctx(1),
+            PeerId(1),
+            DsMsg::LeaveAbsorbTimeout { from: PeerId(9) },
+            &mut fx2,
+        );
+        assert!(q.is_rebalancing());
+        q.handle(
+            ctx(1),
+            PeerId(1),
+            DsMsg::LeaveAbsorbTimeout { from: PeerId(2) },
+            &mut fx2,
+        );
+        assert!(!q.is_rebalancing());
+    }
+
+    #[test]
+    fn free_or_busy_peer_cannot_offer_leave() {
+        let mut free = DataStoreState::new_free(PeerId(3), DsConfig::test());
+        let mut fx = Effects::new();
+        assert!(!free.begin_voluntary_leave(PeerId(1), &mut fx));
+        // The sole owner of the full circle has nobody to leave to.
+        let mut sole = DataStoreState::new_first(PeerId(0), PeerValue(50), DsConfig::test());
+        assert!(!sole.begin_voluntary_leave(PeerId(1), &mut fx));
+        // A rebalancing peer must finish first.
+        let mut busy = live_peer(2, 30, 100, &[40]);
+        busy.rebalancing = true;
+        assert!(!busy.begin_voluntary_leave(PeerId(1), &mut fx));
+        assert!(fx.is_empty());
     }
 
     #[test]

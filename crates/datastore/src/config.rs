@@ -23,6 +23,10 @@ pub struct DsConfig {
     /// Delay before re-checking an overflow/underflow that could not be
     /// acted upon immediately (no free peer, lock busy, …).
     pub rebalance_retry_delay: Duration,
+    /// How long a predecessor that accepted a voluntary-leave offer waits for
+    /// the merge grant before unlocking itself (covers the leaver failing
+    /// mid-leave).
+    pub leave_absorb_timeout: Duration,
 }
 
 impl DsConfig {
@@ -40,6 +44,9 @@ impl DsConfig {
             scan_forward_timeout: cfg.ping_period.max(Duration::from_millis(500)),
             scan_max_retries: 4,
             rebalance_retry_delay: Duration::from_millis(500),
+            // The leaver needs one extra-hop replication round plus a ring
+            // leave (itself bounded by stabilization rounds) before granting.
+            leave_absorb_timeout: cfg.stabilization_period * 4 + Duration::from_secs(2),
         }
     }
 
@@ -52,6 +59,7 @@ impl DsConfig {
             scan_forward_timeout: Duration::from_millis(50),
             scan_max_retries: 2,
             rebalance_retry_delay: Duration::from_millis(50),
+            leave_absorb_timeout: Duration::from_millis(500),
         }
     }
 

@@ -29,6 +29,10 @@ pub enum DsEvent {
         range: CircularRange,
         /// The peer's (possibly new) ring value.
         value: PeerValue,
+        /// Whether the change brought items *in* (hand-off install, grant,
+        /// extension) — the signal for replicate-on-receive. Shrinks (the
+        /// giving side completing a transfer) hold no new items to push.
+        grew: bool,
     },
     /// This peer has agreed to give up its entire range to its predecessor
     /// (a full merge). The index layer should now perform the item-
@@ -47,6 +51,15 @@ pub enum DsEvent {
     AbsorbedSuccessor {
         /// The peer whose range was absorbed.
         granter: PeerId,
+    },
+    /// A merge grant was *not adjacent* to this peer's range: the granter
+    /// departed across one or more peers that failed in between, and the
+    /// absorption bridged their unowned stretch. The index layer must treat
+    /// that stretch like a failure takeover and revive its items from
+    /// replicas.
+    RangeBridged {
+        /// The bridged (previously unowned) stretch.
+        gap: CircularRange,
     },
     /// An item was stored at this peer.
     ItemStored {
@@ -110,6 +123,7 @@ impl DsEvent {
             DsEvent::MergeGiveStarted { .. } => "MergeGiveStarted",
             DsEvent::BecameFree => "BecameFree",
             DsEvent::AbsorbedSuccessor { .. } => "AbsorbedSuccessor",
+            DsEvent::RangeBridged { .. } => "RangeBridged",
             DsEvent::ItemStored { .. } => "ItemStored",
             DsEvent::ItemRemoved { .. } => "ItemRemoved",
             DsEvent::QueryRejected { .. } => "QueryRejected",
@@ -133,6 +147,7 @@ mod tests {
             DsEvent::RangeChanged {
                 range: CircularRange::new(1u64, 2u64),
                 value: PeerValue(2),
+                grew: false,
             }
             .tag(),
             "RangeChanged"

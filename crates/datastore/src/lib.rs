@@ -37,5 +37,5 @@ pub mod store;
 pub use config::DsConfig;
 pub use events::DsEvent;
 pub use messages::{DsMsg, QueryId};
-pub use state::{DataStoreState, DsStatus};
+pub use state::{DataStoreState, DsSnapshot, DsStatus};
 pub use store::ItemStore;

@@ -77,6 +77,11 @@ pub enum DsMsg {
     ScanStepAck {
         /// Query identity.
         query: QueryId,
+        /// The acknowledging hop's own hop counter. A scan that revisits a
+        /// peer leaves several forwards outstanding for the same query; the
+        /// hop number ties the ack to the exact forward it answers (acks can
+        /// arrive out of order).
+        hop: u32,
     },
     /// Timer guarding a scan hand-off: fires if the successor never
     /// acknowledged.
@@ -85,6 +90,10 @@ pub enum DsMsg {
         query: QueryId,
         /// The successor the step was forwarded to.
         target: PeerId,
+        /// The forwarding peer's hop counter for this forward. Two forwards
+        /// of the same query (a scan that revisits the peer) share the same
+        /// target and starting attempt; the hop pins the guard to its own.
+        hop: u32,
         /// Retry attempt the guard belongs to.
         attempt: usize,
     },
@@ -168,6 +177,23 @@ pub enum DsMsg {
         /// The boundary that was agreed.
         new_boundary: PeerValue,
     },
+    /// The granter's acknowledgement guard expired: it asks the requester to
+    /// drop the grant if it has not been applied yet. A requester that
+    /// already applied ignores this (its `RedistributeAck` is on the way); a
+    /// requester still holding the grant parked behind scan locks drops it
+    /// and answers [`DsMsg::RedistributeAbortAck`]. Only if *neither* answer
+    /// arrives within another guard period does the granter conclude the
+    /// requester is dead and abort unilaterally.
+    RedistributeAbort {
+        /// The boundary of the give being aborted.
+        new_boundary: PeerValue,
+    },
+    /// The requester dropped the unapplied grant: the granter may safely
+    /// keep its range and items.
+    RedistributeAbortAck {
+        /// The boundary of the aborted give.
+        new_boundary: PeerValue,
+    },
     /// The successor grants a full merge: it hands over its entire range and
     /// all its items, and will leave the ring once acknowledged.
     MergeGrant {
@@ -184,9 +210,58 @@ pub enum DsMsg {
     /// itself rebalancing); the requester retries later.
     MergeDeclined,
 
+    // ---- voluntary leave ------------------------------------------------------
+    /// A peer that wants to leave the ring voluntarily offers its range to
+    /// its predecessor. The predecessor locks itself against concurrent
+    /// splits/merges (so no new peer can appear between the two while the
+    /// hand-off is in flight) before acknowledging.
+    LeaveOffer {
+        /// The leaver's current ring value (used by the predecessor to
+        /// verify the offer really comes from its direct successor).
+        leaver_value: PeerValue,
+    },
+    /// The predecessor accepted the leave offer and is locked; the leaver
+    /// proceeds with the availability protections and the merge grant.
+    LeaveOfferAck,
+    /// The predecessor cannot absorb the leaver right now (it is rebalancing
+    /// or the offer did not come from its direct successor).
+    LeaveOfferDeclined,
+
     // ---- timers ---------------------------------------------------------------
     /// Re-check overflow / underflow after a deferred or declined rebalance.
     RebalanceRetry,
+    /// Guard on the *giving* side of a transfer (full merge grant or
+    /// redistribution): fires if the receiver's acknowledgement never
+    /// arrives. The receiver is the giver's ring *predecessor*, which the
+    /// ping loop never probes, so a timer is the only way out of the wait.
+    GiveTimeout {
+        /// The receiver the guarded transfer went to.
+        to: PeerId,
+        /// The redistribution boundary, or `None` for a full merge give —
+        /// ties the guard to the exact transfer so a stale timer cannot
+        /// fire into a later one.
+        boundary: Option<PeerValue>,
+        /// Which firing this is: a redistribute give first *asks* the
+        /// requester to drop the grant (attempt 1) and only aborts
+        /// unilaterally when that, too, goes unanswered (attempt 2).
+        attempt: u32,
+    },
+    /// Guard on an outstanding voluntary-leave offer: fires if the
+    /// predecessor never answers (failed, or the cached pointer was stale),
+    /// so the leaver can offer again later.
+    LeaveOfferTimeout {
+        /// The predecessor the guarded offer went to (a stale guard from an
+        /// earlier, already-resolved offer must not clear a newer one).
+        to: PeerId,
+    },
+    /// Guard at the predecessor absorbing a voluntary leaver: fires if the
+    /// merge grant never arrives (e.g. the leaver failed mid-leave), so the
+    /// predecessor does not stay locked forever.
+    LeaveAbsorbTimeout {
+        /// The leaver the guarded absorption waits on (a stale guard from an
+        /// earlier, already-absorbed leave must not unlock a newer one).
+        from: PeerId,
+    },
 }
 
 impl DsMsg {
@@ -211,10 +286,18 @@ impl DsMsg {
             DsMsg::MergeRequest { .. } => "MergeRequest",
             DsMsg::RedistributeGrant { .. } => "RedistributeGrant",
             DsMsg::RedistributeAck { .. } => "RedistributeAck",
+            DsMsg::RedistributeAbort { .. } => "RedistributeAbort",
+            DsMsg::RedistributeAbortAck { .. } => "RedistributeAbortAck",
             DsMsg::MergeGrant { .. } => "MergeGrant",
             DsMsg::MergeGrantAck => "MergeGrantAck",
             DsMsg::MergeDeclined => "MergeDeclined",
+            DsMsg::LeaveOffer { .. } => "LeaveOffer",
+            DsMsg::LeaveOfferAck => "LeaveOfferAck",
+            DsMsg::LeaveOfferDeclined => "LeaveOfferDeclined",
             DsMsg::RebalanceRetry => "RebalanceRetry",
+            DsMsg::GiveTimeout { .. } => "GiveTimeout",
+            DsMsg::LeaveOfferTimeout { .. } => "LeaveOfferTimeout",
+            DsMsg::LeaveAbsorbTimeout { .. } => "LeaveAbsorbTimeout",
         }
     }
 }

@@ -67,7 +67,7 @@ impl DataStoreState {
 
         self.acquire_scan_lock();
         if let Some(p) = prev {
-            fx.send(p, DsMsg::ScanStepAck { query });
+            fx.send(p, DsMsg::ScanStepAck { query, hop });
         }
 
         let (items, covered) = self.collect_local(&interval);
@@ -99,20 +99,21 @@ impl DataStoreState {
                         hop: hop + 1,
                     },
                 );
-                self.pending_forwards.insert(
-                    query,
-                    PendingForward {
+                self.pending_forwards
+                    .entry(query)
+                    .or_default()
+                    .push(PendingForward {
                         target: succ,
                         interval,
                         hop,
                         attempt: 1,
-                    },
-                );
+                    });
                 fx.timer(
                     self.cfg.scan_forward_timeout,
                     DsMsg::ScanForwardTimeout {
                         query,
                         target: succ,
+                        hop,
                         attempt: 1,
                     },
                 );
@@ -124,35 +125,52 @@ impl DataStoreState {
         }
     }
 
-    /// The successor acknowledged the hand-off: release our range lock.
+    /// The successor acknowledged the hand-off: release the corresponding
+    /// range lock (one per outstanding hand-off of this query). The ack's
+    /// hop counter identifies which forward it answers — acks for different
+    /// visits of the same query can arrive out of order, and matching the
+    /// wrong one would strand a lost forward without its retry.
     pub(crate) fn on_scan_step_ack(
         &mut self,
         ctx: LayerCtx,
         query: QueryId,
+        ack_hop: u32,
         fx: &mut Effects<DsMsg>,
     ) {
-        if self.pending_forwards.remove(&query).is_some() {
+        if let Some(pending) = self.pending_forwards.get_mut(&query) {
+            let Some(idx) = pending.iter().position(|p| p.hop + 1 == ack_hop) else {
+                return;
+            };
+            pending.remove(idx);
+            if pending.is_empty() {
+                self.pending_forwards.remove(&query);
+            }
             self.release_scan_lock(ctx, fx);
         }
     }
 
     /// The successor did not acknowledge in time: retry via the (possibly
     /// new) successor or give up.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn on_scan_forward_timeout(
         &mut self,
         ctx: LayerCtx,
         query: QueryId,
         target: PeerId,
+        guard_hop: u32,
         attempt: usize,
         fx: &mut Effects<DsMsg>,
     ) {
         let Some(pending) = self.pending_forwards.get(&query) else {
             return;
         };
-        if pending.target != target || pending.attempt != attempt {
+        let Some(idx) = pending
+            .iter()
+            .position(|p| p.target == target && p.hop == guard_hop && p.attempt == attempt)
+        else {
             return; // superseded
-        }
-        let (interval, hop) = (pending.interval, pending.hop);
+        };
+        let (interval, hop) = (pending[idx].interval, pending[idx].hop);
         let next_attempt = attempt + 1;
         let retry_target = match self.succ {
             Some((succ, _)) if succ != self.id => Some(succ),
@@ -169,26 +187,28 @@ impl DataStoreState {
                         hop: hop + 1,
                     },
                 );
-                self.pending_forwards.insert(
-                    query,
-                    PendingForward {
-                        target: succ,
-                        interval,
-                        hop,
-                        attempt: next_attempt,
-                    },
-                );
+                self.pending_forwards.get_mut(&query).expect("present")[idx] = PendingForward {
+                    target: succ,
+                    interval,
+                    hop,
+                    attempt: next_attempt,
+                };
                 fx.timer(
                     self.cfg.scan_forward_timeout,
                     DsMsg::ScanForwardTimeout {
                         query,
                         target: succ,
+                        hop,
                         attempt: next_attempt,
                     },
                 );
             }
             _ => {
-                self.pending_forwards.remove(&query);
+                let pending = self.pending_forwards.get_mut(&query).expect("present");
+                pending.remove(idx);
+                if pending.is_empty() {
+                    self.pending_forwards.remove(&query);
+                }
                 fx.send(query.origin, DsMsg::ScanFailed { query });
                 self.release_scan_lock(ctx, fx);
             }
@@ -377,7 +397,40 @@ mod tests {
         assert_eq!(p.scan_locks(), 1);
 
         // The successor acknowledges: the lock is released.
-        p.on_scan_step_ack(ctx(1), qid(9, 3), &mut fx);
+        p.on_scan_step_ack(ctx(1), qid(9, 3), 1, &mut fx);
+        assert_eq!(p.scan_locks(), 0);
+    }
+
+    #[test]
+    fn out_of_order_acks_match_their_own_forward() {
+        // The same peer is visited twice by one (degenerate) scan, so two
+        // forwards are outstanding; the second visit's ack arrives first and
+        // must not consume the first forward's bookkeeping.
+        let mut p = live_peer(1, 0, 50, &[10]);
+        p.set_successor(PeerId(2), PeerValue(100));
+        let mut fx = Effects::new();
+        let interval = KeyInterval::new(5, 90).unwrap();
+        p.on_scan_step(ctx(1), qid(9, 0), interval, None, 0, &mut fx); // hop 0 → fwd hop 1
+        p.on_scan_step(ctx(1), qid(9, 0), interval, Some(PeerId(3)), 4, &mut fx); // hop 4 → fwd hop 5
+        fx.drain();
+        assert_eq!(p.scan_locks(), 2);
+
+        // Ack for the second visit (hop 5) arrives first.
+        p.on_scan_step_ack(ctx(1), qid(9, 0), 5, &mut fx);
+        assert_eq!(p.scan_locks(), 1);
+        // The first forward is still tracked: its timeout retries it.
+        p.on_scan_forward_timeout(ctx(1), qid(9, 0), PeerId(2), 0, 1, &mut fx);
+        assert!(fx.drain().iter().any(|e| matches!(
+            e,
+            Effect::Send {
+                msg: DsMsg::ScanStep { hop: 1, .. },
+                ..
+            }
+        )));
+        // An ack with an unknown hop is ignored.
+        p.on_scan_step_ack(ctx(1), qid(9, 0), 9, &mut fx);
+        assert_eq!(p.scan_locks(), 1);
+        p.on_scan_step_ack(ctx(1), qid(9, 0), 1, &mut fx);
         assert_eq!(p.scan_locks(), 0);
     }
 
@@ -426,7 +479,7 @@ mod tests {
         );
         assert_eq!(p.range(), CircularRange::new(0u64, 50u64));
         // Ack from the successor releases the lock and applies the change.
-        p.on_scan_step_ack(ctx(1), qid(9, 0), &mut fx);
+        p.on_scan_step_ack(ctx(1), qid(9, 0), 1, &mut fx);
         assert_eq!(p.range(), CircularRange::new(0u64, 60u64));
         assert!(p.store.contains(60));
     }
@@ -443,7 +496,7 @@ mod tests {
         // First timeout: the successor has changed (failure handled by the
         // ring); the scan is re-forwarded to the new successor.
         p.set_successor(PeerId(3), PeerValue(100));
-        p.on_scan_forward_timeout(ctx(1), qid(9, 0), PeerId(2), 1, &mut fx);
+        p.on_scan_forward_timeout(ctx(1), qid(9, 0), PeerId(2), 0, 1, &mut fx);
         let effects = fx.drain();
         assert!(effects.iter().any(|e| matches!(
             e,
@@ -452,7 +505,7 @@ mod tests {
         assert_eq!(p.scan_locks(), 1);
 
         // Exhausting the retries reports failure and releases the lock.
-        p.on_scan_forward_timeout(ctx(1), qid(9, 0), PeerId(3), 2, &mut fx);
+        p.on_scan_forward_timeout(ctx(1), qid(9, 0), PeerId(3), 0, 2, &mut fx);
         let effects = fx.drain();
         assert!(effects.iter().any(|e| matches!(
             e,
@@ -461,7 +514,7 @@ mod tests {
         assert_eq!(p.scan_locks(), 0);
 
         // A stale timeout afterwards is ignored.
-        p.on_scan_forward_timeout(ctx(1), qid(9, 0), PeerId(3), 2, &mut fx);
+        p.on_scan_forward_timeout(ctx(1), qid(9, 0), PeerId(3), 0, 2, &mut fx);
         assert_eq!(p.scan_locks(), 0);
     }
 

@@ -80,6 +80,40 @@ pub(crate) struct PendingForward {
     pub attempt: usize,
 }
 
+/// A point-in-time inspection snapshot of one peer's Data Store, taken by
+/// the simulation harness for the whole-system oracles (range partition, item
+/// conservation, storage-factor bounds). See [`DataStoreState::snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DsSnapshot {
+    /// The peer.
+    pub id: PeerId,
+    /// Live or free.
+    pub status: DsStatus,
+    /// The responsibility range.
+    pub range: CircularRange,
+    /// Mapped values of every stored item, in increasing order.
+    pub mapped_keys: Vec<u64>,
+    /// Whether a split/merge/redistribute is in flight at this peer.
+    pub rebalancing: bool,
+    /// Whether a two-sided transfer currently parks item writes here.
+    pub writes_blocked: bool,
+    /// Read locks held by in-flight scans.
+    pub scan_locks: usize,
+    /// Queries issued at this peer that have not completed.
+    pub open_queries: usize,
+}
+
+impl DsSnapshot {
+    /// Whether this peer is currently the giving or receiving side of a
+    /// range transfer (hand-off, redistribution, merge). Range-partition
+    /// invariants tolerate overlaps only across such peers, because
+    /// copy-then-delete intentionally holds items on both sides until the
+    /// receiver acknowledges.
+    pub fn transfer_in_flight(&self) -> bool {
+        self.rebalancing || self.writes_blocked
+    }
+}
+
 /// Progress of a range query issued at this peer.
 #[derive(Debug, Clone)]
 pub struct QueryProgress {
@@ -111,16 +145,32 @@ pub struct DataStoreState {
     // scan locking
     pub(crate) scan_locks: usize,
     pub(crate) deferred: Vec<DeferredWrite>,
-    pub(crate) pending_forwards: HashMap<QueryId, PendingForward>,
+    /// Outstanding scan hand-offs per query. A list, not a single slot: a
+    /// scan can visit the same peer twice (wrap-around over a degenerate
+    /// ring), and each visit holds its own range lock until its own ack —
+    /// overwriting the first hand-off would leak its lock forever.
+    pub(crate) pending_forwards: HashMap<QueryId, Vec<PendingForward>>,
     // queries issued at this peer
     pub(crate) queries: HashMap<QueryId, QueryProgress>,
     pub(crate) next_query_seq: u64,
     // rebalance bookkeeping
     pub(crate) rebalancing: bool,
     pub(crate) merge_give_to: Option<PeerId>,
+    /// Leaver side of a voluntary leave: the predecessor the offer went to.
+    pub(crate) leave_offered_to: Option<PeerId>,
+    /// Predecessor side of a voluntary leave: the successor whose merge
+    /// grant this peer is locked waiting for.
+    pub(crate) absorbing_leave_from: Option<PeerId>,
     /// The sub-range promised to a free peer by an in-flight split (set by
     /// `begin_split`, cleared when the hand-off is acknowledged).
     pub(crate) pending_split: Option<CircularRange>,
+    /// The peer an in-flight split hand-off was sent to (cleared on ack).
+    pub(crate) handoff_to: Option<PeerId>,
+    /// The successor an unanswered merge request went to.
+    pub(crate) merge_requested_from: Option<PeerId>,
+    /// Granter side of an in-flight redistribution: the boundary awaiting
+    /// the requester's acknowledgement.
+    pub(crate) redistribute_give_boundary: Option<PeerValue>,
     /// While a two-sided transfer (split hand-off, redistribute, merge) is in
     /// flight on the giving side, item inserts/deletes targeting this peer
     /// are parked here and re-dispatched once the transfer completes, so no
@@ -150,7 +200,12 @@ impl DataStoreState {
             next_query_seq: 0,
             rebalancing: false,
             merge_give_to: None,
+            leave_offered_to: None,
+            absorbing_leave_from: None,
             pending_split: None,
+            handoff_to: None,
+            merge_requested_from: None,
+            redistribute_give_boundary: None,
             item_writes_blocked: false,
             blocked_item_writes: Vec::new(),
             events: Vec::new(),
@@ -173,7 +228,12 @@ impl DataStoreState {
             next_query_seq: 0,
             rebalancing: false,
             merge_give_to: None,
+            leave_offered_to: None,
+            absorbing_leave_from: None,
             pending_split: None,
+            handoff_to: None,
+            merge_requested_from: None,
+            redistribute_give_boundary: None,
             item_writes_blocked: false,
             blocked_item_writes: Vec::new(),
             events: Vec::new(),
@@ -232,6 +292,28 @@ impl DataStoreState {
     /// Whether a rebalance (split/merge/redistribute) is currently in flight.
     pub fn is_rebalancing(&self) -> bool {
         self.rebalancing
+    }
+
+    /// Whether a two-sided transfer currently parks item writes at this peer
+    /// (the giving side of a split hand-off, redistribution or merge).
+    pub fn is_item_writes_blocked(&self) -> bool {
+        self.item_writes_blocked
+    }
+
+    /// A point-in-time inspection snapshot for oracles and invariant
+    /// checkers. Cheap relative to a simulation step; never used by the
+    /// protocol itself.
+    pub fn snapshot(&self) -> DsSnapshot {
+        DsSnapshot {
+            id: self.id,
+            status: self.status,
+            range: self.range,
+            mapped_keys: self.store.items().map(|(m, _)| *m).collect(),
+            rebalancing: self.rebalancing,
+            writes_blocked: self.item_writes_blocked,
+            scan_locks: self.scan_locks,
+            open_queries: self.queries.len(),
+        }
     }
 
     /// Number of read locks currently held by in-flight scans.
@@ -313,6 +395,7 @@ impl DataStoreState {
         self.emit(DsEvent::RangeChanged {
             range: self.range,
             value: self.range.high(),
+            grew: true,
         });
         Some(acquired)
     }
@@ -325,6 +408,9 @@ impl DataStoreState {
                 self.store.insert(mapped, item);
             }
         }
+        // A takeover can push this peer over the storage bound; without this
+        // re-check the overflow would go unnoticed until the next insert.
+        self.recheck_balance();
     }
 
     // ------------------------------------------------------------------
@@ -509,12 +595,13 @@ impl DataStoreState {
                 prev,
                 hop,
             } => self.on_scan_step(ctx, query, interval, prev, hop, fx),
-            DsMsg::ScanStepAck { query } => self.on_scan_step_ack(ctx, query, fx),
+            DsMsg::ScanStepAck { query, hop } => self.on_scan_step_ack(ctx, query, hop, fx),
             DsMsg::ScanForwardTimeout {
                 query,
                 target,
+                hop,
                 attempt,
-            } => self.on_scan_forward_timeout(ctx, query, target, attempt, fx),
+            } => self.on_scan_forward_timeout(ctx, query, target, hop, attempt, fx),
             DsMsg::ScanRejected { query } => self.on_scan_rejected(ctx, query),
             DsMsg::NaiveScanStep {
                 query,
@@ -545,14 +632,30 @@ impl DataStoreState {
             DsMsg::RedistributeAck { new_boundary } => {
                 self.on_redistribute_ack(ctx, new_boundary, fx)
             }
+            DsMsg::RedistributeAbort { new_boundary } => {
+                self.on_redistribute_abort(ctx, from, new_boundary, fx)
+            }
+            DsMsg::RedistributeAbortAck { new_boundary } => {
+                self.on_redistribute_abort_ack(ctx, new_boundary, fx)
+            }
             DsMsg::MergeGrant {
                 range,
                 items,
                 granter_value,
             } => self.on_merge_grant(ctx, from, range, items, granter_value, fx),
             DsMsg::MergeGrantAck => self.on_merge_grant_ack(ctx, fx),
-            DsMsg::MergeDeclined => self.on_merge_declined(ctx, fx),
+            DsMsg::MergeDeclined => self.on_merge_declined(ctx, from, fx),
+            DsMsg::LeaveOffer { leaver_value } => self.on_leave_offer(ctx, from, leaver_value, fx),
+            DsMsg::LeaveOfferAck => self.on_leave_offer_ack(ctx, from, fx),
+            DsMsg::LeaveOfferDeclined => self.on_leave_offer_declined(ctx, from),
             DsMsg::RebalanceRetry => self.on_rebalance_retry(ctx),
+            DsMsg::GiveTimeout {
+                to,
+                boundary,
+                attempt,
+            } => self.on_give_timeout(ctx, to, boundary, attempt, fx),
+            DsMsg::LeaveOfferTimeout { to } => self.on_leave_offer_timeout(ctx, to),
+            DsMsg::LeaveAbsorbTimeout { from } => self.on_leave_absorb_timeout(ctx, from),
         }
     }
 }

@@ -104,27 +104,41 @@ impl ItemStore {
         out
     }
 
+    /// The stored mapped values in *ring order* for the given responsibility
+    /// range: starting just after `range.low()` and wrapping around the top
+    /// of the domain if the range does. For a non-wrapping range this is
+    /// plain ascending order.
+    fn keys_in_ring_order(&self, range: &CircularRange) -> Vec<u64> {
+        let low = range.low().raw();
+        let mut upper: Vec<u64> = self.map.keys().copied().filter(|k| *k > low).collect();
+        let wrapped: Vec<u64> = self.map.keys().copied().filter(|k| *k <= low).collect();
+        upper.extend(wrapped);
+        upper
+    }
+
     /// Chooses a split point: the mapped value `mid` such that roughly half
-    /// of the items have mapped value `<= mid` (those stay) and the rest have
-    /// mapped value `> mid` (those move to the new peer). Returns `None` for
-    /// stores with fewer than two items.
-    pub fn split_point(&self) -> Option<u64> {
+    /// of the items lie in `(range.low, mid]` in ring order (those stay) and
+    /// the rest in `(mid, range.high]` (those move to the new peer). Ring
+    /// order matters: for a *wrapping* range, plain ascending order would
+    /// pick a boundary with almost everything on one side. Returns `None`
+    /// for stores with fewer than two items.
+    pub fn split_point(&self, range: &CircularRange) -> Option<u64> {
         if self.map.len() < 2 {
             return None;
         }
         let keep = self.map.len() / 2;
-        self.map.keys().nth(keep - 1).copied()
+        self.keys_in_ring_order(range).get(keep - 1).copied()
     }
 
     /// Chooses a redistribution point for giving the *lower* portion of this
     /// store to the predecessor: returns the mapped value `mid` such that
-    /// `give` items have mapped value `<= mid`. Returns `None` if `give` is
-    /// zero or not smaller than the store size.
-    pub fn redistribute_point(&self, give: usize) -> Option<u64> {
+    /// `give` items lie in `(range.low, mid]` in ring order. Returns `None`
+    /// if `give` is zero or not smaller than the store size.
+    pub fn redistribute_point(&self, give: usize, range: &CircularRange) -> Option<u64> {
         if give == 0 || give >= self.map.len() {
             return None;
         }
-        self.map.keys().nth(give - 1).copied()
+        self.keys_in_ring_order(range).get(give - 1).copied()
     }
 }
 
@@ -203,20 +217,34 @@ mod tests {
     fn split_point_halves_the_store() {
         let s = store_with(&[10, 20, 30, 40, 50]);
         // keep = 2 items (10, 20), move 30..50.
-        assert_eq!(s.split_point(), Some(20));
+        let full = CircularRange::full(100u64);
+        assert_eq!(s.split_point(&full), Some(20));
         let s = store_with(&[10, 20, 30, 40]);
-        assert_eq!(s.split_point(), Some(20));
-        assert_eq!(store_with(&[10]).split_point(), None);
-        assert_eq!(ItemStore::new().split_point(), None);
+        assert_eq!(s.split_point(&full), Some(20));
+        assert_eq!(store_with(&[10]).split_point(&full), None);
+        assert_eq!(ItemStore::new().split_point(&full), None);
     }
 
     #[test]
     fn redistribute_point_gives_lower_portion() {
         let s = store_with(&[10, 20, 30, 40, 50]);
-        assert_eq!(s.redistribute_point(2), Some(20));
-        assert_eq!(s.redistribute_point(0), None);
-        assert_eq!(s.redistribute_point(5), None);
-        assert_eq!(s.redistribute_point(6), None);
+        let range = CircularRange::new(0u64, 100u64);
+        assert_eq!(s.redistribute_point(2, &range), Some(20));
+        assert_eq!(s.redistribute_point(0, &range), None);
+        assert_eq!(s.redistribute_point(5, &range), None);
+        assert_eq!(s.redistribute_point(6, &range), None);
+    }
+
+    #[test]
+    fn split_and_redistribute_points_follow_ring_order_on_wrapping_ranges() {
+        // Range (80, 40] wraps: ring order of the items is 90, 95, 10, 20.
+        let s = store_with(&[10, 20, 90, 95]);
+        let range = CircularRange::new(80u64, 40u64);
+        // Keep half in ring order: (80, 95] stays, (95, 40] moves.
+        assert_eq!(s.split_point(&range), Some(95));
+        // Give one item to the predecessor: boundary after 90.
+        assert_eq!(s.redistribute_point(1, &range), Some(90));
+        assert_eq!(s.redistribute_point(3, &range), Some(10));
     }
 
     #[test]

@@ -11,10 +11,20 @@ use std::sync::{Arc, Mutex};
 
 use pepper_types::PeerId;
 
+#[derive(Debug, Default)]
+struct PoolState {
+    free: BTreeSet<PeerId>,
+    /// Peers permanently withdrawn (fail-stopped). A late `release` — e.g.
+    /// an aborted `insertSucc` returning a free peer that died mid-join —
+    /// must not re-admit them: an acquired dead peer would wedge every
+    /// split that draws it.
+    retired: BTreeSet<PeerId>,
+}
+
 /// A shared registry of free peers.
 #[derive(Debug, Clone, Default)]
 pub struct FreePool {
-    inner: Arc<Mutex<BTreeSet<PeerId>>>,
+    inner: Arc<Mutex<PoolState>>,
 }
 
 impl FreePool {
@@ -24,28 +34,33 @@ impl FreePool {
     }
 
     /// Adds a peer to the pool (a newly arrived peer, or one that became
-    /// free after a merge).
+    /// free after a merge). Retired (fail-stopped) peers are refused.
     pub fn release(&self, peer: PeerId) {
-        self.inner.lock().expect("free pool poisoned").insert(peer);
+        let mut state = self.inner.lock().expect("free pool poisoned");
+        if !state.retired.contains(&peer) {
+            state.free.insert(peer);
+        }
     }
 
     /// Removes and returns the lowest-numbered free peer, if any.
     pub fn acquire(&self) -> Option<PeerId> {
-        let mut set = self.inner.lock().expect("free pool poisoned");
-        let first = set.iter().next().copied()?;
-        set.remove(&first);
+        let mut state = self.inner.lock().expect("free pool poisoned");
+        let first = state.free.iter().next().copied()?;
+        state.free.remove(&first);
         Some(first)
     }
 
-    /// Removes a specific peer from the pool (e.g. when the simulator kills
-    /// it). Returns `true` if it was present.
+    /// Permanently retires a peer (the simulator killed it). Returns `true`
+    /// if it was currently in the pool.
     pub fn remove(&self, peer: PeerId) -> bool {
-        self.inner.lock().expect("free pool poisoned").remove(&peer)
+        let mut state = self.inner.lock().expect("free pool poisoned");
+        state.retired.insert(peer);
+        state.free.remove(&peer)
     }
 
     /// Number of free peers currently registered.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("free pool poisoned").len()
+        self.inner.lock().expect("free pool poisoned").free.len()
     }
 
     /// Returns `true` when no free peer is registered.
@@ -58,6 +73,7 @@ impl FreePool {
         self.inner
             .lock()
             .expect("free pool poisoned")
+            .free
             .iter()
             .copied()
             .collect()
@@ -89,6 +105,20 @@ mod tests {
         assert!(pool.remove(PeerId(1)));
         assert!(!pool.remove(PeerId(1)));
         assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn retired_peers_are_never_readmitted() {
+        let pool = FreePool::new();
+        pool.release(PeerId(4));
+        pool.remove(PeerId(4)); // fail-stop
+                                // A late release (e.g. an aborted insertSucc) is refused.
+        pool.release(PeerId(4));
+        assert!(pool.is_empty());
+        assert_eq!(pool.acquire(), None);
+        // Other peers are unaffected.
+        pool.release(PeerId(5));
+        assert_eq!(pool.acquire(), Some(PeerId(5)));
     }
 
     #[test]

@@ -4,7 +4,7 @@ use pepper_datastore::{DsMsg, QueryId};
 use pepper_replication::ReplMsg;
 use pepper_ring::RingMsg;
 use pepper_router::RouterMsg;
-use pepper_types::{Item, KeyInterval, PeerId};
+use pepper_types::{Item, KeyInterval, PeerId, PeerValue};
 
 /// Payload of a routed request: delivered to the peer responsible for the
 /// target value.
@@ -56,6 +56,22 @@ pub enum PeerMsg {
         /// Routing hop counter (guards against loops on inconsistent rings).
         hops: u32,
     },
+    /// Self-timer re-validating a predecessor change before this peer takes
+    /// over the range in between. A predecessor *failure* requires the
+    /// takeover; a predecessor that *departed* through a merge or leave does
+    /// not (its range is granted to the other side), and the two are locally
+    /// indistinguishable at the moment the pointer changes.
+    PredTakeover {
+        /// The new predecessor observed when the timer was armed.
+        peer: PeerId,
+        /// Its value at that moment.
+        value: PeerValue,
+        /// This peer's own range low end at that moment. If it has moved by
+        /// the time the timer fires, the gap was resolved by an explicit
+        /// hand-off (e.g. this peer redistributed its low range away) and
+        /// the takeover is stale.
+        low_at_arm: PeerValue,
+    },
 }
 
 impl PeerMsg {
@@ -67,6 +83,7 @@ impl PeerMsg {
             PeerMsg::Repl(m) => m.tag(),
             PeerMsg::Router(m) => m.tag(),
             PeerMsg::Route { .. } => "Route",
+            PeerMsg::PredTakeover { .. } => "PredTakeover",
         }
     }
 }

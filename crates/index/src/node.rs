@@ -9,7 +9,8 @@ use pepper_replication::{ReplEvent, ReplicaConfig, ReplicationManager};
 use pepper_ring::{EntryState, RingConfig, RingEvent, RingState};
 use pepper_router::{HierarchicalRouter, RouterConfig};
 use pepper_types::{
-    Item, ItemId, KeyInterval, PeerId, PeerValue, RangeQuery, SearchKey, SystemConfig,
+    CircularRange, Item, ItemId, KeyInterval, PeerId, PeerValue, RangeQuery, SearchKey,
+    SystemConfig,
 };
 
 use crate::free_pool::FreePool;
@@ -258,6 +259,29 @@ impl PeerNode {
         result
     }
 
+    /// Voluntarily leave the ring: offer this peer's range to its
+    /// predecessor. The hand-off runs the full availability protections
+    /// (extra-hop replication, PEPPER ring leave) once the predecessor has
+    /// locked itself and acknowledged. Returns `false` when the peer cannot
+    /// start a leave right now (free peer, sole ring member, rebalancing, or
+    /// an offer already in flight).
+    pub fn request_leave(&mut self, ctx: &mut Context<'_, PeerMsg>) -> bool {
+        let now = ctx.now();
+        let mut out = Effects::new();
+        let started = match self.ring.pred() {
+            Some((pred, _)) if pred != self.id => {
+                let (ok, ds_events) = self
+                    .ds
+                    .with(&mut out, |ds, fx| ds.begin_voluntary_leave(pred, fx));
+                self.process_ds_events(now, ds_events, &mut out);
+                ok
+            }
+            _ => false,
+        };
+        ctx.apply(out, |m| m);
+        started
+    }
+
     // ------------------------------------------------------------------
     // internal plumbing
     // ------------------------------------------------------------------
@@ -319,6 +343,65 @@ impl PeerNode {
                 payload,
                 hops,
             } => self.handle_route(now, target, payload, hops, out),
+            PeerMsg::PredTakeover {
+                peer,
+                value,
+                low_at_arm,
+            } => self.on_pred_takeover(now, peer, value, low_at_arm, out),
+        }
+    }
+
+    /// Re-validated predecessor takeover (armed by a `NewPredecessor` ring
+    /// event, see the comment there): extend this peer's range down to the
+    /// predecessor's value and revive the replicas that fall inside.
+    fn on_pred_takeover(
+        &mut self,
+        now: SimTime,
+        peer: PeerId,
+        value: PeerValue,
+        low_at_arm: PeerValue,
+        out: &mut Effects<PeerMsg>,
+    ) {
+        // The predecessor (or its value) changed again since the timer was
+        // armed: a newer event carries its own timer, or the gap was
+        // absorbed by a merge grant. Either way this takeover is stale.
+        if self.ring.pred() != Some((peer, value)) {
+            return;
+        }
+        if self.ds.status() != DsStatus::Live || self.ds.range().is_empty() {
+            return;
+        }
+        // This peer's own low end moved since the timer was armed: the gap
+        // was resolved by an explicit hand-off (e.g. the low range was
+        // redistributed away) — extending now would re-acquire a range that
+        // deliberately changed hands.
+        if self.ds.range().low() != low_at_arm {
+            return;
+        }
+        let (acquired, ds_events) = self.ds.with(out, |ds, _fx| ds.extend_low_to(value));
+        self.process_ds_events(now, ds_events, out);
+        if let Some(acquired) = acquired {
+            self.revive_range(now, acquired, out);
+        }
+    }
+
+    /// Revives a range this peer just became responsible for after its
+    /// previous owner vanished (predecessor takeover or a bridged merge
+    /// grant): install everything the local replica store holds, then ask
+    /// the successors for their copies too — this peer's own replica store
+    /// can be incomplete, e.g. when it joined moments before the failure,
+    /// while farther successors of the failed peer still hold replicas.
+    /// Replies are installed through the same range- and duplicate-checked
+    /// path ([`DataStoreState::install_revived`]).
+    fn revive_range(&mut self, now: SimTime, acquired: CircularRange, out: &mut Effects<PeerMsg>) {
+        let revived = self.repl.take_replicas_in(&acquired);
+        let ((), ds_events) = self.ds.with(out, |ds, _fx| ds.install_revived(revived));
+        self.process_ds_events(now, ds_events, out);
+        for succ in self.joined_successors() {
+            out.send(
+                succ,
+                PeerMsg::Repl(pepper_replication::ReplMsg::RecoverRequest { range: acquired }),
+            );
         }
     }
 
@@ -361,20 +444,36 @@ impl PeerNode {
                     self.ds.set_successor(peer, value);
                     self.router.set_successor(peer, value);
                 }
-                RingEvent::NewPredecessor { peer: _, value } => {
-                    // A peer with an empty range is still waiting for its
-                    // split hand-off; its range is installed by the hand-off,
-                    // not by predecessor observations.
-                    if self.ds.status() == DsStatus::Live && !self.ds.range().is_empty() {
-                        let (acquired, mut ds_events) =
-                            self.ds.with(out, |ds, _fx| ds.extend_low_to(value));
-                        if let Some(acquired) = acquired {
-                            let revived = self.repl.take_replicas_in(&acquired);
-                            let ((), more) =
-                                self.ds.with(out, |ds, _fx| ds.install_revived(revived));
-                            ds_events.extend(more);
-                        }
-                        self.process_ds_events(now, ds_events, out);
+                RingEvent::NewPredecessor { peer, value } => {
+                    // A predecessor change has two causes with opposite data
+                    // flows: the old predecessor *failed* (this peer must
+                    // take over the range in between and revive replicas) or
+                    // it *departed* through a merge/leave (that same range is
+                    // being granted to the departing peer's predecessor —
+                    // extending here would double-own it and resurrect its
+                    // items from replicas). The two are locally
+                    // indistinguishable when the pointer changes, so the
+                    // takeover is delayed and re-validated: it only runs if
+                    // the same predecessor is still in place after a few
+                    // stabilization rounds and the gap is still unowned. In
+                    // the departure case the absorbing peer's value reaches
+                    // this peer within a round and cancels the takeover; if
+                    // the departing peer failed mid-leave, the grant never
+                    // lands, the gap persists, and the takeover proceeds.
+                    let range = self.ds.range();
+                    let gap_hypothesized = self.ds.status() == DsStatus::Live
+                        && !range.is_empty()
+                        && !range.is_full()
+                        && range.low() != value;
+                    if gap_hypothesized {
+                        out.timer(
+                            self.cfg.stabilization_period * 3,
+                            PeerMsg::PredTakeover {
+                                peer,
+                                value,
+                                low_at_arm: range.low(),
+                            },
+                        );
                     }
                 }
                 RingEvent::LeaveComplete { elapsed } => {
@@ -387,6 +486,21 @@ impl PeerNode {
                 }
                 RingEvent::SuccessorFailed { peer } => {
                     self.router.forget_peer(peer);
+                    // If the dead peer was the free peer of an in-flight
+                    // split (between insertSucc start and hand-off ack),
+                    // release the split. It is NOT returned to the pool —
+                    // `on_killed` already removed it there.
+                    if self.pending_split == Some(peer) {
+                        self.pending_split = None;
+                        let ((), ds_events) = self.ds.with(out, |ds, fx| ds.cancel_rebalance(fx));
+                        self.process_ds_events(now, ds_events, out);
+                    }
+                    // Unwedge any Data Store transfer waiting on the dead
+                    // peer (hand-off ack, merge reply, leave grant).
+                    let ctx = self.layer_ctx(now);
+                    let ((), ds_events) =
+                        self.ds.with(out, |ds, fx| ds.on_peer_failed(ctx, peer, fx));
+                    self.process_ds_events(now, ds_events, out);
                 }
             }
         }
@@ -438,9 +552,25 @@ impl PeerNode {
                     }
                     self.process_ring_events(now, ring_events, out);
                 }
-                DsEvent::RangeChanged { range, value } => {
+                DsEvent::RangeChanged { range, value, grew } => {
                     self.ring.set_value(value);
                     self.repl.prune_owned(&range);
+                    // Replicate-on-receive: a range change that brought items
+                    // in (merge grant, hand-off, redistribution, revival)
+                    // leaves them unreplicated until the next periodic
+                    // refresh — a window in which a single fail-stop loses
+                    // them. Push a round immediately instead of waiting.
+                    // Shrinks (the giving side of a transfer) hold nothing
+                    // new and skip the push.
+                    if grew {
+                        let own_items = self.ds.local_items_mapped();
+                        let succs = self.joined_successors();
+                        let ctx = self.layer_ctx(now);
+                        let ((), repl_events) = self.repl.with(out, |repl, fx| {
+                            repl.push_to_successors(ctx, &own_items, &succs, fx)
+                        });
+                        self.process_repl_events(now, repl_events, out);
+                    }
                 }
                 DsEvent::BecameFree => {
                     if let Some(started) = self.merge_started.take() {
@@ -453,8 +583,16 @@ impl PeerNode {
                     self.router.clear();
                     self.pool.release(self.id);
                 }
+                DsEvent::RangeBridged { gap } => {
+                    self.revive_range(now, gap, out);
+                }
                 DsEvent::AbsorbedSuccessor { granter } => {
                     self.router.forget_peer(granter);
+                    // The granter has left the ring: purge its entries now
+                    // rather than waiting for ping/stabilization decay — if
+                    // it rejoins elsewhere first, the stale entries would
+                    // look alive again at its old position.
+                    self.ring.note_departed(now, granter);
                 }
                 DsEvent::ItemStored { .. } | DsEvent::ItemRemoved { .. } => {}
                 DsEvent::QueryRejected { query } => {
@@ -530,6 +668,13 @@ impl PeerNode {
                         repl.push_to_successors(ctx, &own_items, &succs, fx)
                     });
                     self.process_repl_events(now, repl_events, out);
+                }
+                ReplEvent::Recovered { items } => {
+                    // Recovery replies after a range takeover: the Data
+                    // Store keeps only what falls in its range and is not
+                    // already stored.
+                    let ((), ds_events) = self.ds.with(out, |ds, _fx| ds.install_revived(items));
+                    self.process_ds_events(now, ds_events, out);
                 }
             }
         }
@@ -1023,6 +1168,43 @@ mod tests {
             .iter()
             .any(|o| matches!(o, Observation::QueryCompleted { pepper: false, .. }));
         assert!(completed, "naive scan must also complete in a quiet system");
+    }
+
+    #[test]
+    fn voluntary_leave_hands_range_to_predecessor_and_frees_peer() {
+        let cfg = test_cfg(ProtocolConfig::pepper());
+        let (mut sim, pool, first) = cluster(&cfg, 2, 19);
+        insert_keys(&mut sim, first, (1..=8).map(|k| k * 1_000_000));
+        sim.run_for(Duration::from_secs(4));
+        let members_before = ring_members(&sim);
+        assert!(members_before >= 2, "need a multi-peer ring");
+        assert_eq!(total_items(&sim), 8);
+
+        // Ask a non-bootstrap member to leave voluntarily.
+        let leaver = sim
+            .peer_ids()
+            .into_iter()
+            .find(|p| *p != first && sim.node(*p).unwrap().is_ring_member())
+            .expect("a second ring member");
+        let started = sim
+            .with_node_ctx(leaver, |node, ctx| node.request_leave(ctx))
+            .unwrap();
+        assert!(started, "the leave offer must be accepted for issue");
+        sim.run_for(Duration::from_secs(6));
+
+        assert!(
+            !sim.node(leaver).unwrap().is_ring_member(),
+            "the leaver must have departed"
+        );
+        assert!(
+            pool.snapshot().contains(&leaver),
+            "the leaver must be back in the free pool"
+        );
+        assert_eq!(total_items(&sim), 8, "no item may be lost by the leave");
+        assert_eq!(ring_members(&sim), members_before - 1);
+        let snaps = snapshots(&sim);
+        assert!(check_consistent_successor_pointers(&snaps).is_consistent());
+        assert!(check_connectivity(&snaps).is_consistent());
     }
 
     #[test]

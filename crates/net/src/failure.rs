@@ -123,6 +123,41 @@ mod tests {
     }
 
     #[test]
+    fn count_tracks_rate_times_horizon() {
+        // count = floor(horizon_secs · rate_per_sec) across a rate sweep,
+        // including fractional expectations.
+        let mut rng = StdRng::seed_from_u64(11);
+        for (rate, horizon_s, expected) in [
+            (4.0, 50, 2),  // 0.04/s · 50 s
+            (12.0, 30, 3), // 0.12/s · 30 s → 3.6 → 3
+            (1.0, 99, 0),  // 0.01/s · 99 s → 0.99 → 0 (below one failure)
+            (100.0, 10, 10),
+        ] {
+            let s = FailureSchedule::poisson_like(
+                rate,
+                SimTime::ZERO,
+                Duration::from_secs(horizon_s),
+                &mut rng,
+            );
+            assert_eq!(s.len(), expected, "rate {rate} over {horizon_s}s");
+            for &t in s.times() {
+                assert!(t <= SimTime::from_secs(horizon_s));
+            }
+            let mut sorted = s.times().to_vec();
+            sorted.sort_unstable();
+            assert_eq!(sorted, s.times(), "times must come out sorted");
+        }
+    }
+
+    #[test]
+    fn negative_rate_is_treated_as_zero() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s =
+            FailureSchedule::poisson_like(-5.0, SimTime::ZERO, Duration::from_secs(100), &mut rng);
+        assert!(s.is_empty());
+    }
+
+    #[test]
     fn explicit_times_are_sorted() {
         let s = FailureSchedule::at_times([
             SimTime::from_secs(9),

@@ -113,6 +113,25 @@ impl NetworkConfig {
             seed,
         }
     }
+
+    /// Builder-style override of the latency model (harness knob: the same
+    /// scenario can be replayed over LAN-, WAN- or custom-jitter profiles).
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Builder-style override of the per-message processing delay.
+    pub fn with_processing_delay(mut self, delay: Duration) -> Self {
+        self.processing_delay = delay;
+        self
+    }
+
+    /// Builder-style override of the simulator seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
 }
 
 impl Default for NetworkConfig {
@@ -158,6 +177,17 @@ mod tests {
             max: Duration::from_millis(5),
         };
         assert_eq!(m.sample(&mut rng), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let cfg = NetworkConfig::lan(1)
+            .with_latency(LatencyModel::wan())
+            .with_processing_delay(Duration::from_micros(9))
+            .with_seed(77);
+        assert_eq!(cfg.latency, LatencyModel::wan());
+        assert_eq!(cfg.processing_delay, Duration::from_micros(9));
+        assert_eq!(cfg.seed, 77);
     }
 
     #[test]

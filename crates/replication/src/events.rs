@@ -9,9 +9,16 @@
 /// that a refresh round is due and the composed peer calls
 /// [`push_to_successors`](crate::ReplicationManager::push_to_successors) with
 /// the cross-layer snapshot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ReplEvent {
     /// The periodic refresh timer fired: the composed peer should push the
     /// Data Store's items to the current successors.
     RefreshDue,
+    /// A recovery reply arrived: the composed peer should offer these items
+    /// to the Data Store (which installs the ones inside its range that it
+    /// does not already hold).
+    Recovered {
+        /// The recovered items (mapped value, item).
+        items: Vec<(u64, pepper_types::Item)>,
+    },
 }

@@ -95,6 +95,12 @@ impl ReplicationManager {
             .collect()
     }
 
+    /// Whether a replica for `mapped` is currently held (used by the
+    /// whole-system replication oracle).
+    pub fn holds_replica(&self, mapped: u64) -> bool {
+        self.replica_store.contains_key(&mapped)
+    }
+
     /// Number of replica pushes received (metrics).
     pub fn pushes_received(&self) -> u64 {
         self.pushes_received
@@ -253,7 +259,7 @@ impl ProtocolLayer for ReplicationManager {
     /// Handles a replication message. The refresh round itself is performed
     /// by the composed peer in response to [`ReplEvent::RefreshDue`], because
     /// it needs the Data Store's items and the ring's successor list.
-    fn handle(&mut self, _ctx: LayerCtx, _from: PeerId, msg: ReplMsg, fx: &mut Effects<ReplMsg>) {
+    fn handle(&mut self, _ctx: LayerCtx, from: PeerId, msg: ReplMsg, fx: &mut Effects<ReplMsg>) {
         match msg {
             ReplMsg::RefreshTick => {
                 fx.timer(self.cfg.refresh_period, ReplMsg::RefreshTick);
@@ -267,6 +273,22 @@ impl ProtocolLayer for ReplicationManager {
                 for (mapped, item) in items {
                     self.replica_store.insert(mapped, item);
                 }
+            }
+            ReplMsg::RecoverRequest { range } => {
+                // Answer with copies: the requester owns the range now, so
+                // the copies this peer keeps remain valid replicas.
+                let items: Vec<(u64, Item)> = self
+                    .replica_store
+                    .iter()
+                    .filter(|(k, _)| range.contains(**k))
+                    .map(|(k, v)| (*k, v.clone()))
+                    .collect();
+                if !items.is_empty() {
+                    fx.send(from, ReplMsg::RecoverReply { items });
+                }
+            }
+            ReplMsg::RecoverReply { items } => {
+                self.events.push(ReplEvent::Recovered { items });
             }
         }
     }
@@ -301,6 +323,7 @@ mod tests {
                     refreshed = true;
                     rm.push_to_successors(ctx, own_items, successors, fx);
                 }
+                ReplEvent::Recovered { .. } => {}
             }
         }
         refreshed
@@ -393,6 +416,8 @@ mod tests {
         assert!(!refreshed);
         assert_eq!(rm.replica_count(), 2);
         assert_eq!(rm.pushes_received(), 1);
+        assert!(rm.holds_replica(10) && rm.holds_replica(20));
+        assert!(!rm.holds_replica(30));
         assert!(fx.is_empty());
     }
 
@@ -502,6 +527,73 @@ mod tests {
         rm.prune_owned(&CircularRange::new(40u64, 60u64));
         assert_eq!(rm.replica_count(), 1);
         assert_eq!(rm.replicas()[0].0, 10);
+    }
+
+    #[test]
+    fn recovery_roundtrip_serves_copies_and_reports_items() {
+        // Holder rm keeps replicas for a failed peer's range.
+        let mut holder = ReplicationManager::new(PeerId(2), ReplicaConfig::test(2));
+        let mut fx = Effects::new();
+        ProtocolLayer::handle(
+            &mut holder,
+            ctx(2),
+            PeerId(9),
+            ReplMsg::Push {
+                items: vec![item(10), item(50)],
+                extra_hop: false,
+            },
+            &mut fx,
+        );
+        // The reviver asks for (5, 20]; the holder answers with copies only.
+        let mut fx2 = Effects::new();
+        ProtocolLayer::handle(
+            &mut holder,
+            ctx(2),
+            PeerId(1),
+            ReplMsg::RecoverRequest {
+                range: CircularRange::new(5u64, 20u64),
+            },
+            &mut fx2,
+        );
+        match &fx2.drain()[0] {
+            Effect::Send {
+                to,
+                msg: ReplMsg::RecoverReply { items },
+            } => {
+                assert_eq!(*to, PeerId(1));
+                assert_eq!(items.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![10]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(holder.replica_count(), 2, "replies are copies");
+        // An empty match sends nothing.
+        let mut fx3 = Effects::new();
+        ProtocolLayer::handle(
+            &mut holder,
+            ctx(2),
+            PeerId(1),
+            ReplMsg::RecoverRequest {
+                range: CircularRange::new(60u64, 70u64),
+            },
+            &mut fx3,
+        );
+        assert!(fx3.is_empty());
+        // The reviver surfaces the reply as an event.
+        let mut reviver = ReplicationManager::new(PeerId(1), ReplicaConfig::test(2));
+        let mut fx4 = Effects::new();
+        ProtocolLayer::handle(
+            &mut reviver,
+            ctx(1),
+            PeerId(2),
+            ReplMsg::RecoverReply {
+                items: vec![item(10)],
+            },
+            &mut fx4,
+        );
+        assert!(matches!(
+            &reviver.drain_events()[0],
+            ReplEvent::Recovered { items } if items.len() == 1
+        ));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Replication protocol messages.
 
-use pepper_types::Item;
+use pepper_types::{CircularRange, Item};
 
 /// Messages exchanged by the Replication Manager.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -18,6 +18,20 @@ pub enum ReplMsg {
         /// Whether this push is the pre-leave additional-hop replication.
         extra_hop: bool,
     },
+    /// A peer that has just taken over a failed predecessor's range asks for
+    /// replicas falling inside it. Its own replica store can be empty — for
+    /// example when it joined moments before the failure — while farther
+    /// successors of the failed peer still hold copies.
+    RecoverRequest {
+        /// The acquired range to recover.
+        range: CircularRange,
+    },
+    /// Reply to [`ReplMsg::RecoverRequest`]: copies of the replicas the
+    /// responder holds inside the requested range.
+    RecoverReply {
+        /// The recovered items (mapped value, item).
+        items: Vec<(u64, Item)>,
+    },
 }
 
 impl ReplMsg {
@@ -26,6 +40,8 @@ impl ReplMsg {
         match self {
             ReplMsg::RefreshTick => "RefreshTick",
             ReplMsg::Push { .. } => "Push",
+            ReplMsg::RecoverRequest { .. } => "RecoverRequest",
+            ReplMsg::RecoverReply { .. } => "RecoverReply",
         }
     }
 }

@@ -26,6 +26,10 @@ pub struct RingConfig {
     /// `insertSucc` or `leave` is in progress (the optimization of
     /// Section 4.3.1 / 6.3.1).
     pub proactive_stabilization: bool,
+    /// How long an `insertSucc` may stay in flight before it is aborted.
+    /// A joining free peer cannot be ping-probed (it is not a member yet),
+    /// so this guard is the only way out when it fail-stops mid-join.
+    pub insert_timeout: Duration,
 }
 
 impl RingConfig {
@@ -42,6 +46,10 @@ impl RingConfig {
             pepper_insert: cfg.protocol.pepper_insert_succ,
             pepper_leave: cfg.protocol.pepper_leave,
             proactive_stabilization: true,
+            // A join normally completes within one or two stabilization
+            // rounds (fewer with proactive stabilization); well beyond that,
+            // the joining peer is assumed dead.
+            insert_timeout: cfg.stabilization_period * 6 + Duration::from_secs(1),
         }
     }
 
@@ -55,6 +63,7 @@ impl RingConfig {
             pepper_insert: true,
             pepper_leave: true,
             proactive_stabilization: true,
+            insert_timeout: Duration::from_millis(1500),
         }
     }
 

@@ -24,6 +24,9 @@ pub struct RingSnapshot {
     pub phase: RingPhase,
     /// Its successor list.
     pub succ_list: Vec<SuccEntry>,
+    /// The configured successor-list length `d` (the peer's knowledge
+    /// window: entries beyond the `d`-th JOINED successor are best-effort).
+    pub target_len: usize,
     /// Whether the peer process is alive (not failed).
     pub alive: bool,
 }
@@ -36,6 +39,7 @@ impl RingSnapshot {
             value: state.value(),
             phase: state.phase(),
             succ_list: state.succ_list().to_vec(),
+            target_len: state.config().succ_list_len,
             alive,
         }
     }
@@ -61,16 +65,46 @@ impl ConsistencyReport {
     pub fn is_consistent(&self) -> bool {
         self.violations.is_empty()
     }
+
+    /// Merges another report into this one, prefixing each absorbed
+    /// violation with `label` so combined reports stay attributable.
+    pub fn absorb(&mut self, label: &str, other: ConsistencyReport) {
+        self.violations.extend(
+            other
+                .violations
+                .into_iter()
+                .map(|v| format!("{label}: {v}")),
+        );
+    }
 }
 
 /// Computes the *induced ring* successor function over the live `JOINED`
 /// peers: each peer's successor is the next live `JOINED` peer in increasing
 /// value order (wrapping around).
+///
+/// Two live peers can transiently share a value: between a split's
+/// `insertSucc` and its hand-off acknowledgement, the new peer already
+/// occupies the splitter's value while the splitter has not yet moved down
+/// to the boundary. The id tiebreak is arbitrary for such a pair, so it is
+/// corrected with direct pointer evidence: the peer whose own first pointer
+/// names the other (the inserter) comes first.
 fn induced_successors(members: &[&RingSnapshot]) -> BTreeMap<PeerId, PeerId> {
     let mut ordered: Vec<&&RingSnapshot> = members.iter().collect();
     ordered.sort_by_key(|s| (s.value, s.id));
-    let mut succ = BTreeMap::new();
     let n = ordered.len();
+    for i in 0..n.saturating_sub(1) {
+        if ordered[i].value == ordered[i + 1].value {
+            let first_points_at = |s: &RingSnapshot, other: PeerId| {
+                s.succ_list.first().map(|e| e.peer) == Some(other)
+            };
+            if first_points_at(ordered[i + 1], ordered[i].id)
+                && !first_points_at(ordered[i], ordered[i + 1].id)
+            {
+                ordered.swap(i, i + 1);
+            }
+        }
+    }
+    let mut succ = BTreeMap::new();
     for i in 0..n {
         succ.insert(ordered[i].id, ordered[(i + 1) % n].id);
     }
@@ -91,10 +125,17 @@ pub fn check_consistent_successor_pointers(snapshots: &[RingSnapshot]) -> Consis
     let succ = induced_successors(&members);
 
     for p in &members {
+        // An entry counts as "knowing about" a peer regardless of the entry's
+        // own state: during an `insertSucc` the new peer flips to JOINED the
+        // moment its successor list is installed, while its predecessors
+        // still carry it as a JOINING entry until the next stabilization
+        // round. Definition 5 is about *skipping* a live JOINED peer — a
+        // JOINING entry for it is knowledge, not a skip. (Entries for peers
+        // that are not live JOINED members are trimmed away as before.)
         let trim_list: Vec<PeerId> = p
             .succ_list
             .iter()
-            .filter(|e| member_ids.contains(&e.peer) && e.state != EntryState::Joining)
+            .filter(|e| member_ids.contains(&e.peer))
             .map(|e| e.peer)
             .collect();
         if trim_list.is_empty() {
@@ -104,9 +145,28 @@ pub fn check_consistent_successor_pointers(snapshots: &[RingSnapshot]) -> Consis
             ));
             continue;
         }
+        // Walk the trimmed list along the induced ring. Stale *duplicate*
+        // entries (a peer already covered by the walk, including the list
+        // owner itself) stutter the chain without skipping anyone — only an
+        // entry that jumps to a peer the walk has not yet reached skips the
+        // expected successor.
         let mut expected = succ[&p.id];
+        let mut seen: BTreeSet<PeerId> = BTreeSet::new();
+        seen.insert(p.id);
+        let mut matched = 0usize;
         for (i, got) in trim_list.iter().enumerate() {
-            if *got != expected {
+            if matched >= p.target_len {
+                // Definition 5 only obliges a peer to know its first `d`
+                // ring successors. Entries beyond that window (they ride
+                // along when JOINING/LEAVING entries lengthen the list) may
+                // legitimately lag one membership change behind.
+                break;
+            }
+            if *got == expected {
+                seen.insert(*got);
+                expected = succ[got];
+                matched += 1;
+            } else if !seen.contains(got) {
                 report.violations.push(format!(
                     "peer {}: trimmed successor pointer {} is {} but the ring successor is {} \
                      (a live JOINED peer was skipped)",
@@ -114,7 +174,6 @@ pub fn check_consistent_successor_pointers(snapshots: &[RingSnapshot]) -> Consis
                 ));
                 break;
             }
-            expected = succ[got];
         }
     }
     report
@@ -134,11 +193,22 @@ pub fn check_connectivity(snapshots: &[RingSnapshot]) -> ConsistencyReport {
     }
     let by_id: BTreeMap<PeerId, &RingSnapshot> = members.iter().map(|s| (s.id, *s)).collect();
 
-    // next-hop function: the first pointer that refers to a live member.
+    // Next-hop function, matching what routing actually does: the first
+    // live-member pointer in the JOINED state (scans and routed requests are
+    // forwarded along `best_succ`, which skips JOINING/LEAVING entries).
+    // When no JOINED pointer exists at all, fall back to any live-member
+    // pointer — a ring mid-merge must still count as connected.
     let next = |p: &RingSnapshot| -> Option<PeerId> {
         p.succ_list
             .iter()
-            .find(|e| by_id.contains_key(&e.peer) && e.peer != p.id)
+            .find(|e| {
+                by_id.contains_key(&e.peer) && e.peer != p.id && e.state == EntryState::Joined
+            })
+            .or_else(|| {
+                p.succ_list
+                    .iter()
+                    .find(|e| by_id.contains_key(&e.peer) && e.peer != p.id)
+            })
             .map(|e| e.peer)
     };
 
@@ -159,8 +229,11 @@ pub fn check_connectivity(snapshots: &[RingSnapshot]) -> ConsistencyReport {
             }
         }
     }
+    // Only JOINED peers must be on the routing cycle: a LEAVING peer is
+    // legitimately bypassed by new traffic while its range hand-off is in
+    // flight (it still serves scans it already admitted).
     for m in &members {
-        if !visited.contains(&m.id) {
+        if m.is_joined_member() && !visited.contains(&m.id) {
             report.violations.push(format!(
                 "peer {} is not reachable by following successor pointers from {}",
                 m.id, start
@@ -170,9 +243,49 @@ pub fn check_connectivity(snapshots: &[RingSnapshot]) -> ConsistencyReport {
     report
 }
 
+/// Runs both global ring invariants — consistent successor pointers
+/// (Definition 5) and connectivity — and returns one combined report with
+/// labelled violations. This is the per-step oracle of the simulation
+/// harness; on violation, pair it with [`format_ring`] for a full dump.
+pub fn check_ring_invariants(snapshots: &[RingSnapshot]) -> ConsistencyReport {
+    let mut report = ConsistencyReport::default();
+    report.absorb(
+        "consistency",
+        check_consistent_successor_pointers(snapshots),
+    );
+    report.absorb("connectivity", check_connectivity(snapshots));
+    report
+}
+
+/// Renders every peer's ring view as one line per peer — phase, value and
+/// the raw successor list — for failure-artifact dumps and debugging.
+pub fn format_ring(snapshots: &[RingSnapshot]) -> String {
+    let mut ordered: Vec<&RingSnapshot> = snapshots.iter().collect();
+    ordered.sort_by_key(|s| (s.value, s.id));
+    let mut out = String::new();
+    for s in ordered {
+        let alive = if s.alive { "alive" } else { "DEAD" };
+        let succs: Vec<String> = s
+            .succ_list
+            .iter()
+            .map(|e| format!("{}@{}:{:?}", e.peer, e.value.raw(), e.state))
+            .collect();
+        out.push_str(&format!(
+            "{} value={} phase={:?} {} succ=[{}]\n",
+            s.id,
+            s.value.raw(),
+            s.phase,
+            alive,
+            succs.join(", ")
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::entry::EntryState;
 
     fn snap(
         id: u64,
@@ -189,6 +302,7 @@ mod tests {
                 .iter()
                 .map(|(p, v)| SuccEntry::joined_stab(PeerId(*p), PeerValue(*v)))
                 .collect(),
+            target_len: 4,
             alive,
         }
     }
@@ -231,6 +345,54 @@ mod tests {
         let mut ring = consistent_ring();
         ring.push(snap(9, 35, RingPhase::Joining, &[], true));
         assert!(check_consistent_successor_pointers(&ring).is_consistent());
+    }
+
+    #[test]
+    fn joining_entry_for_joined_peer_counts_as_knowledge() {
+        // Peer 9 has fully JOINED (its list is installed), but peer 3 still
+        // carries it as a JOINING entry until the next stabilization round —
+        // exactly the transient mid-insertSucc state. That is knowledge, not
+        // a skip: the per-step invariant must hold.
+        let mut ring = consistent_ring();
+        ring.push(snap(9, 35, RingPhase::Joined, &[(4, 40), (1, 10)], true));
+        ring[2].succ_list = vec![
+            SuccEntry::new(PeerId(9), PeerValue(35), EntryState::Joining),
+            SuccEntry::joined_stab(PeerId(4), PeerValue(40)),
+        ];
+        // Peer 2 (the predecessor of 3) also needs 9 visible after 3.
+        ring[1].succ_list = vec![
+            SuccEntry::joined_stab(PeerId(3), PeerValue(30)),
+            SuccEntry::new(PeerId(9), PeerValue(35), EntryState::Joining),
+        ];
+        let report = check_consistent_successor_pointers(&ring);
+        assert!(report.is_consistent(), "{:?}", report.violations);
+        // But a list with *no* entry at all for the joined peer 9 still
+        // skips it (the Figure 9 naive-join scenario).
+        ring[2].succ_list = vec![SuccEntry::joined_stab(PeerId(4), PeerValue(40))];
+        assert!(!check_consistent_successor_pointers(&ring).is_consistent());
+    }
+
+    #[test]
+    fn combined_report_labels_violations_and_format_dumps_every_peer() {
+        let ring = vec![
+            snap(1, 10, RingPhase::Joined, &[(2, 20)], true),
+            snap(2, 20, RingPhase::Joined, &[(1, 10)], true),
+            snap(3, 30, RingPhase::Joined, &[(4, 40)], true),
+            snap(4, 40, RingPhase::Joined, &[(3, 30)], false),
+        ];
+        let report = check_ring_invariants(&ring);
+        assert!(!report.is_consistent());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.starts_with("consistency:") || v.starts_with("connectivity:")));
+        let dump = format_ring(&ring);
+        for peer in ["p1", "p2", "p3", "p4"] {
+            assert!(dump.contains(peer), "missing {peer} in:\n{dump}");
+        }
+        assert!(dump.contains("DEAD"));
+        // A clean ring yields a clean combined report.
+        assert!(check_ring_invariants(&consistent_ring()).is_consistent());
     }
 
     #[test]

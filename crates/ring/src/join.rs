@@ -9,7 +9,7 @@
 //! list right away — which is exactly what allows the inconsistent-ring
 //! scenario of Section 4.2.1.
 
-use pepper_net::{Effects, LayerCtx};
+use pepper_net::{Effects, LayerCtx, SimTime};
 use pepper_types::{Error, PeerId, PeerValue, Result};
 
 use crate::entry::{EntryState, RingPhase, SuccEntry};
@@ -41,6 +41,17 @@ impl RingState {
             new_value,
             started: ctx.now,
         });
+        // Abort guard: the joining peer is not a ring member yet, so its
+        // fail-stop is invisible to the ping loop — without this timer the
+        // inserter would stay in INSERTING (and its Data Store in the split)
+        // forever.
+        fx.timer(
+            self.cfg.insert_timeout,
+            RingMsg::InsertTimeout {
+                peer: new_peer,
+                started: ctx.now,
+            },
+        );
 
         if !self.cfg.pepper_insert {
             // Naive insertSucc: the new peer becomes part of the ring
@@ -157,6 +168,7 @@ impl RingState {
         }
         self.value = your_value;
         self.pred = Some((pred, pred_value));
+        self.pred_heard = ctx.now;
         let mut list = succ_list;
         if list.is_empty() {
             // Two-peer ring: our only successor is our inserter.
@@ -177,6 +189,29 @@ impl RingState {
             pred,
             pred_value,
         });
+    }
+
+    /// Handles the insert guard: the join never completed (the joining peer
+    /// most likely fail-stopped mid-join); abort the operation so splits and
+    /// leaves become possible again. The composed peer reacts to
+    /// [`RingEvent::InsertSuccAborted`] by cancelling the Data Store split
+    /// and returning the peer to the free pool (which refuses peers that
+    /// were killed).
+    pub(crate) fn on_insert_timeout(&mut self, _ctx: LayerCtx, peer: PeerId, started: SimTime) {
+        let Some(pending) = self.pending_insert else {
+            return;
+        };
+        if pending.new_peer != peer || pending.started != started {
+            return; // a different (e.g. retried) insert owns the state now
+        }
+        self.pending_insert = None;
+        if self.phase == RingPhase::Inserting {
+            self.phase = RingPhase::Joined;
+        }
+        self.succ_list
+            .retain(|e| !(e.peer == peer && e.state == EntryState::Joining));
+        self.maybe_emit_new_successor();
+        self.emit(RingEvent::InsertSuccAborted { new_peer: peer });
     }
 
     /// Handles the joining peer's confirmation at the inserter: the

@@ -1,5 +1,6 @@
 //! Ring protocol messages (including the layer's own timers).
 
+use pepper_net::SimTime;
 use pepper_types::{PeerId, PeerValue};
 
 use crate::entry::{EntryState, SuccEntry};
@@ -21,6 +22,16 @@ pub enum RingMsg {
         /// The ping sequence number the guard belongs to.
         seq: u64,
     },
+    /// Guard on an in-flight `insertSucc`: a joining free peer cannot be
+    /// ping-probed (it truthfully answers "not a member yet"), so a join
+    /// that never completes — typically because the free peer fail-stopped
+    /// mid-join — is aborted by this timer instead.
+    InsertTimeout {
+        /// The peer being inserted when the guard was armed.
+        peer: PeerId,
+        /// Start time of that `insertSucc` (dedupes guards across retries).
+        started: SimTime,
+    },
 
     // ---- stabilization ---------------------------------------------------
     /// Request from a predecessor: "send me your successor list".
@@ -37,6 +48,11 @@ pub enum RingMsg {
         responder_state: EntryState,
         /// The responder's current ring value.
         responder_value: PeerValue,
+        /// The responder's current predecessor pointer. The requester uses
+        /// it as the Chord-style `notify` repair: a predecessor strictly
+        /// between the requester and the responder is a successor the
+        /// requester does not know about yet.
+        responder_pred: Option<(PeerId, PeerValue)>,
     },
     /// Proactive request to run a stabilization round *now* (the paper's
     /// optimization: the inserter/leaver pokes its predecessor instead of
@@ -109,6 +125,7 @@ impl RingMsg {
             RingMsg::StabilizeTick => "StabilizeTick",
             RingMsg::PingTick => "PingTick",
             RingMsg::PingTimeout { .. } => "PingTimeout",
+            RingMsg::InsertTimeout { .. } => "InsertTimeout",
             RingMsg::StabRequest { .. } => "StabRequest",
             RingMsg::StabResponse { .. } => "StabResponse",
             RingMsg::StabilizeNow => "StabilizeNow",
@@ -136,6 +153,10 @@ mod tests {
                 target: PeerId(1),
                 seq: 0,
             },
+            RingMsg::InsertTimeout {
+                peer: PeerId(3),
+                started: SimTime::ZERO,
+            },
             RingMsg::StabRequest {
                 from_value: PeerValue(1),
             },
@@ -143,6 +164,7 @@ mod tests {
                 succ_list: vec![],
                 responder_state: EntryState::Joined,
                 responder_value: PeerValue(2),
+                responder_pred: None,
             },
             RingMsg::StabilizeNow,
             RingMsg::JoinAck { joining: PeerId(2) },

@@ -32,13 +32,18 @@ impl RingState {
         if let Some(target) = joined_target {
             self.send_ping(target, fx);
         }
-        // Additionally ping a LEAVING first entry to notice its departure.
-        let leaving_head = self
+        // Additionally ping every LEAVING entry: the head to notice its
+        // actual departure promptly, and the rest because a LEAVING entry
+        // whose peer has since departed *and rejoined elsewhere* is a
+        // phantom that the stabilization rebuild would otherwise preserve
+        // forever (see `on_ping_reply`).
+        let leaving: Vec<PeerId> = self
             .succ_list
-            .first()
-            .filter(|e| e.state == EntryState::Leaving)
-            .map(|e| e.peer);
-        if let Some(target) = leaving_head {
+            .iter()
+            .filter(|e| e.state == EntryState::Leaving && e.peer != self.id)
+            .map(|e| e.peer)
+            .collect();
+        for target in leaving {
             if Some(target) != joined_target {
                 self.send_ping(target, fx);
             }
@@ -87,10 +92,36 @@ impl RingState {
         }
         if !member {
             // The peer has departed the ring (graceful leave already
-            // completed): drop it from the list.
-            if self.remove_peer(from) {
+            // completed): drop it from the list. JOINING entries are kept —
+            // a peer being inserted truthfully answers "not a member yet"
+            // (it may even be the old incarnation's LEAVING relic that was
+            // pinged), and dropping the in-flight entry would wedge the
+            // inserter in the INSERTING phase with nothing to promote.
+            let before = self.succ_list.len();
+            self.succ_list
+                .retain(|e| e.peer != from || e.state == EntryState::Joining);
+            if self.succ_list.len() != before {
                 self.maybe_emit_new_successor();
             }
+            return;
+        }
+        // A LEAVING entry answered JOINED: within one incarnation that
+        // transition is impossible (a leave never reverts), so the peer must
+        // have departed and *rejoined elsewhere* in the meantime. The entry
+        // is a phantom of the old incarnation — drop it rather than
+        // "updating" it to JOINED at a position the peer no longer occupies.
+        let rejoined = state == EntryState::Joined
+            && self
+                .succ_list
+                .iter()
+                .any(|e| e.peer == from && e.state == EntryState::Leaving);
+        if rejoined {
+            // Drop only the LEAVING phantoms — the same peer may
+            // legitimately appear again as a fresh JOINED entry at its new
+            // position (possibly in this very list).
+            self.succ_list
+                .retain(|e| !(e.peer == from && e.state == EntryState::Leaving));
+            self.maybe_emit_new_successor();
             return;
         }
         // Update the advertised state (e.g. learn that the successor is
@@ -115,6 +146,17 @@ impl RingState {
         self.outstanding_pings.remove(&target);
         if self.remove_peer(target) {
             self.emit(RingEvent::SuccessorFailed { peer: target });
+            // If the failed peer is the one this peer was inserting, the
+            // operation can never complete: abort it and return to JOINED so
+            // splits and leaves are possible again. (The composed peer
+            // reacts to `SuccessorFailed`, not `InsertSuccAborted`, so the
+            // dead peer is not returned to the free pool.)
+            if self.pending_insert.map(|p| p.new_peer) == Some(target) {
+                self.pending_insert = None;
+                if self.phase == RingPhase::Inserting {
+                    self.phase = RingPhase::Joined;
+                }
+            }
             // If the head of the list is now a JOINING entry whose inserter
             // just failed, it will never be promoted by its inserter; drop it
             // and let stabilization rebuild the list.

@@ -38,17 +38,27 @@ impl RingState {
     }
 
     /// The peer this node currently stabilizes with: the first `JOINED`
-    /// successor (skipping a `JOINING` head while an `insertSucc` is in
-    /// flight). Used both to address the request and to validate responses.
+    /// successor. `JOINING` entries (including the head while an
+    /// `insertSucc` is in flight) are skipped by *state*, never by position
+    /// — skipping by index would skip the real successor whenever the
+    /// in-flight entry is missing or not at the head.
     pub(crate) fn stabilization_target(&self) -> Option<PeerId> {
-        let skip_first = self.phase == RingPhase::Inserting;
         self.succ_list
             .iter()
-            .enumerate()
-            .find(|(i, e)| {
-                e.state == EntryState::Joined && (!skip_first || *i > 0) && e.peer != self.id
+            .find(|e| e.state == EntryState::Joined && e.peer != self.id)
+            .or_else(|| {
+                // No JOINED successor at all — e.g. a two-member ring whose
+                // other member is LEAVING. Stabilize with the leaver anyway:
+                // it still answers (LEAVING peers serve until the hand-off
+                // completes), and the rebuild is the only path that puts the
+                // LEAVING entry into the penultimate slot and fires the
+                // leave ack. Without this fallback the leave never
+                // completes and the pair wedges mid-merge forever.
+                self.succ_list
+                    .iter()
+                    .find(|e| e.state == EntryState::Leaving && e.peer != self.id)
             })
-            .map(|(_, e)| e.peer)
+            .map(|e| e.peer)
     }
 
     /// Sends a stabilization request to the first eligible successor.
@@ -79,19 +89,21 @@ impl RingState {
         if !self.is_member() {
             return;
         }
-        self.update_pred(from, from_value);
+        self.update_pred(_ctx.now, from, from_value);
         fx.send(
             from,
             RingMsg::StabResponse {
                 succ_list: self.succ_list.clone(),
                 responder_state: self.phase.as_entry_state(),
                 responder_value: self.value,
+                responder_pred: self.pred,
             },
         );
     }
 
     /// Handles the successor's stabilization response: rebuild the successor
     /// list and fire the join / leave acknowledgements when appropriate.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn on_stab_response(
         &mut self,
         _ctx: LayerCtx,
@@ -99,6 +111,7 @@ impl RingState {
         their_list: Vec<SuccEntry>,
         responder_state: EntryState,
         responder_value: PeerValue,
+        responder_pred: Option<(PeerId, PeerValue)>,
         fx: &mut Effects<RingMsg>,
     ) {
         if !self.is_member() {
@@ -163,11 +176,43 @@ impl RingState {
         });
 
         self.succ_list = new_list;
+
+        // ---- Chord-style `notify` repair -----------------------------------
+        // If the responder's predecessor lies strictly between this peer and
+        // the responder, it is a successor this peer has lost track of (for
+        // example, the only peer that pointed at it dropped a phantom entry
+        // with the same id). Positional successor lists have no other way to
+        // re-learn a forgotten peer: lists only propagate *successors of
+        // successors*, never anyone behind the stabilization target.
+        if let Some((pp, pv)) = responder_pred {
+            if pp != self.id
+                && pp != from
+                && pepper_types::in_open(self.value.raw(), pv.raw(), responder_value.raw())
+                && !self.succ_list.iter().any(|e| e.peer == pp)
+            {
+                self.succ_list
+                    .insert(0, SuccEntry::new(pp, pv, EntryState::Joined));
+            }
+        }
         self.trim_succ_list();
 
         // ---- join / leave acknowledgements --------------------------------
+        // The ack may only fire from a predecessor whose list is *full
+        // depth*: either `d` JOINED entries, or wrapped around to this peer
+        // itself (a ring smaller than `d`). On a shallower list the
+        // penultimate slot says nothing about how far the entry has
+        // propagated — acking early promotes the joining peer before
+        // predecessors inside the d-window have learned of it, and their
+        // scans would skip its range.
+        let joined_count = self
+            .succ_list
+            .iter()
+            .filter(|e| e.state == EntryState::Joined)
+            .count();
+        let full_depth =
+            joined_count >= self.target_len() || self.succ_list.iter().any(|e| e.peer == self.id);
         let len = self.succ_list.len();
-        if len >= 2 {
+        if len >= 2 && full_depth {
             let penultimate = self.succ_list[len - 2];
             match penultimate.state {
                 EntryState::Joining => {
@@ -310,6 +355,7 @@ mod tests {
                         succ_list,
                         responder_state,
                         responder_value,
+                        ..
                     },
             } => {
                 assert_eq!(*to, PeerId(4));
@@ -341,6 +387,7 @@ mod tests {
             vec![joined(1, 10), joined(2, 20)],
             EntryState::Joined,
             PeerValue(50),
+            None,
             &mut fx,
         );
         let peers: Vec<PeerId> = p4.succ_list().iter().map(|e| e.peer).collect();
@@ -374,6 +421,7 @@ mod tests {
             ],
             EntryState::Joined,
             PeerValue(50),
+            None,
             &mut fx,
         );
         let peers: Vec<PeerId> = p4.succ_list().iter().map(|e| e.peer).collect();
@@ -402,6 +450,7 @@ mod tests {
             ],
             EntryState::Joined,
             PeerValue(40),
+            None,
             &mut fx,
         );
         let peers: Vec<PeerId> = p3.succ_list().iter().map(|e| e.peer).collect();
@@ -427,6 +476,7 @@ mod tests {
             vec![joined(1, 10), joined(2, 20)],
             EntryState::Leaving,
             PeerValue(55),
+            None,
             &mut fx,
         );
         let states: Vec<EntryState> = p5.succ_list().iter().map(|e| e.state).collect();
@@ -446,6 +496,7 @@ mod tests {
             p5.succ_list().to_vec(),
             EntryState::Joined,
             PeerValue(50),
+            None,
             &mut fx4,
         );
         let peers: Vec<PeerId> = p4.succ_list().iter().map(|e| e.peer).collect();
@@ -471,6 +522,7 @@ mod tests {
             ],
             EntryState::Joined,
             PeerValue(50),
+            None,
             &mut fx,
         );
         assert!(fx.iter().any(|e| matches!(
@@ -490,6 +542,7 @@ mod tests {
             vec![joined(1, 10), joined(2, 20)],
             EntryState::Joined,
             PeerValue(50),
+            None,
             &mut fx,
         );
         assert!(p4
@@ -508,6 +561,7 @@ mod tests {
             vec![joined(1, 10), joined(5, 50), joined(1, 10), joined(2, 20)],
             EntryState::Joined,
             PeerValue(50),
+            None,
             &mut fx,
         );
         let peers: Vec<PeerId> = p.succ_list().iter().map(|e| e.peer).collect();

@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use std::time::Duration;
 
 use pepper_net::{Effects, LayerCtx, ProtocolLayer, SimTime};
-use pepper_types::{PeerId, PeerValue};
+use pepper_types::{in_open, PeerId, PeerValue};
 
 use crate::config::RingConfig;
 use crate::entry::{EntryState, RingPhase, SuccEntry};
@@ -39,6 +39,13 @@ pub struct RingState {
     pub(crate) phase: RingPhase,
     pub(crate) succ_list: Vec<SuccEntry>,
     pub(crate) pred: Option<(PeerId, PeerValue)>,
+    /// Last virtual time the current predecessor stabilized to this peer
+    /// (its liveness lease; see [`RingState::update_pred`]).
+    pub(crate) pred_heard: SimTime,
+    /// Tombstone for a just-departed peer: its straggler stabilization
+    /// requests (sent while it was still LEAVING) must not re-register it
+    /// as predecessor after the departure was observed.
+    pub(crate) pred_tombstone: Option<(PeerId, SimTime)>,
     pub(crate) cfg: RingConfig,
     pub(crate) pending_insert: Option<PendingInsert>,
     pub(crate) leave_started: Option<SimTime>,
@@ -63,6 +70,8 @@ impl RingState {
             phase: RingPhase::Joined,
             succ_list,
             pred: Some((id, value)),
+            pred_heard: SimTime::ZERO,
+            pred_tombstone: None,
             cfg,
             pending_insert: None,
             leave_started: None,
@@ -84,6 +93,8 @@ impl RingState {
             phase: RingPhase::Free,
             succ_list: Vec::new(),
             pred: None,
+            pred_heard: SimTime::ZERO,
+            pred_tombstone: None,
             cfg,
             pending_insert: None,
             leave_started: None,
@@ -183,6 +194,37 @@ impl RingState {
         self.pending_insert.map(|p| p.new_peer)
     }
 
+    /// Purges every successor-list entry for a peer this node has just
+    /// observed departing (e.g. the granter of an absorbed merge). Without
+    /// this, a stale JOINED entry for the departed peer survives at its old
+    /// ring position — and if the peer promptly *rejoins elsewhere* (free
+    /// peers are recycled), the entry looks alive again and captures this
+    /// node's stabilization at a phantom position.
+    pub fn note_departed(&mut self, now: SimTime, peer: PeerId) {
+        if peer == self.id {
+            return;
+        }
+        if self.remove_peer(peer) {
+            self.maybe_emit_new_successor();
+        }
+        // The departed peer may have one more stabilization request in
+        // flight (sent while it was still LEAVING); a short tombstone stops
+        // it from re-registering as predecessor. One stabilization period
+        // comfortably covers the straggler window and has expired long
+        // before the peer could possibly rejoin through the free pool.
+        self.pred_tombstone = Some((peer, now.saturating_add(self.cfg.stabilization_period)));
+        // If the departed peer was also this peer's predecessor, the ring
+        // had exactly two members (the absorbed granter is always this
+        // peer's *successor*, so granter == predecessor implies a 2-ring)
+        // and now has one: the predecessor is this peer itself, exactly as
+        // for a freshly bootstrapped ring. Leaving the stale pointer in
+        // place would make the next `insertSucc` wait forever for a join
+        // ack from a peer that no longer stabilizes.
+        if self.pred.map(|(p, _)| p) == Some(peer) {
+            self.pred = Some((self.id, self.value));
+        }
+    }
+
     // ------------------------------------------------------------------
     // lifecycle
     // ------------------------------------------------------------------
@@ -232,6 +274,15 @@ impl RingState {
     /// `JOINING`/`LEAVING` entries that have propagated far enough to fall
     /// off the end are simply dropped.
     pub(crate) fn trim_succ_list(&mut self) {
+        // In a ring with fewer members than `d` the list wraps around to
+        // this peer itself; anything *behind* that wrap marker is a stale
+        // copy (dead peers, aborted joins) that would otherwise circulate
+        // between the remaining members forever — and, worse, keep JOINING /
+        // LEAVING entries out of the penultimate slot the join/leave
+        // acknowledgement logic watches.
+        if let Some(i) = self.succ_list.iter().position(|e| e.peer == self.id) {
+            self.succ_list.truncate(i + 1);
+        }
         let d = self.target_len();
         let mut joined_seen = 0usize;
         let mut cut = self.succ_list.len();
@@ -277,13 +328,44 @@ impl RingState {
         }
     }
 
-    /// Records a new predecessor, emitting [`RingEvent::NewPredecessor`] if
-    /// the peer or its value changed.
-    pub(crate) fn update_pred(&mut self, peer: PeerId, value: PeerValue) {
-        if self.pred != Some((peer, value)) {
-            self.pred = Some((peer, value));
-            self.emit(RingEvent::NewPredecessor { peer, value });
+    /// Records a predecessor observed through a stabilization request,
+    /// emitting [`RingEvent::NewPredecessor`] if the peer or its value
+    /// changed.
+    ///
+    /// Acceptance follows the Chord `notify` rule plus a liveness lease: a
+    /// *closer* predecessor (its value lies in `(current pred, self)`) is
+    /// adopted immediately, but a *farther* one is only adopted once the
+    /// current predecessor has stopped stabilizing for a whole lease. While
+    /// a peer is LEAVING, both the leaver and the leaver's own predecessor
+    /// stabilize to this peer — without the lease the pointer ping-pongs
+    /// between them, and the farther value can trigger a range takeover of a
+    /// range the leaver still owns.
+    pub(crate) fn update_pred(&mut self, now: SimTime, peer: PeerId, value: PeerValue) {
+        if let Some((dead, until)) = self.pred_tombstone {
+            if dead == peer && now < until {
+                return; // straggler from a peer observed departing
+            }
         }
+        if let Some((cur_peer, cur_value)) = self.pred {
+            if cur_peer == peer {
+                self.pred_heard = now;
+                if cur_value != value {
+                    self.pred = Some((peer, value));
+                    self.emit(RingEvent::NewPredecessor { peer, value });
+                }
+                return;
+            }
+            let closer =
+                cur_peer == self.id || in_open(cur_value.raw(), value.raw(), self.value.raw());
+            let lease_expired =
+                now.duration_since(self.pred_heard) > self.cfg.stabilization_period * 3;
+            if !closer && !lease_expired {
+                return; // the current predecessor is alive and closer
+            }
+        }
+        self.pred = Some((peer, value));
+        self.pred_heard = now;
+        self.emit(RingEvent::NewPredecessor { peer, value });
     }
 }
 
@@ -296,6 +378,22 @@ impl ProtocolLayer for RingState {
     }
 
     fn handle(&mut self, ctx: LayerCtx, from: PeerId, msg: RingMsg, fx: &mut Effects<RingMsg>) {
+        self.handle_inner(ctx, from, msg, fx);
+    }
+
+    fn drain_events(&mut self) -> Vec<RingEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+impl RingState {
+    fn handle_inner(
+        &mut self,
+        ctx: LayerCtx,
+        from: PeerId,
+        msg: RingMsg,
+        fx: &mut Effects<RingMsg>,
+    ) {
         match msg {
             RingMsg::StabilizeTick => self.on_stabilize_tick(ctx, fx),
             RingMsg::StabilizeNow => self.on_stabilize_now(ctx, fx),
@@ -304,8 +402,18 @@ impl ProtocolLayer for RingState {
                 succ_list,
                 responder_state,
                 responder_value,
-            } => self.on_stab_response(ctx, from, succ_list, responder_state, responder_value, fx),
+                responder_pred,
+            } => self.on_stab_response(
+                ctx,
+                from,
+                succ_list,
+                responder_state,
+                responder_value,
+                responder_pred,
+                fx,
+            ),
             RingMsg::JoinAck { joining } => self.on_join_ack(ctx, joining, fx),
+            RingMsg::InsertTimeout { peer, started } => self.on_insert_timeout(ctx, peer, started),
             RingMsg::Join {
                 succ_list,
                 pred,
@@ -327,10 +435,6 @@ impl ProtocolLayer for RingState {
             }
             RingMsg::PingTimeout { target, seq } => self.on_ping_timeout(ctx, target, seq),
         }
-    }
-
-    fn drain_events(&mut self) -> Vec<RingEvent> {
-        std::mem::take(&mut self.events)
     }
 }
 
@@ -469,10 +573,10 @@ mod tests {
     #[test]
     fn update_pred_emits_on_change_only() {
         let mut s = RingState::new_free(PeerId(0), RingConfig::test(2));
-        s.update_pred(PeerId(3), PeerValue(30));
-        s.update_pred(PeerId(3), PeerValue(30));
+        s.update_pred(SimTime::from_secs(1), PeerId(3), PeerValue(30));
+        s.update_pred(SimTime::from_secs(2), PeerId(3), PeerValue(30));
         assert_eq!(s.drain_events().len(), 1);
-        s.update_pred(PeerId(3), PeerValue(31));
+        s.update_pred(SimTime::from_secs(3), PeerId(3), PeerValue(31));
         assert_eq!(s.drain_events().len(), 1);
         assert_eq!(s.pred(), Some((PeerId(3), PeerValue(31))));
     }

@@ -5,14 +5,15 @@
 //! issuing item inserts/deletes and range queries, injecting failures, and
 //! collecting per-peer [`Observation`]s and global snapshots for the oracles.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::Duration;
 
-use pepper_datastore::QueryId;
+use pepper_datastore::{DsSnapshot, QueryId};
 use pepper_index::{FreePool, Observation, PeerMsg, PeerNode};
 use pepper_net::{NetworkConfig, SimTime, Simulator};
 use pepper_ring::consistency::{
-    check_connectivity, check_consistent_successor_pointers, RingSnapshot,
+    check_connectivity, check_consistent_successor_pointers, check_ring_invariants,
+    ConsistencyReport, RingSnapshot,
 };
 use pepper_types::{Item, ItemId, PeerId, PeerValue, RangeQuery, SearchKey, SystemConfig};
 use rand::Rng;
@@ -309,6 +310,59 @@ impl Cluster {
             check_consistent_successor_pointers(&snaps).is_consistent(),
             check_connectivity(&snaps).is_consistent(),
         )
+    }
+
+    /// Runs both ring invariants and returns the combined report with
+    /// labelled, per-violation diagnostics (the per-step form of
+    /// [`Cluster::check_ring`] used by the fault-injection harness).
+    pub fn check_ring_report(&self) -> ConsistencyReport {
+        check_ring_invariants(&self.ring_snapshots())
+    }
+
+    /// Data Store snapshots of every peer, tagged with liveness (for the
+    /// range-partition / item-conservation oracles).
+    pub fn datastore_snapshots(&self) -> Vec<(bool, DsSnapshot)> {
+        self.sim
+            .peer_ids()
+            .iter()
+            .map(|p| {
+                (
+                    self.sim.is_alive(*p),
+                    self.sim.node(*p).unwrap().data_store().snapshot(),
+                )
+            })
+            .collect()
+    }
+
+    /// The mapped values of every replica held per alive peer (for the
+    /// replication oracle).
+    pub fn replica_holdings(&self) -> BTreeMap<PeerId, BTreeSet<u64>> {
+        self.sim
+            .peer_ids()
+            .into_iter()
+            .filter(|p| self.sim.is_alive(*p))
+            .map(|p| {
+                let keys = self
+                    .sim
+                    .node(p)
+                    .unwrap()
+                    .replication()
+                    .replicas()
+                    .into_iter()
+                    .map(|(m, _)| m)
+                    .collect();
+                (p, keys)
+            })
+            .collect()
+    }
+
+    /// Asks `peer` to leave the ring voluntarily (offer its range to its
+    /// predecessor). Returns `true` if the offer was issued; completion is
+    /// asynchronous and best-effort (the predecessor may decline).
+    pub fn leave_peer(&mut self, peer: PeerId) -> bool {
+        self.sim
+            .with_node_ctx(peer, |node, ctx| node.request_leave(ctx))
+            .unwrap_or(false)
     }
 
     /// Kills a random alive ring member not listed in `exclude`.

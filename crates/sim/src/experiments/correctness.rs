@@ -9,7 +9,10 @@
 //! set of *stable* keys (never deleted — the ground truth) interleaved with
 //! *churn* keys that are repeatedly deleted and re-inserted to force
 //! continuous rebalancing, while range queries over the whole region run
-//! concurrently. A query is **incorrect** if it misses any stable key.
+//! concurrently. A query is **incorrect** if it claims full coverage yet
+//! misses a stable key; a query that *reports* incomplete coverage is
+//! counted separately as **incomplete** (a visible, retriable availability
+//! failure — see [`CorrectnessOutcome`]).
 
 use std::time::Duration;
 
@@ -24,12 +27,30 @@ use crate::workload::{KeyDistribution, KeyGenerator};
 use super::Effort;
 
 /// Result of one correctness run.
+///
+/// The two failure columns are deliberately distinct, because they are
+/// different claims entirely:
+///
+/// * **incorrect** — the scan *claimed full coverage* of the interval yet
+///   missed a live stable item: a silent wrong answer, exactly what the
+///   paper's `scanRange` locks exist to prevent;
+/// * **incomplete** — the scan itself reported that it could not cover the
+///   interval (rejected past the re-route budget, forward retries
+///   exhausted): an availability failure the client *sees* and can retry.
+///
+/// Counting incomplete-and-missing results as "incorrect" once made the
+/// quick-effort table report PEPPER *worse* than naive (the old ROADMAP open
+/// item): PEPPER's lock-step scan start is rejected more often under stale
+/// routing, so it produced more — visible, honest — incompletes, while every
+/// one of its *completed* scans was correct.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CorrectnessOutcome {
-    /// Queries issued (and completed).
+    /// Queries issued (and finished, successfully or not).
     pub queries: usize,
-    /// Queries that missed at least one live (stable) item.
+    /// Queries that claimed full coverage but missed a live (stable) item.
     pub incorrect: usize,
+    /// Queries that reported incomplete coverage (client-visible failure).
+    pub incomplete: usize,
 }
 
 /// Runs the churn + concurrent-queries workload and counts incorrect query
@@ -62,6 +83,7 @@ pub fn run_correctness(system: SystemConfig, seed: u64, rounds: usize) -> Correc
     let mut rng = StdRng::seed_from_u64(seed.wrapping_add(99));
     let mut queries = 0usize;
     let mut incorrect = 0usize;
+    let mut incomplete = 0usize;
     let mut churn_present = true;
 
     for _ in 0..rounds {
@@ -87,14 +109,21 @@ pub fn run_correctness(system: SystemConfig, seed: u64, rounds: usize) -> Correc
                 queries += 1;
                 let got: std::collections::BTreeSet<u64> =
                     outcome.items.iter().map(|i| i.skv.raw()).collect();
-                if stable_keys.iter().any(|k| !got.contains(k)) {
+                let missing = stable_keys.iter().any(|k| !got.contains(k));
+                if !outcome.complete {
+                    incomplete += 1;
+                } else if missing {
                     incorrect += 1;
                 }
             }
         }
         cluster.run_secs(2);
     }
-    CorrectnessOutcome { queries, incorrect }
+    CorrectnessOutcome {
+        queries,
+        incorrect,
+        incomplete,
+    }
 }
 
 /// Query-correctness ablation table: PEPPER vs naive.
@@ -102,7 +131,13 @@ pub fn query_correctness(effort: Effort, seed: u64) -> Table {
     let rounds = effort.scale(4, 16);
     let mut table = Table::new(
         "Query correctness under churn (0 = naive, 1 = PEPPER)",
-        &["pepper", "queries", "incorrect", "incorrect_fraction"],
+        &[
+            "pepper",
+            "queries",
+            "incorrect",
+            "incomplete",
+            "incorrect_fraction",
+        ],
     );
     for (flag, protocol) in [
         (0.0, ProtocolConfig::naive()),
@@ -122,6 +157,7 @@ pub fn query_correctness(effort: Effort, seed: u64) -> Table {
             flag,
             outcome.queries as f64,
             outcome.incorrect as f64,
+            outcome.incomplete as f64,
             frac,
         ]);
     }
@@ -206,21 +242,49 @@ mod tests {
 
     #[test]
     fn naive_queries_are_never_better_than_pepper() {
-        // The comparative claim of the paper: the PEPPER scan never does
-        // worse than the naive application-level scan under identical churn
-        // (absolute counts for the full workload are reported in
-        // EXPERIMENTS.md).
-        let seed = 43;
-        let naive = run_correctness(
-            SystemConfig::paper_defaults().with_protocol(ProtocolConfig::naive()),
-            seed,
-            3,
+        // The comparative claim of the paper, asserted for real across a
+        // seed matrix: under identical churn, the PEPPER `scanRange` never
+        // produces more *silently wrong* results than the naive scan — and
+        // in fact produces none at all: a scan that claims full coverage has
+        // held the range locks the whole way, so it cannot have missed a
+        // stable item. (Visible `incomplete` failures are a different,
+        // retriable outcome and are reported separately; the full-effort
+        // absolute counts live in EXPERIMENTS.md.)
+        let mut naive_total = CorrectnessOutcome {
+            queries: 0,
+            incorrect: 0,
+            incomplete: 0,
+        };
+        let mut pepper_total = naive_total;
+        for seed in [43u64, 1009, 2026] {
+            let naive = run_correctness(
+                SystemConfig::paper_defaults().with_protocol(ProtocolConfig::naive()),
+                seed,
+                4,
+            );
+            let pepper = run_correctness(SystemConfig::paper_defaults(), seed, 4);
+            assert_eq!(naive.queries, 4, "seed {seed}: naive queries lost");
+            assert_eq!(pepper.queries, 4, "seed {seed}: pepper queries lost");
+            assert!(
+                pepper.incorrect <= naive.incorrect,
+                "seed {seed}: pepper reported more silently-wrong results                  ({} vs {})",
+                pepper.incorrect,
+                naive.incorrect
+            );
+            naive_total.queries += naive.queries;
+            naive_total.incorrect += naive.incorrect;
+            naive_total.incomplete += naive.incomplete;
+            pepper_total.queries += pepper.queries;
+            pepper_total.incorrect += pepper.incorrect;
+            pepper_total.incomplete += pepper.incomplete;
+        }
+        // The theorem itself: no completed PEPPER scan is ever wrong.
+        assert_eq!(
+            pepper_total.incorrect, 0,
+            "a complete scanRange result missed a stable key: {pepper_total:?}"
         );
-        let pepper = run_correctness(SystemConfig::paper_defaults(), seed, 3);
-        // Quick-effort runs issue too few queries for a strict comparison;
-        // both drivers must at least complete their queries (the full-effort
-        // comparison lives in EXPERIMENTS.md).
-        assert!(naive.queries >= 2 && pepper.queries >= 2);
+        assert!(pepper_total.incorrect <= naive_total.incorrect);
+        assert_eq!(pepper_total.queries, 12);
     }
 
     #[test]

@@ -1,0 +1,221 @@
+//! The model oracle: ground truth for query correctness.
+//!
+//! The oracle replays the harness's own issue stream (inserts, deletes) plus
+//! the acknowledgements observed at the issuing peers against a plain
+//! `BTreeMap`-backed key state. Because item operations are asynchronous, a
+//! key only participates in correctness checks while it is **stable**:
+//! acknowledged, with no operation in flight. Every state change bumps a
+//! per-key version; a query check only fires for keys whose version did not
+//! change between query issue and completion, which is exactly the paper's
+//! guarantee ("a completed `scanRange` returns every item that was in the
+//! index for the whole duration of the query").
+
+use std::collections::BTreeMap;
+
+/// Per-key ground-truth state.
+#[derive(Debug, Clone, Default)]
+struct KeyState {
+    /// Whether the last acknowledged operation left the key present.
+    present: bool,
+    /// Operations issued but not yet acknowledged.
+    in_flight: u32,
+    /// An insert for this key was reported as failed after exhausting its
+    /// retries; the key's real state is unknown until the next ack.
+    poisoned: bool,
+    /// Bumped on every issue/ack affecting the key.
+    version: u64,
+}
+
+/// The in-memory ground truth for every key the harness ever touched.
+#[derive(Debug, Default)]
+pub struct ModelOracle {
+    keys: BTreeMap<u64, KeyState>,
+}
+
+impl ModelOracle {
+    /// An empty oracle.
+    pub fn new() -> Self {
+        ModelOracle::default()
+    }
+
+    fn entry(&mut self, key: u64) -> &mut KeyState {
+        self.keys.entry(key).or_default()
+    }
+
+    /// An insert for `key` was issued.
+    pub fn insert_issued(&mut self, key: u64) {
+        let s = self.entry(key);
+        s.in_flight += 1;
+        s.version += 1;
+    }
+
+    /// A delete for `key` was issued.
+    pub fn delete_issued(&mut self, key: u64) {
+        let s = self.entry(key);
+        s.in_flight += 1;
+        s.version += 1;
+    }
+
+    /// An insert ack for `key` arrived at its issuer.
+    pub fn insert_acked(&mut self, key: u64) {
+        let s = self.entry(key);
+        s.in_flight = s.in_flight.saturating_sub(1);
+        s.present = true;
+        s.poisoned = false;
+        s.version += 1;
+    }
+
+    /// An insert for `key` gave up after exhausting its re-routes. The item
+    /// may or may not have landed (e.g. the storing peer failed before the
+    /// ack); the key is excluded from checks until the next acknowledgement.
+    pub fn insert_failed(&mut self, key: u64) {
+        let s = self.entry(key);
+        s.in_flight = s.in_flight.saturating_sub(1);
+        s.poisoned = true;
+        s.version += 1;
+    }
+
+    /// A delete ack for `key` arrived at its issuer.
+    pub fn delete_acked(&mut self, key: u64) {
+        let s = self.entry(key);
+        s.in_flight = s.in_flight.saturating_sub(1);
+        s.present = false;
+        s.poisoned = false;
+        s.version += 1;
+    }
+
+    /// The current version of `key` (`None` if never touched).
+    pub fn version(&self, key: u64) -> Option<u64> {
+        self.keys.get(&key).map(|s| s.version)
+    }
+
+    fn stable(s: &KeyState) -> bool {
+        s.in_flight == 0 && !s.poisoned
+    }
+
+    /// Keys in `[lo, hi]` that are stably **present**: a completed query
+    /// over the interval must return each of them (checked against the
+    /// version captured here).
+    pub fn stable_present_in(&self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        self.keys
+            .range(lo..=hi)
+            .filter(|(_, s)| Self::stable(s) && s.present)
+            .map(|(k, s)| (*k, s.version))
+            .collect()
+    }
+
+    /// Keys in `[lo, hi]` that are stably **absent** (deleted and
+    /// acknowledged): a completed query must not resurrect them.
+    pub fn stable_absent_in(&self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        self.keys
+            .range(lo..=hi)
+            .filter(|(_, s)| Self::stable(s) && !s.present)
+            .map(|(k, s)| (*k, s.version))
+            .collect()
+    }
+
+    /// Keys that are stably in the index right now — candidates for a
+    /// delete op. Keys with an insert still in flight are excluded: a
+    /// concurrent insert+delete of the same key from *different* issuers can
+    /// have its two acks observed in the opposite order to the owner's
+    /// application order, which would corrupt this oracle's final
+    /// present/absent verdict (a false conservation violation).
+    pub fn deletable(&self) -> Vec<u64> {
+        self.keys
+            .iter()
+            .filter(|(_, s)| Self::stable(s) && s.present)
+            .map(|(k, _)| *k)
+            .collect()
+    }
+
+    /// The stably present key set (quiescence ground truth: after the system
+    /// settles, every one of these must be stored somewhere).
+    pub fn confirmed(&self) -> Vec<u64> {
+        self.keys
+            .iter()
+            .filter(|(_, s)| Self::stable(s) && s.present)
+            .map(|(k, _)| *k)
+            .collect()
+    }
+
+    /// Keys that are in no determinate state (an op in flight or a failed
+    /// insert): excluded from quiescence conservation in both directions.
+    pub fn indeterminate(&self) -> Vec<u64> {
+        self.keys
+            .iter()
+            .filter(|(_, s)| !Self::stable(s))
+            .map(|(k, _)| *k)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_tracks_presence_and_stability() {
+        let mut o = ModelOracle::new();
+        o.insert_issued(10);
+        // In flight: not stable, and not yet a delete candidate (a racing
+        // delete's ack order could invert the oracle's verdict).
+        assert!(o.stable_present_in(0, 100).is_empty());
+        assert!(o.deletable().is_empty());
+        o.insert_acked(10);
+        assert_eq!(o.deletable(), vec![10]);
+        assert_eq!(
+            o.stable_present_in(0, 100),
+            vec![(10, o.version(10).unwrap())]
+        );
+        assert_eq!(o.confirmed(), vec![10]);
+
+        o.delete_issued(10);
+        assert!(o.stable_present_in(0, 100).is_empty());
+        o.delete_acked(10);
+        assert!(o.confirmed().is_empty());
+        assert_eq!(o.stable_absent_in(0, 100).len(), 1);
+        assert!(o.deletable().is_empty());
+    }
+
+    #[test]
+    fn versions_bump_on_every_transition() {
+        let mut o = ModelOracle::new();
+        o.insert_issued(5);
+        let v1 = o.version(5).unwrap();
+        o.insert_acked(5);
+        let v2 = o.version(5).unwrap();
+        assert!(v2 > v1);
+        o.delete_issued(5);
+        assert!(o.version(5).unwrap() > v2);
+    }
+
+    #[test]
+    fn failed_inserts_poison_the_key_until_the_next_ack() {
+        let mut o = ModelOracle::new();
+        o.insert_issued(7);
+        o.insert_failed(7);
+        assert!(o.stable_present_in(0, 10).is_empty());
+        assert!(o.stable_absent_in(0, 10).is_empty());
+        assert_eq!(o.indeterminate(), vec![7]);
+        // A later successful re-insert clears the poison.
+        o.insert_issued(7);
+        o.insert_acked(7);
+        assert_eq!(o.confirmed(), vec![7]);
+        assert!(o.indeterminate().is_empty());
+    }
+
+    #[test]
+    fn interval_filters_respect_bounds() {
+        let mut o = ModelOracle::new();
+        for k in [5u64, 15, 25] {
+            o.insert_issued(k);
+            o.insert_acked(k);
+        }
+        let present: Vec<u64> = o
+            .stable_present_in(10, 20)
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(present, vec![15]);
+    }
+}

@@ -1,0 +1,490 @@
+//! Seeded scenario generation and the replayable op-trace codec.
+//!
+//! A scenario is a flat sequence of **concrete** operations ([`Op`]): every
+//! random decision (which peer to kill, which key to insert, how long to
+//! advance virtual time) is resolved at generation time and recorded in an
+//! [`OpTrace`]. Replaying a trace therefore needs no random state at all —
+//! executing the recorded ops against a cluster built from the same
+//! configuration reproduces the run byte for byte.
+
+use std::time::Duration;
+
+use pepper_net::{FailureSchedule, SimTime};
+use pepper_types::PeerId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::workload::{KeyDistribution, KeyGenerator};
+
+/// One concrete scenario operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// A new free peer arrives (it joins the ring when a split needs it).
+    AddFreePeer,
+    /// Insert an item with search key `key`, issued at peer `at`.
+    Insert {
+        /// Issuing peer.
+        at: PeerId,
+        /// Search key.
+        key: u64,
+    },
+    /// Delete the item with search key `key`, issued at peer `at`.
+    Delete {
+        /// Issuing peer.
+        at: PeerId,
+        /// Search key.
+        key: u64,
+    },
+    /// Issue the range query `[lo, hi]` at peer `at`.
+    Query {
+        /// Issuing peer.
+        at: PeerId,
+        /// Lower bound (inclusive).
+        lo: u64,
+        /// Upper bound (inclusive).
+        hi: u64,
+    },
+    /// Ask `peer` to leave the ring voluntarily.
+    Leave {
+        /// The leaver.
+        peer: PeerId,
+    },
+    /// Fail-stop `peer`.
+    Kill {
+        /// The victim.
+        peer: PeerId,
+    },
+    /// Advance virtual time by `ms` milliseconds.
+    Advance {
+        /// Milliseconds of virtual time.
+        ms: u64,
+    },
+}
+
+impl Op {
+    /// Encodes the op as one trace line.
+    pub fn encode(&self) -> String {
+        match self {
+            Op::AddFreePeer => "add-free-peer".to_string(),
+            Op::Insert { at, key } => format!("insert {} {}", at.raw(), key),
+            Op::Delete { at, key } => format!("delete {} {}", at.raw(), key),
+            Op::Query { at, lo, hi } => format!("query {} {} {}", at.raw(), lo, hi),
+            Op::Leave { peer } => format!("leave {}", peer.raw()),
+            Op::Kill { peer } => format!("kill {}", peer.raw()),
+            Op::Advance { ms } => format!("advance-ms {ms}"),
+        }
+    }
+
+    /// Decodes one trace line. Returns `None` for malformed input.
+    pub fn decode(line: &str) -> Option<Op> {
+        let mut parts = line.split_ascii_whitespace();
+        let tag = parts.next()?;
+        let mut num = || parts.next()?.parse::<u64>().ok();
+        let op = match tag {
+            "add-free-peer" => Op::AddFreePeer,
+            "insert" => Op::Insert {
+                at: PeerId(num()?),
+                key: num()?,
+            },
+            "delete" => Op::Delete {
+                at: PeerId(num()?),
+                key: num()?,
+            },
+            "query" => Op::Query {
+                at: PeerId(num()?),
+                lo: num()?,
+                hi: num()?,
+            },
+            "leave" => Op::Leave {
+                peer: PeerId(num()?),
+            },
+            "kill" => Op::Kill {
+                peer: PeerId(num()?),
+            },
+            "advance-ms" => Op::Advance { ms: num()? },
+            _ => return None,
+        };
+        parts.next().is_none().then_some(op)
+    }
+}
+
+/// A recorded schedule of concrete operations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpTrace {
+    ops: Vec<Op>,
+}
+
+impl OpTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        OpTrace::default()
+    }
+
+    /// Appends an op.
+    pub fn push(&mut self, op: Op) {
+        self.ops.push(op);
+    }
+
+    /// The recorded ops.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of recorded ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Encodes the trace as newline-separated op lines.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        for op in &self.ops {
+            out.push_str(&op.encode());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Decodes a trace from its [`OpTrace::encode`] form.
+    pub fn decode(text: &str) -> Result<OpTrace, String> {
+        let mut ops = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let op =
+                Op::decode(line).ok_or_else(|| format!("trace line {}: bad op `{line}`", i + 1))?;
+            ops.push(op);
+        }
+        Ok(OpTrace { ops })
+    }
+
+    /// FNV-1a hash of the encoded trace: equal hashes ⟺ byte-identical
+    /// schedules. Used to assert generation determinism across runs.
+    pub fn hash(&self) -> u64 {
+        fnv1a(self.encode().as_bytes())
+    }
+}
+
+/// FNV-1a over a byte string (stable across platforms and runs, unlike
+/// `std::hash`'s randomized hasher).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Relative weights of the generated operations. Kills are not weighted —
+/// they come from a [`FailureSchedule`] so the fail-stop pattern matches the
+/// paper's failure-rate model and stays identical across protocol variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpWeights {
+    /// Item insert.
+    pub insert: u32,
+    /// Item delete.
+    pub delete: u32,
+    /// Range query.
+    pub query: u32,
+    /// Free-peer arrival.
+    pub add_free_peer: u32,
+    /// Voluntary leave.
+    pub leave: u32,
+}
+
+impl Default for OpWeights {
+    /// A churn-heavy mix: mostly item traffic (which drives splits and
+    /// merges), with a steady trickle of arrivals, queries and leaves.
+    fn default() -> Self {
+        OpWeights {
+            insert: 10,
+            delete: 6,
+            query: 5,
+            add_free_peer: 3,
+            leave: 1,
+        }
+    }
+}
+
+impl OpWeights {
+    fn total(&self) -> u32 {
+        self.insert + self.delete + self.query + self.add_free_peer + self.leave
+    }
+}
+
+/// What the generator needs to know about the live system to resolve an op.
+#[derive(Debug, Clone)]
+pub struct GeneratorView<'a> {
+    /// Current virtual time.
+    pub now: SimTime,
+    /// Alive ring members.
+    pub members: &'a [PeerId],
+    /// Keys that are (probably) present in the index — candidates for
+    /// deletion.
+    pub deletable: &'a [u64],
+}
+
+/// The seeded scenario generator.
+#[derive(Debug)]
+pub struct ScenarioGenerator {
+    rng: StdRng,
+    weights: OpWeights,
+    keys: KeyGenerator,
+    /// Scheduled fail-stop times (ascending); consumed front to back.
+    kills: Vec<SimTime>,
+    next_kill: usize,
+    min_members: usize,
+    key_domain: u64,
+    advance_range_ms: (u64, u64),
+    /// Extra virtual time inserted right before a kill so the failure lands
+    /// on a system that has had at least one replica-refresh round — the
+    /// replication protocol's tolerance assumption.
+    pre_kill_settle: Duration,
+}
+
+impl ScenarioGenerator {
+    /// Creates a generator. `horizon` bounds the virtual time over which the
+    /// failure schedule spreads its kills.
+    pub fn new(
+        seed: u64,
+        weights: OpWeights,
+        key_domain: u64,
+        min_members: usize,
+        failures_per_100s: f64,
+        horizon: Duration,
+        pre_kill_settle: Duration,
+    ) -> Self {
+        let mut failure_rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9).wrapping_add(2));
+        let schedule = FailureSchedule::poisson_like(
+            failures_per_100s,
+            SimTime::ZERO,
+            horizon,
+            &mut failure_rng,
+        );
+        ScenarioGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            weights,
+            keys: KeyGenerator::new(
+                KeyDistribution::Uniform { domain: key_domain },
+                seed ^ 0x5eed,
+            ),
+            kills: schedule.times().to_vec(),
+            next_kill: 0,
+            min_members,
+            key_domain,
+            advance_range_ms: (20, 160),
+            pre_kill_settle,
+        }
+    }
+
+    /// Draws the virtual-time advance that follows each op.
+    pub fn next_advance(&mut self) -> Op {
+        let (lo, hi) = self.advance_range_ms;
+        Op::Advance {
+            ms: self.rng.gen_range(lo..=hi),
+        }
+    }
+
+    /// Whether a scheduled kill is due at `now`.
+    fn kill_due(&self, now: SimTime) -> bool {
+        self.kills.get(self.next_kill).is_some_and(|t| *t <= now)
+    }
+
+    /// Draws the next operation for the given system state. The op is fully
+    /// concrete (peer ids, keys and bounds resolved) so the recorded trace
+    /// replays without any random state.
+    pub fn next_op(&mut self, view: &GeneratorView<'_>) -> Vec<Op> {
+        // Fail-stops take priority once their scheduled time has passed, as
+        // long as the ring keeps a quorum of members. The settle advance in
+        // front gives the replication layer one refresh round to cover the
+        // newest items, matching the paper's single-failure tolerance model.
+        if self.kill_due(view.now) {
+            self.next_kill += 1;
+            if view.members.len() > self.min_members {
+                let victim = view.members[self.rng.gen_range(0..view.members.len())];
+                return vec![
+                    Op::Advance {
+                        ms: self.pre_kill_settle.as_millis() as u64,
+                    },
+                    Op::Kill { peer: victim },
+                ];
+            }
+            // Too few members: the scheduled failure is dropped (recorded
+            // implicitly by its absence from the trace).
+        }
+
+        let roll = self.rng.gen_range(0..self.weights.total());
+        let w = self.weights;
+        let pick_member = |rng: &mut StdRng| -> Option<PeerId> {
+            (!view.members.is_empty()).then(|| view.members[rng.gen_range(0..view.members.len())])
+        };
+        if roll < w.insert {
+            let key = self.keys.next_key().max(1);
+            match pick_member(&mut self.rng) {
+                Some(at) => vec![Op::Insert { at, key }],
+                None => vec![Op::AddFreePeer],
+            }
+        } else if roll < w.insert + w.delete {
+            match (pick_member(&mut self.rng), view.deletable.is_empty()) {
+                (Some(at), false) => {
+                    let key = view.deletable[self.rng.gen_range(0..view.deletable.len())];
+                    vec![Op::Delete { at, key }]
+                }
+                // Nothing to delete yet: fall back to an insert so the mix
+                // stays item-heavy.
+                (Some(at), true) => vec![Op::Insert {
+                    at,
+                    key: self.keys.next_key().max(1),
+                }],
+                (None, _) => vec![Op::AddFreePeer],
+            }
+        } else if roll < w.insert + w.delete + w.query {
+            match pick_member(&mut self.rng) {
+                Some(at) => {
+                    let a = self.rng.gen_range(0..self.key_domain);
+                    let b = self.rng.gen_range(0..self.key_domain);
+                    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                    vec![Op::Query { at, lo, hi }]
+                }
+                None => vec![Op::AddFreePeer],
+            }
+        } else if roll < w.insert + w.delete + w.query + w.add_free_peer {
+            vec![Op::AddFreePeer]
+        } else {
+            // Voluntary leave, only while the ring keeps a quorum.
+            if view.members.len() > self.min_members {
+                match pick_member(&mut self.rng) {
+                    Some(peer) => vec![Op::Leave { peer }],
+                    None => vec![Op::AddFreePeer],
+                }
+            } else {
+                vec![Op::AddFreePeer]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_codec_roundtrips() {
+        let ops = [
+            Op::AddFreePeer,
+            Op::Insert {
+                at: PeerId(3),
+                key: 42,
+            },
+            Op::Delete {
+                at: PeerId(0),
+                key: 7,
+            },
+            Op::Query {
+                at: PeerId(1),
+                lo: 5,
+                hi: 900,
+            },
+            Op::Leave { peer: PeerId(2) },
+            Op::Kill { peer: PeerId(9) },
+            Op::Advance { ms: 130 },
+        ];
+        for op in ops {
+            assert_eq!(Op::decode(&op.encode()), Some(op), "{op:?}");
+        }
+        assert_eq!(Op::decode("bogus 1 2"), None);
+        assert_eq!(Op::decode("insert 1"), None);
+        assert_eq!(Op::decode("kill 1 2"), None);
+    }
+
+    #[test]
+    fn trace_codec_and_hash_roundtrip() {
+        let mut trace = OpTrace::new();
+        trace.push(Op::AddFreePeer);
+        trace.push(Op::Insert {
+            at: PeerId(0),
+            key: 10,
+        });
+        trace.push(Op::Advance { ms: 50 });
+        let text = trace.encode();
+        let back = OpTrace::decode(&text).unwrap();
+        assert_eq!(back, trace);
+        assert_eq!(back.hash(), trace.hash());
+        assert!(OpTrace::decode("nonsense").is_err());
+        // The hash is sensitive to the schedule.
+        let mut other = trace.clone();
+        other.push(Op::AddFreePeer);
+        assert_ne!(other.hash(), trace.hash());
+    }
+
+    #[test]
+    fn generator_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut g = ScenarioGenerator::new(
+                seed,
+                OpWeights::default(),
+                1_000_000,
+                2,
+                6.0,
+                Duration::from_secs(60),
+                Duration::from_millis(300),
+            );
+            let members = [PeerId(0), PeerId(1), PeerId(2)];
+            let deletable = [10u64, 20, 30];
+            let mut trace = OpTrace::new();
+            for i in 0..200 {
+                let view = GeneratorView {
+                    now: SimTime::from_millis(i * 100),
+                    members: &members,
+                    deletable: &deletable,
+                };
+                for op in g.next_op(&view) {
+                    trace.push(op);
+                }
+                trace.push(g.next_advance());
+            }
+            trace
+        };
+        assert_eq!(run(7).hash(), run(7).hash());
+        assert_ne!(run(7).hash(), run(8).hash());
+    }
+
+    #[test]
+    fn generator_respects_member_quorum_for_kills_and_leaves() {
+        let mut g = ScenarioGenerator::new(
+            3,
+            OpWeights {
+                insert: 0,
+                delete: 0,
+                query: 0,
+                add_free_peer: 0,
+                leave: 1,
+            },
+            1_000,
+            2,
+            1000.0, // a kill is due immediately
+            Duration::from_secs(100),
+            Duration::from_millis(100),
+        );
+        let members = [PeerId(0), PeerId(1)];
+        let view = GeneratorView {
+            now: SimTime::from_secs(50),
+            members: &members,
+            deletable: &[],
+        };
+        // Only two members: both the due kill and the leave are suppressed.
+        for _ in 0..20 {
+            for op in g.next_op(&view) {
+                assert!(matches!(op, Op::AddFreePeer), "quorum must suppress {op:?}");
+            }
+        }
+    }
+}

@@ -9,6 +9,9 @@
 //! * [`metrics`] — small statistics helpers (mean / percentiles) and table
 //!   printing;
 //! * [`workload`] — deterministic key generators (uniform and Zipf-skewed);
+//! * [`harness`] — the deterministic fault-injection harness: seeded random
+//!   op schedules, a model oracle, whole-system invariant checkers, and
+//!   replayable failure artifacts (see `TESTING.md`);
 //! * [`experiments`] — one driver per figure of the paper's evaluation
 //!   (Figures 19–23) plus the correctness / availability / item-availability
 //!   / load-balance ablations described in `DESIGN.md`.
@@ -21,8 +24,10 @@
 
 pub mod cluster;
 pub mod experiments;
+pub mod harness;
 pub mod metrics;
 pub mod workload;
 
 pub use cluster::{Cluster, ClusterConfig};
+pub use harness::{Harness, HarnessConfig, RunReport};
 pub use metrics::{Stats, Table};

@@ -100,6 +100,28 @@ mod tests {
     }
 
     #[test]
+    fn every_distribution_is_deterministic_across_identical_seeds() {
+        let distributions = [
+            KeyDistribution::Uniform { domain: 1 << 40 },
+            KeyDistribution::Zipf {
+                domain: 1 << 40,
+                hotspots: 6,
+                theta: 0.8,
+            },
+            KeyDistribution::Sequential { stride: 97 },
+        ];
+        for dist in distributions {
+            let a = KeyGenerator::new(dist, 2026).take(500);
+            let b = KeyGenerator::new(dist, 2026).take(500);
+            assert_eq!(a, b, "{dist:?} must replay identically per seed");
+            let c = KeyGenerator::new(dist, 2027).take(500);
+            if !matches!(dist, KeyDistribution::Sequential { .. }) {
+                assert_ne!(a, c, "{dist:?} must differ across seeds");
+            }
+        }
+    }
+
+    #[test]
     fn sequential_keys_increase() {
         let mut g = KeyGenerator::new(KeyDistribution::Sequential { stride: 10 }, 0);
         assert_eq!(g.take(4), vec![10, 20, 30, 40]);

@@ -36,4 +36,4 @@ pub use item::{Item, ItemId};
 pub use key::{KeyMap, KeyMapKind, PeerValue, SearchKey};
 pub use peer::PeerId;
 pub use query::{Bound, RangeQuery};
-pub use range::{CircularRange, KeyInterval};
+pub use range::{in_half_open, in_open, CircularRange, KeyInterval};

@@ -17,12 +17,12 @@ fn main() {
     );
     let pepper = run_correctness(SystemConfig::paper_defaults(), 2026, 4);
     println!(
-        "naive scan : {} queries, {} returned incorrect (missing live items)",
-        naive.queries, naive.incorrect
+        "naive scan : {} queries, {} silently incorrect, {} visibly incomplete",
+        naive.queries, naive.incorrect, naive.incomplete
     );
     println!(
-        "scanRange  : {} queries, {} returned incorrect",
-        pepper.queries, pepper.incorrect
+        "scanRange  : {} queries, {} silently incorrect, {} visibly incomplete",
+        pepper.queries, pepper.incorrect, pepper.incomplete
     );
 
     println!();

@@ -1,0 +1,81 @@
+//! Replay a harness failure artifact byte for byte.
+//!
+//! Usage:
+//!
+//! ```text
+//! # replay a dumped artifact (e.g. from a red CI run)
+//! cargo run -p pepper-sim --example harness_replay -- target/harness-failures/harness-seed3-step42.trace
+//!
+//! # no argument: demo mode — generate a known-red naive-protocol run,
+//! # dump its artifact, and replay it
+//! cargo run -p pepper-sim --example harness_replay
+//! ```
+//!
+//! The artifact records everything a reproduction needs: the profile + seed
+//! the cluster was built from and the full concrete op schedule. Replaying
+//! executes the recorded ops against a freshly built cluster and must end in
+//! the same violations and the same final state hash.
+
+use pepper_sim::harness::{FailureArtifact, Harness, HarnessConfig};
+
+fn replay(artifact: &FailureArtifact) {
+    println!(
+        "replaying profile `{}` seed {} ({} ops, violation at step {})",
+        artifact.profile,
+        artifact.seed,
+        artifact.trace.len(),
+        artifact.step
+    );
+    for v in &artifact.violations {
+        println!("  recorded: {v}");
+    }
+    let report = Harness::replay_artifact(artifact).expect("profile reconstructs");
+    println!("replay finished: {} violation(s)", report.violations.len());
+    for v in &report.violations {
+        println!("  replayed: {v}");
+    }
+    let reproduced = report.violations.len() == artifact.violations.len()
+        && report
+            .violations
+            .iter()
+            .zip(&artifact.violations)
+            .all(|(a, b)| a.invariant == b.invariant);
+    if reproduced {
+        println!(
+            "=> reproduced byte-for-byte (trace hash {:#x})",
+            report.trace.hash()
+        );
+    } else {
+        println!(
+            "=> DIVERGED from the recorded run — the protocol code has changed since the dump"
+        );
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    match args.next() {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            let artifact = FailureArtifact::parse(&text)
+                .unwrap_or_else(|e| panic!("cannot parse {path}: {e}"));
+            replay(&artifact);
+        }
+        None => {
+            println!("no artifact given — demo mode: breaking the naive protocol\n");
+            let cfg = HarnessConfig::from_profile("quick-naive", 3).expect("known profile");
+            let report = Harness::run_generated(cfg);
+            let Some(artifact) = report.artifact else {
+                println!("unexpected: the naive run came back clean");
+                return;
+            };
+            let dir = FailureArtifact::dump_dir();
+            match artifact.dump_to(&dir) {
+                Ok(path) => println!("dumped artifact to {}\n", path.display()),
+                Err(e) => println!("could not dump artifact: {e}\n"),
+            }
+            replay(&artifact);
+        }
+    }
+}
