@@ -5,5 +5,11 @@
 //! * `benches/figures.rs` — Criterion benchmarks that run one reduced
 //!   instance of each protocol-level measurement (insertSucc, scanRange,
 //!   leave), so regressions in the protocols show up in `cargo bench`.
+//! * `src/macro_bench.rs` — the whole-system macro benchmark: harness
+//!   profiles at N ∈ {32, 128, 512} peers, emitting the committed
+//!   `BENCH_macro.json` perf trajectory (`cargo run --release -p
+//!   pepper-bench -- macro`).
 //! * `src/main.rs` (the `experiments` binary) — regenerates every table and
 //!   figure of the paper; see `EXPERIMENTS.md`.
+
+pub mod macro_bench;

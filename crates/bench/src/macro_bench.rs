@@ -1,0 +1,227 @@
+//! The macro benchmark: whole-system harness runs at increasing scale.
+//!
+//! Runs the fault-injection harness profiles at N ∈ {32, 128, 512} peers
+//! (`standard` / `medium` / `large`), measures wall time, event throughput,
+//! message volume and the memory proxies the simulator tracks (peak event
+//! queue depth + peak FIFO-channel count), and writes the results to
+//! `BENCH_macro.json` at the repository root. The file is committed so every
+//! future PR can diff its perf trajectory against the previous one; CI runs
+//! a reduced `--smoke` variant that fails only on panic or invariant
+//! violation, never on timing noise.
+//!
+//! Usage (via the `experiments` binary):
+//!
+//! ```text
+//! cargo run --release -p pepper-bench -- macro [--smoke] [--seeds K] [--out PATH]
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use pepper_sim::harness::{matrix_seed, FailureArtifact, Harness, HarnessConfig};
+
+/// Schema identifier written into the JSON (bump on layout changes).
+pub const SCHEMA: &str = "pepper-bench-macro/v1";
+
+/// Default output path: `BENCH_macro.json` at the repository root.
+pub fn default_out_path() -> PathBuf {
+    PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_macro.json"
+    ))
+}
+
+/// One measured harness run.
+struct MacroRun {
+    profile: String,
+    peers: usize,
+    ops: usize,
+    seed: u64,
+    wall_ms: f64,
+    virtual_ms: u64,
+    expected_virtual_ms: u64,
+    events: u64,
+    events_per_sec: f64,
+    messages_sent: u64,
+    messages_delivered: u64,
+    peak_queue_depth: u64,
+    peak_fifo_channels: u64,
+    rss_proxy_peak: u64,
+    final_ring_members: usize,
+    trace_ops: usize,
+    kills: usize,
+    queries_checked: usize,
+    queries_incomplete: usize,
+    violations: usize,
+}
+
+impl MacroRun {
+    fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "    {{\n      \"profile\": \"{}\",\n      \"peers\": {},\n      \"ops\": {},\n      \"seed\": {},\n      \"wall_ms\": {:.1},\n      \"virtual_ms\": {},\n      \"expected_virtual_ms\": {},\n      \"events\": {},\n      \"events_per_sec\": {:.0},\n      \"messages_sent\": {},\n      \"messages_delivered\": {},\n      \"peak_queue_depth\": {},\n      \"peak_fifo_channels\": {},\n      \"rss_proxy_peak\": {},\n      \"final_ring_members\": {},\n      \"trace_ops\": {},\n      \"kills\": {},\n      \"queries_checked\": {},\n      \"queries_incomplete\": {},\n      \"violations\": {}\n    }}",
+            self.profile,
+            self.peers,
+            self.ops,
+            self.seed,
+            self.wall_ms,
+            self.virtual_ms,
+            self.expected_virtual_ms,
+            self.events,
+            self.events_per_sec,
+            self.messages_sent,
+            self.messages_delivered,
+            self.peak_queue_depth,
+            self.peak_fifo_channels,
+            self.rss_proxy_peak,
+            self.final_ring_members,
+            self.trace_ops,
+            self.kills,
+            self.queries_checked,
+            self.queries_incomplete,
+            self.violations,
+        );
+        s
+    }
+}
+
+fn measure(cfg: HarnessConfig) -> MacroRun {
+    let profile = cfg.profile.clone();
+    let peers = cfg.initial_free_peers + 1;
+    let ops = cfg.ops;
+    let seed = cfg.seed;
+    let expected_virtual_ms = cfg.virtual_duration().as_millis() as u64;
+    let start = Instant::now();
+    let report = Harness::run_generated(cfg);
+    let wall = start.elapsed();
+    let wall_s = wall.as_secs_f64().max(1e-9);
+    // A violation freezes a replayable artifact exactly like a red test
+    // run would: dump it so the seed-replay workflow (TESTING.md) applies
+    // to bench failures too. CI uploads the dump directory on red.
+    if let Some(artifact) = &report.artifact {
+        match artifact.dump_to(&FailureArtifact::dump_dir()) {
+            Ok(path) => eprintln!("violation artifact dumped to {}", path.display()),
+            Err(e) => eprintln!("failed to dump violation artifact: {e}"),
+        }
+    }
+    MacroRun {
+        profile,
+        peers,
+        ops,
+        seed,
+        wall_ms: wall_s * 1e3,
+        virtual_ms: report.virtual_elapsed.as_millis_f64() as u64,
+        expected_virtual_ms,
+        events: report.net.events_processed,
+        events_per_sec: report.net.events_processed as f64 / wall_s,
+        messages_sent: report.net.messages_sent,
+        messages_delivered: report.net.messages_delivered,
+        peak_queue_depth: report.net.peak_queue_depth,
+        peak_fifo_channels: report.net.peak_fifo_channels,
+        rss_proxy_peak: report.net.peak_queue_depth + report.net.peak_fifo_channels,
+        final_ring_members: report.final_members,
+        trace_ops: report.trace.len(),
+        kills: report.stats.kills,
+        queries_checked: report.stats.queries_checked,
+        queries_incomplete: report.stats.queries_incomplete,
+        violations: report.violations.len(),
+    }
+}
+
+/// Runs the macro benchmark. Returns the process exit code: non-zero iff
+/// any run tripped an invariant (timing is reported, never judged).
+pub fn run(args: &[String]) -> i32 {
+    let mut smoke = false;
+    let mut seeds = 1u64;
+    let mut out = default_out_path();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--seeds" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(k) => seeds = k,
+                None => {
+                    eprintln!("--seeds needs a number");
+                    return 2;
+                }
+            },
+            "--out" => match it.next() {
+                Some(p) => out = PathBuf::from(p),
+                None => {
+                    eprintln!("--out needs a path");
+                    return 2;
+                }
+            },
+            other => {
+                eprintln!("unknown macro-bench flag `{other}`");
+                return 2;
+            }
+        }
+    }
+
+    // The scale ladder. Smoke keeps the profile shapes (peer counts, mix,
+    // cadence) but cuts the op counts so CI finishes in seconds.
+    let instances: Vec<fn(u64) -> HarnessConfig> = vec![
+        HarnessConfig::standard,
+        HarnessConfig::medium,
+        HarnessConfig::large,
+    ];
+
+    let mut runs = Vec::new();
+    let mut violations = 0usize;
+    for make in &instances {
+        for i in 0..seeds {
+            let seed = matrix_seed(i);
+            let mut cfg = make(seed);
+            if smoke {
+                if cfg.profile == "large" {
+                    continue; // smoke covers N ∈ {32, 128}
+                }
+                cfg.ops /= 4;
+            }
+            let run = measure(cfg);
+            println!(
+                "{:<10} peers={:<4} ops={:<5} seed={:<5} wall={:>8.1}ms events={:>9} \
+                 ({:>9.0}/s) members={:<4} peakq={:<5} fifo={:<5} violations={}",
+                run.profile,
+                run.peers,
+                run.ops,
+                run.seed,
+                run.wall_ms,
+                run.events,
+                run.events_per_sec,
+                run.final_ring_members,
+                run.peak_queue_depth,
+                run.peak_fifo_channels,
+                run.violations,
+            );
+            violations += run.violations;
+            runs.push(run);
+        }
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"schema\": \"{SCHEMA}\",");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"runs\": [");
+    let body: Vec<String> = runs.iter().map(MacroRun::to_json).collect();
+    let _ = writeln!(json, "{}", body.join(",\n"));
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", out.display());
+            return 2;
+        }
+    }
+
+    if violations > 0 {
+        eprintln!("macro bench: {violations} invariant violation(s) — failing");
+        return 1;
+    }
+    0
+}

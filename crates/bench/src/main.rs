@@ -1,12 +1,17 @@
-//! Regenerates every table/figure of the paper's evaluation.
+//! Regenerates every table/figure of the paper's evaluation, and hosts the
+//! macro benchmark.
 //!
 //! Usage:
-//!   cargo run --release -p pepper-bench --bin experiments -- [quick|full] [fig19|fig20|fig21|fig22|fig23|correctness|availability|item-availability|load-balance|all]
+//!   cargo run --release -p pepper-bench -- [quick|full] [fig19|fig20|fig21|fig22|fig23|correctness|availability|item-availability|load-balance|all]
+//!   cargo run --release -p pepper-bench -- macro [--smoke] [--seeds K] [--out PATH]
 
 use pepper_sim::experiments::{availability, correctness, insert_succ, leave, scan_range, Effort};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("macro") {
+        std::process::exit(pepper_bench::macro_bench::run(&args[1..]));
+    }
     let effort = if args.iter().any(|a| a == "full") {
         Effort::Full
     } else {

@@ -290,6 +290,7 @@ impl DataStoreState {
             DsMsg::RedistributeGrant {
                 items,
                 new_boundary: PeerValue(new_boundary),
+                granter_low: self.range.low(),
             },
         );
         // The requester is this peer's *predecessor*: its failure is
@@ -312,6 +313,7 @@ impl DataStoreState {
         from: PeerId,
         items: Vec<(u64, Item)>,
         new_boundary: PeerValue,
+        granter_low: PeerValue,
         fx: &mut Effects<DsMsg>,
     ) {
         self.merge_requested_from = None;
@@ -320,6 +322,7 @@ impl DataStoreState {
             DeferredWrite::ApplyRedistribute {
                 items,
                 new_boundary,
+                granter_low,
                 granter: from,
             },
             fx,
@@ -722,11 +725,24 @@ impl DataStoreState {
             DeferredWrite::ApplyRedistribute {
                 items,
                 new_boundary,
+                granter_low,
                 granter,
             } => {
                 for (mapped, item) in items {
                     self.emit(DsEvent::ItemStored { item: item.clone() });
                     self.store.insert(mapped, item);
+                }
+                // The granter is normally ring-adjacent: its low end is this
+                // peer's high end. When a peer between the two failed and
+                // its takeover had not run yet, this redistribute bridges
+                // the dead peer's stretch — report it so the layer above
+                // revives its items from replicas (exactly like the
+                // non-adjacent merge-grant case below).
+                if granter_low != self.range.high() {
+                    let gap = CircularRange::new(self.range.high(), granter_low);
+                    if !gap.is_empty() {
+                        self.emit(DsEvent::RangeBridged { gap });
+                    }
                 }
                 self.range = CircularRange::new(self.range.low(), new_boundary);
                 self.rebalancing = false;
@@ -1010,9 +1026,11 @@ mod tests {
                     DsMsg::RedistributeGrant {
                         items,
                         new_boundary,
+                        granter_low,
                     },
             } => {
                 assert_eq!(to, PeerId(1));
+                assert_eq!(granter_low, PeerValue(30), "granter's low end rides along");
                 (items, new_boundary)
             }
             other => panic!("unexpected {other:?}"),
@@ -1025,7 +1043,14 @@ mod tests {
 
         // Requester installs and acks.
         let mut qfx = Effects::new();
-        q.on_redistribute_grant(ctx(1), PeerId(2), items, new_boundary, &mut qfx);
+        q.on_redistribute_grant(
+            ctx(1),
+            PeerId(2),
+            items,
+            new_boundary,
+            PeerValue(30),
+            &mut qfx,
+        );
         assert_eq!(q.item_count(), 3);
         assert_eq!(q.range(), CircularRange::new(0u64, 50u64));
         assert!(!q.is_rebalancing());
@@ -1321,6 +1346,55 @@ mod tests {
     }
 
     #[test]
+    fn redistribute_across_a_dead_peers_range_reports_the_bridged_gap() {
+        // Ring was q(0,30] → dead(30,60] → s(60,100]. The dead peer's
+        // takeover has not run when q underflows and s grants a
+        // redistribution: the grant's boundary move silently covers the
+        // dead stretch (30, 60]. The requester must report it as bridged
+        // so the index layer revives its items from replicas — without
+        // this, every item of the dead peer is lost even though replicas
+        // exist (found by the harness at scale, seed 1000 / large
+        // horizon).
+        let mut q = live_peer(1, 0, 30, &[10]);
+        q.rebalancing = true;
+        let mut qfx = Effects::new();
+        q.on_redistribute_grant(
+            ctx(1),
+            PeerId(2),
+            vec![(70, item(70))],
+            PeerValue(80),
+            PeerValue(60), // granter's low ≠ q's high 30: (30, 60] is bridged
+            &mut qfx,
+        );
+        assert_eq!(q.range(), CircularRange::new(0u64, 80u64));
+        let events = q.drain_events();
+        let bridged = events
+            .iter()
+            .find_map(|e| match e {
+                DsEvent::RangeBridged { gap } => Some(*gap),
+                _ => None,
+            })
+            .expect("bridged gap must be reported");
+        assert_eq!(bridged, CircularRange::new(30u64, 60u64));
+        // An adjacent grant reports nothing.
+        let mut q2 = live_peer(1, 0, 30, &[10]);
+        q2.rebalancing = true;
+        let mut q2fx = Effects::new();
+        q2.on_redistribute_grant(
+            ctx(1),
+            PeerId(2),
+            vec![(40, item(40))],
+            PeerValue(50),
+            PeerValue(30),
+            &mut q2fx,
+        );
+        assert!(!q2
+            .drain_events()
+            .iter()
+            .any(|e| matches!(e, DsEvent::RangeBridged { .. })));
+    }
+
+    #[test]
     fn slow_requester_drops_parked_grant_on_abort_and_granter_keeps_range() {
         // Requester q holds the grant parked behind a scan lock when the
         // granter's guard expires and the abort arrives.
@@ -1333,6 +1407,7 @@ mod tests {
             PeerId(2),
             vec![(40, item(40))],
             PeerValue(50),
+            PeerValue(30),
             &mut qfx,
         );
         assert_eq!(q.range(), CircularRange::new(0u64, 30u64), "still parked");

@@ -171,6 +171,12 @@ pub enum DsMsg {
         /// The new boundary: the requester's range becomes
         /// `(.., new_boundary]`, the granter's `(new_boundary, ..]`.
         new_boundary: PeerValue,
+        /// The low end of the granter's range when it granted. Normally
+        /// equal to the requester's high end; when a peer between the two
+        /// failed and its takeover has not run yet, the stretch in between
+        /// is bridged by this redistribute and the requester must revive
+        /// its items from replicas.
+        granter_low: PeerValue,
     },
     /// The requester has installed the redistributed items.
     RedistributeAck {

@@ -473,6 +473,7 @@ mod tests {
             DeferredWrite::ApplyRedistribute {
                 items: vec![(60, item(60))],
                 new_boundary: PeerValue(60),
+                granter_low: PeerValue(50),
                 granter: PeerId(2),
             },
             &mut fx,

@@ -48,6 +48,8 @@ pub(crate) enum DeferredWrite {
         items: Vec<(u64, Item)>,
         /// The new boundary between requester and granter.
         new_boundary: PeerValue,
+        /// The granter's range low at grant time (bridged-gap detection).
+        granter_low: PeerValue,
         /// The granter, to be acknowledged once installed.
         granter: PeerId,
     },
@@ -628,7 +630,8 @@ impl DataStoreState {
             DsMsg::RedistributeGrant {
                 items,
                 new_boundary,
-            } => self.on_redistribute_grant(ctx, from, items, new_boundary, fx),
+                granter_low,
+            } => self.on_redistribute_grant(ctx, from, items, new_boundary, granter_low, fx),
             DsMsg::RedistributeAck { new_boundary } => {
                 self.on_redistribute_ack(ctx, new_boundary, fx)
             }

@@ -80,7 +80,9 @@ impl<M> Ord for QueuedEvent<M> {
 /// The mutable context handed to a node while it handles an event.
 ///
 /// Effects requested through the context are scheduled by the simulator after
-/// the handler returns.
+/// the handler returns. The backing buffer is a scratch vector owned by the
+/// simulator and reused across deliveries, so handling an event allocates
+/// nothing once the buffer has warmed up.
 pub struct Context<'a, M> {
     self_id: PeerId,
     now: SimTime,
@@ -139,9 +141,26 @@ pub struct Simulator<N: Node> {
     stats: NetStats,
     /// Last scheduled delivery time per (sender, receiver) pair: messages
     /// between the same pair of peers are delivered in FIFO order, matching
-    /// the paper's reliable (TCP-like) channel assumption.
+    /// the paper's reliable (TCP-like) channel assumption. Entries are
+    /// purged when either endpoint is killed and pruned periodically once
+    /// their constraint lies in the past, so churn-heavy runs cannot grow
+    /// the map without bound.
     fifo: BTreeMap<(PeerId, PeerId), SimTime>,
+    /// Scratch effects buffer reused across event deliveries (see
+    /// [`Context`]).
+    scratch: Vec<Effect<N::Msg>>,
+    /// Monotone counter bumped whenever node or liveness state may have
+    /// changed (event processed, node added, kill, node accessed mutably).
+    /// Lets callers memoize derived views of the cluster and invalidate
+    /// them precisely.
+    version: u64,
 }
+
+/// Prune the FIFO map whenever an event lands and the map exceeds this many
+/// entries (amortized via [`NetStats::events_processed`]).
+const FIFO_PRUNE_THRESHOLD: usize = 1024;
+/// How many processed events between two FIFO stale-entry sweeps.
+const FIFO_PRUNE_INTERVAL: u64 = 1024;
 
 impl<N: Node> Simulator<N> {
     /// Creates a simulator with the given network configuration.
@@ -158,6 +177,8 @@ impl<N: Node> Simulator<N> {
             rng,
             stats: NetStats::default(),
             fifo: BTreeMap::new(),
+            scratch: Vec::new(),
+            version: 0,
         }
     }
 
@@ -176,11 +197,20 @@ impl<N: Node> Simulator<N> {
         &self.config
     }
 
+    /// A monotone counter that changes whenever node or liveness state may
+    /// have changed. Two calls returning the same value guarantee that any
+    /// view derived from the node states is still valid, which lets callers
+    /// memoize expensive whole-cluster scans.
+    pub fn state_version(&self) -> u64 {
+        self.version
+    }
+
     /// Adds a node built by `build`, which receives the freshly assigned
     /// peer id. Returns the id.
     pub fn add_node(&mut self, build: impl FnOnce(PeerId) -> N) -> PeerId {
         let id = PeerId(self.next_peer_id);
         self.next_peer_id += 1;
+        self.version += 1;
         self.nodes.insert(id, build(id));
         self.alive.insert(id);
         id
@@ -195,6 +225,7 @@ impl<N: Node> Simulator<N> {
             "peer id {id} already registered"
         );
         self.next_peer_id = self.next_peer_id.max(id.raw() + 1);
+        self.version += 1;
         self.nodes.insert(id, node);
         self.alive.insert(id);
     }
@@ -211,17 +242,54 @@ impl<N: Node> Simulator<N> {
 
     /// Mutable access to a node's state.
     pub fn node_mut(&mut self, id: PeerId) -> Option<&mut N> {
+        self.version += 1;
         self.nodes.get_mut(&id)
     }
 
     /// All registered peer ids (alive and dead), in increasing order.
+    ///
+    /// Allocates; per-op loops should prefer [`Simulator::peers`] /
+    /// [`Simulator::nodes_iter`].
     pub fn peer_ids(&self) -> Vec<PeerId> {
         self.nodes.keys().copied().collect()
     }
 
+    /// All registered peer ids (alive and dead), in increasing order,
+    /// without allocating.
+    pub fn peers(&self) -> impl Iterator<Item = PeerId> + '_ {
+        self.nodes.keys().copied()
+    }
+
+    /// Every registered node tagged with its id, in increasing id order.
+    pub fn nodes_iter(&self) -> impl Iterator<Item = (PeerId, &N)> {
+        self.nodes.iter().map(|(p, n)| (*p, n))
+    }
+
+    /// Every alive node tagged with its id, in increasing id order.
+    pub fn alive_nodes_iter(&self) -> impl Iterator<Item = (PeerId, &N)> {
+        self.nodes
+            .iter()
+            .filter(|(p, _)| self.alive.contains(*p))
+            .map(|(p, n)| (*p, n))
+    }
+
+    /// Mutable iteration over every registered node (alive and dead).
+    pub fn nodes_iter_mut(&mut self) -> impl Iterator<Item = (PeerId, &mut N)> {
+        self.version += 1;
+        self.nodes.iter_mut().map(|(p, n)| (*p, n))
+    }
+
     /// All currently alive peer ids, in increasing order.
+    ///
+    /// Allocates; per-op loops should prefer [`Simulator::alive_iter`].
     pub fn alive_peers(&self) -> Vec<PeerId> {
         self.alive.iter().copied().collect()
+    }
+
+    /// All currently alive peer ids, in increasing order, without
+    /// allocating.
+    pub fn alive_iter(&self) -> impl Iterator<Item = PeerId> + '_ {
+        self.alive.iter().copied()
     }
 
     /// Number of alive peers.
@@ -229,10 +297,18 @@ impl<N: Node> Simulator<N> {
         self.alive.len()
     }
 
+    /// Number of (sender, receiver) channels currently tracked for FIFO
+    /// ordering (bounded: purged on kill, stale entries pruned as events
+    /// are processed).
+    pub fn fifo_channel_count(&self) -> usize {
+        self.fifo.len()
+    }
+
     fn push(&mut self, at: SimTime, payload: Payload<N::Msg>) {
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(QueuedEvent { at, seq, payload });
+        self.stats.peak_queue_depth = self.stats.peak_queue_depth.max(self.queue.len() as u64);
     }
 
     /// Injects an external message to `to`, delivered at the current time
@@ -257,9 +333,16 @@ impl<N: Node> Simulator<N> {
         );
     }
 
-    /// Kills `peer` immediately (fail-stop).
+    /// Kills `peer` immediately (fail-stop). FIFO channel state involving
+    /// the dead peer is purged: no further message can originate from it,
+    /// and deliveries *to* it are dropped before ordering matters, so the
+    /// entries would otherwise only leak (churn-heavy runs killed hundreds
+    /// of peers and the per-pair map grew without bound).
     pub fn kill(&mut self, peer: PeerId) {
         if self.alive.remove(&peer) {
+            self.version += 1;
+            self.fifo
+                .retain(|(from, to), _| *from != peer && *to != peer);
             if let Some(node) = self.nodes.get_mut(&peer) {
                 node.on_killed();
             }
@@ -286,21 +369,25 @@ impl<N: Node> Simulator<N> {
         if !self.alive.contains(&id) {
             return None;
         }
+        self.version += 1;
         let node = self.nodes.get_mut(&id)?;
         let mut ctx = Context {
             self_id: id,
             now: self.now,
             rng: &mut self.rng,
-            out: Vec::new(),
+            out: std::mem::take(&mut self.scratch),
         };
         let result = f(node, &mut ctx);
-        let out = ctx.out;
-        self.schedule_effects(id, out);
+        let mut out = ctx.out;
+        self.schedule_effects(id, &mut out);
+        self.scratch = out;
         Some(result)
     }
 
-    fn schedule_effects(&mut self, from: PeerId, effects: Vec<Effect<N::Msg>>) {
-        for effect in effects {
+    /// Schedules the drained effects, leaving `effects` empty (its capacity
+    /// is returned to the scratch buffer by the caller).
+    fn schedule_effects(&mut self, from: PeerId, effects: &mut Vec<Effect<N::Msg>>) {
+        for effect in effects.drain(..) {
             match effect {
                 Effect::Send { to, msg } => {
                     self.stats.messages_sent += 1;
@@ -311,6 +398,8 @@ impl<N: Node> Simulator<N> {
                         at = at.max(*prev + Duration::from_nanos(1));
                     }
                     self.fifo.insert((from, to), at);
+                    self.stats.peak_fifo_channels =
+                        self.stats.peak_fifo_channels.max(self.fifo.len() as u64);
                     self.push(
                         at,
                         Payload::Deliver {
@@ -339,6 +428,15 @@ impl<N: Node> Simulator<N> {
         }
     }
 
+    /// Drops FIFO entries whose ordering constraint lies strictly in the
+    /// past: any future send between the same pair is scheduled at or after
+    /// `now + processing delay`, which already satisfies a constraint
+    /// `< now` (even at zero latency), so pruning cannot reorder anything.
+    fn prune_stale_fifo(&mut self) {
+        let now = self.now;
+        self.fifo.retain(|_, at| *at >= now);
+    }
+
     /// Processes the next queued event, advancing virtual time to it.
     /// Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
@@ -346,6 +444,13 @@ impl<N: Node> Simulator<N> {
             return false;
         };
         self.now = self.now.max(event.at);
+        self.version += 1;
+        self.stats.events_processed += 1;
+        if self.stats.events_processed % FIFO_PRUNE_INTERVAL == 0
+            && self.fifo.len() > FIFO_PRUNE_THRESHOLD
+        {
+            self.prune_stale_fifo();
+        }
         match event.payload {
             Payload::Kill { peer } => self.kill(peer),
             Payload::Deliver {
@@ -378,11 +483,12 @@ impl<N: Node> Simulator<N> {
                     self_id: to,
                     now: self.now,
                     rng: &mut self.rng,
-                    out: Vec::new(),
+                    out: std::mem::take(&mut self.scratch),
                 };
                 node.on_message(&mut ctx, from, msg);
-                let out = ctx.out;
-                self.schedule_effects(to, out);
+                let mut out = ctx.out;
+                self.schedule_effects(to, &mut out);
+                self.scratch = out;
             }
         }
         true
@@ -594,6 +700,91 @@ mod tests {
         let processed = sim.run_until_idle(1000);
         assert_eq!(processed, 4);
         assert_eq!(sim.pending_events(), 0);
+    }
+
+    #[test]
+    fn kill_purges_fifo_channels_of_the_dead_peer() {
+        let (mut sim, a, b, _c) = three_node_sim();
+        // Circulate a token so every (sender, receiver) pair gets a FIFO
+        // entry: a→b, b→c, c→a.
+        sim.send_external(a, TokenMsg::Token(6));
+        sim.run_for(Duration::from_secs(1));
+        assert!(sim.fifo_channel_count() >= 3);
+        let before = sim.fifo_channel_count();
+        sim.kill(b);
+        // Every channel with b as sender or receiver is gone; the map
+        // shrank rather than leaking the dead peer's entries forever.
+        assert!(
+            sim.fifo_channel_count() < before,
+            "fifo map must shrink on kill ({before} -> {})",
+            sim.fifo_channel_count()
+        );
+        assert_eq!(sim.fifo_channel_count(), 1); // only c→a survives
+    }
+
+    #[test]
+    fn stale_fifo_pruning_does_not_change_delivery() {
+        // Two runs of the same schedule: one pruned manually at every
+        // step, one untouched. Delivery counts and times must match,
+        // because pruned entries no longer constrain anything.
+        let run = |prune: bool| {
+            let (mut sim, a, _, _) = three_node_sim();
+            sim.send_external(a, TokenMsg::Token(30));
+            for _ in 0..200 {
+                if !sim.step() {
+                    break;
+                }
+                if prune {
+                    sim.prune_stale_fifo();
+                }
+            }
+            (sim.now(), sim.stats().messages_delivered)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn state_version_advances_on_mutation() {
+        let (mut sim, a, _, _) = three_node_sim();
+        let v0 = sim.state_version();
+        sim.send_external(a, TokenMsg::Token(1));
+        assert_eq!(sim.state_version(), v0, "scheduling alone changes nothing");
+        sim.step();
+        assert!(sim.state_version() > v0, "processing an event bumps");
+        let v1 = sim.state_version();
+        sim.kill(a);
+        assert!(sim.state_version() > v1, "kill bumps");
+        let v2 = sim.state_version();
+        sim.kill(a);
+        assert_eq!(sim.state_version(), v2, "killing a dead peer is a no-op");
+    }
+
+    #[test]
+    fn iterators_match_allocating_accessors() {
+        let (mut sim, a, b, c) = three_node_sim();
+        sim.kill(b);
+        assert_eq!(sim.peers().collect::<Vec<_>>(), sim.peer_ids());
+        assert_eq!(sim.alive_iter().collect::<Vec<_>>(), sim.alive_peers());
+        assert_eq!(
+            sim.nodes_iter().map(|(p, _)| p).collect::<Vec<_>>(),
+            vec![a, b, c]
+        );
+        assert_eq!(
+            sim.alive_nodes_iter().map(|(p, _)| p).collect::<Vec<_>>(),
+            vec![a, c]
+        );
+        assert_eq!(sim.nodes_iter_mut().count(), 3);
+    }
+
+    #[test]
+    fn peak_stats_track_queue_and_fifo_high_water_marks() {
+        let (mut sim, a, _, _) = three_node_sim();
+        sim.send_external(a, TokenMsg::Token(10));
+        sim.run_for(Duration::from_secs(1));
+        let stats = sim.stats();
+        assert!(stats.peak_queue_depth >= 1);
+        assert!(stats.peak_fifo_channels >= 3);
+        assert!(stats.events_processed >= stats.total_events());
     }
 
     #[test]

@@ -15,6 +15,15 @@ pub struct NetStats {
     pub timers_dropped: u64,
     /// External (harness-injected) messages delivered.
     pub external_delivered: u64,
+    /// Queue pops processed by `Simulator::step` (deliveries, drops and
+    /// kills alike) — the denominator for events/sec throughput.
+    pub events_processed: u64,
+    /// Highest number of simultaneously queued events seen (RSS proxy:
+    /// each queued event holds one message).
+    pub peak_queue_depth: u64,
+    /// Highest number of simultaneously tracked (sender, receiver) FIFO
+    /// channels (RSS proxy for the per-pair ordering map).
+    pub peak_fifo_channels: u64,
 }
 
 impl NetStats {
@@ -46,6 +55,7 @@ mod tests {
             timers_fired: 5,
             timers_dropped: 1,
             external_delivered: 3,
+            ..NetStats::default()
         };
         assert_eq!(s.total_events(), 16);
         assert!((s.drop_rate() - 0.2).abs() < 1e-9);

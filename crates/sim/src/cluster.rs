@@ -5,6 +5,7 @@
 //! issuing item inserts/deletes and range queries, injecting failures, and
 //! collecting per-peer [`Observation`]s and global snapshots for the oracles.
 
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Duration;
 
@@ -96,6 +97,11 @@ pub struct Cluster {
     pub first: PeerId,
     system: SystemConfig,
     next_item_seq: u64,
+    /// Memoized ring-membership snapshot, keyed by the simulator's state
+    /// version: the harness oracle asks for the member list once per
+    /// scheduled op (and `owner_of` once per lookup), and rebuilding it by
+    /// scanning every peer each time dominated large runs.
+    members_cache: RefCell<Option<(u64, Vec<PeerId>)>>,
 }
 
 impl Cluster {
@@ -116,6 +122,7 @@ impl Cluster {
             first,
             system,
             next_item_seq: 0,
+            members_cache: RefCell::new(None),
         };
         for _ in 0..cfg.initial_free_peers {
             cluster.add_free_peer();
@@ -222,38 +229,52 @@ impl Cluster {
         })
     }
 
+    /// Runs `f` against the memoized slice of alive ring members (ascending
+    /// peer id). The snapshot is rebuilt only when the simulator's state
+    /// version moved since it was taken; repeated per-op oracle calls on a
+    /// quiescent simulator are O(1) and allocation-free.
+    pub fn with_ring_members<R>(&self, f: impl FnOnce(&[PeerId]) -> R) -> R {
+        let version = self.sim.state_version();
+        // Refresh under a scoped exclusive borrow, then hand `f` a shared
+        // borrow: a reentrant membership call inside `f` (same version, so
+        // the cache is valid) only needs another shared borrow and cannot
+        // trip the RefCell.
+        let valid = matches!(&*self.members_cache.borrow(), Some((v, _)) if *v == version);
+        if !valid {
+            let members: Vec<PeerId> = self
+                .sim
+                .alive_nodes_iter()
+                .filter(|(_, n)| n.is_ring_member())
+                .map(|(p, _)| p)
+                .collect();
+            *self.members_cache.borrow_mut() = Some((version, members));
+        }
+        let cache = self.members_cache.borrow();
+        f(&cache.as_ref().expect("cache just filled").1)
+    }
+
     /// All currently alive peers that are ring members.
     pub fn ring_members(&self) -> Vec<PeerId> {
-        self.sim
-            .peer_ids()
-            .into_iter()
-            .filter(|p| self.sim.is_alive(*p))
-            .filter(|p| {
-                self.sim
-                    .node(*p)
-                    .map(|n| n.is_ring_member())
-                    .unwrap_or(false)
-            })
-            .collect()
+        self.with_ring_members(|m| m.to_vec())
     }
 
     /// The alive ring member whose Data Store range contains `key`.
     pub fn owner_of(&self, key: u64) -> Option<PeerId> {
-        self.ring_members().into_iter().find(|p| {
-            self.sim
-                .node(*p)
-                .map(|n| n.data_store().range().contains(key))
-                .unwrap_or(false)
+        self.with_ring_members(|members| {
+            members.iter().copied().find(|p| {
+                self.sim
+                    .node(*p)
+                    .map(|n| n.data_store().range().contains(key))
+                    .unwrap_or(false)
+            })
         })
     }
 
     /// Total number of items stored across alive peers.
     pub fn total_items(&self) -> usize {
         self.sim
-            .peer_ids()
-            .iter()
-            .filter(|p| self.sim.is_alive(**p))
-            .map(|p| self.sim.node(*p).unwrap().item_count())
+            .alive_nodes_iter()
+            .map(|(_, n)| n.item_count())
             .sum()
     }
 
@@ -268,11 +289,8 @@ impl Cluster {
     /// The set of all search keys currently stored at alive peers.
     pub fn stored_keys(&self) -> BTreeSet<u64> {
         let mut keys = BTreeSet::new();
-        for p in self.sim.peer_ids() {
-            if !self.sim.is_alive(p) {
-                continue;
-            }
-            for item in self.sim.node(p).unwrap().data_store().local_items() {
+        for (_, node) in self.sim.alive_nodes_iter() {
+            for item in node.data_store().local_items() {
                 keys.insert(item.skv.raw());
             }
         }
@@ -282,11 +300,9 @@ impl Cluster {
     /// Drains every peer's observations, tagged with the peer id.
     pub fn drain_observations(&mut self) -> Vec<(PeerId, Observation)> {
         let mut out = Vec::new();
-        for p in self.sim.peer_ids() {
-            if let Some(node) = self.sim.node_mut(p) {
-                for o in node.take_observations() {
-                    out.push((p, o));
-                }
+        for (p, node) in self.sim.nodes_iter_mut() {
+            for o in node.take_observations() {
+                out.push((p, o));
             }
         }
         out
@@ -296,9 +312,8 @@ impl Cluster {
     /// oracles).
     pub fn ring_snapshots(&self) -> Vec<RingSnapshot> {
         self.sim
-            .peer_ids()
-            .iter()
-            .map(|p| RingSnapshot::of(self.sim.node(*p).unwrap().ring(), self.sim.is_alive(*p)))
+            .nodes_iter()
+            .map(|(p, n)| RingSnapshot::of(n.ring(), self.sim.is_alive(p)))
             .collect()
     }
 
@@ -323,14 +338,8 @@ impl Cluster {
     /// range-partition / item-conservation oracles).
     pub fn datastore_snapshots(&self) -> Vec<(bool, DsSnapshot)> {
         self.sim
-            .peer_ids()
-            .iter()
-            .map(|p| {
-                (
-                    self.sim.is_alive(*p),
-                    self.sim.node(*p).unwrap().data_store().snapshot(),
-                )
-            })
+            .nodes_iter()
+            .map(|(p, n)| (self.sim.is_alive(p), n.data_store().snapshot()))
             .collect()
     }
 
@@ -338,14 +347,9 @@ impl Cluster {
     /// replication oracle).
     pub fn replica_holdings(&self) -> BTreeMap<PeerId, BTreeSet<u64>> {
         self.sim
-            .peer_ids()
-            .into_iter()
-            .filter(|p| self.sim.is_alive(*p))
-            .map(|p| {
-                let keys = self
-                    .sim
-                    .node(p)
-                    .unwrap()
+            .alive_nodes_iter()
+            .map(|(p, n)| {
+                let keys = n
                     .replication()
                     .replicas()
                     .into_iter()
@@ -441,6 +445,43 @@ mod tests {
             .collect();
         assert_eq!(got, expected);
         assert!(outcome.complete);
+    }
+
+    #[test]
+    fn memoized_ring_members_track_membership_changes() {
+        let mut cluster = Cluster::new(ClusterConfig::fast(11).with_free_peers(3));
+        let recompute = |c: &Cluster| -> Vec<PeerId> {
+            c.sim
+                .alive_nodes_iter()
+                .filter(|(_, n)| n.is_ring_member())
+                .map(|(p, _)| p)
+                .collect()
+        };
+        assert_eq!(cluster.ring_members(), recompute(&cluster));
+        // Repeated calls on a quiescent simulator serve the cached snapshot.
+        assert_eq!(cluster.ring_members(), cluster.ring_members());
+        // Drive growth (splits pull free peers in) and a kill; the cache
+        // must track both kinds of membership change.
+        for k in 1..=10u64 {
+            cluster.insert_key(k * 1_000_000);
+            cluster.run(Duration::from_millis(50));
+        }
+        cluster.run_secs(4);
+        let members = cluster.ring_members();
+        assert_eq!(members, recompute(&cluster));
+        assert!(members.len() >= 2);
+        let victim = *members.last().unwrap();
+        cluster.sim.kill(victim);
+        assert_eq!(cluster.ring_members(), recompute(&cluster));
+        assert!(!cluster.ring_members().contains(&victim));
+        // Reentrant membership lookups inside the closure are safe.
+        let nested = cluster.with_ring_members(|members| {
+            let inner = cluster.ring_members();
+            assert_eq!(inner, members);
+            let _ = cluster.owner_of(1_000_000); // reentrant owner lookup
+            !members.is_empty()
+        });
+        assert!(nested);
     }
 
     #[test]

@@ -47,6 +47,14 @@ pub use oracle::ModelOracle;
 pub use report::FailureArtifact;
 pub use scenario::{fnv1a, GeneratorView, Op, OpTrace, OpWeights, ScenarioGenerator};
 
+/// The canonical seed ladder shared by the CI seed matrix, the env-gated
+/// large matrix and the macro bench: spreading by 17 keeps consecutive
+/// matrix sizes prefix-compatible, so a red run in a wider CI matrix
+/// reproduces locally by seed.
+pub fn matrix_seed(i: u64) -> u64 {
+    1000 + i * 17
+}
+
 /// Configuration of one harness run.
 #[derive(Debug, Clone)]
 pub struct HarnessConfig {
@@ -78,6 +86,11 @@ pub struct HarnessConfig {
     pub weights: OpWeights,
     /// Exclusive upper bound of the search-key domain.
     pub key_domain: u64,
+    /// Inclusive range (ms) of the per-op virtual-time advance.
+    pub advance_range_ms: (u64, u64),
+    /// Extra virtual time inserted right before each kill (replica-refresh
+    /// settle; see [`ScenarioGenerator`]).
+    pub pre_kill_settle: Duration,
 }
 
 impl HarnessConfig {
@@ -97,7 +110,63 @@ impl HarnessConfig {
             failure_grace: Duration::from_secs(5),
             weights: OpWeights::default(),
             key_domain: 1_000_000_000,
+            advance_range_ms: scenario::DEFAULT_ADVANCE_RANGE_MS,
+            pre_kill_settle: Duration::from_millis(400),
         }
+    }
+
+    /// A scale profile: `peers` total peers registered up front (one
+    /// bootstrap member plus `peers − 1` free peers the ring grows into),
+    /// an insert-heavy mix so membership actually climbs, and an invariant
+    /// cadence tuned so the O(n²)-ish whole-system oracles do not dominate
+    /// the run.
+    fn scaled(profile: &str, seed: u64, peers: usize, ops: usize, check_every: usize) -> Self {
+        HarnessConfig {
+            seed,
+            profile: profile.to_string(),
+            ops,
+            protocol: ProtocolConfig::pepper(),
+            initial_free_peers: peers.saturating_sub(1),
+            min_members: 2,
+            failures_per_100s: 8.0,
+            check_every,
+            settle: Duration::from_secs(40),
+            failure_grace: Duration::from_secs(5),
+            weights: OpWeights {
+                insert: 14,
+                delete: 4,
+                query: 5,
+                add_free_peer: 1,
+                leave: 1,
+            },
+            key_domain: 1_000_000_000,
+            advance_range_ms: scenario::DEFAULT_ADVANCE_RANGE_MS,
+            pre_kill_settle: Duration::from_millis(400),
+        }
+    }
+
+    /// The standard scale profile: 32 peers × 500 ops, oracles every 5th
+    /// advance.
+    pub fn standard(seed: u64) -> Self {
+        Self::scaled("standard", seed, 32, 500, 5)
+    }
+
+    /// The medium scale profile: 128 peers × 1000 ops, oracles every 10th
+    /// advance.
+    pub fn medium(seed: u64) -> Self {
+        Self::scaled("medium", seed, 128, 1000, 10)
+    }
+
+    /// The large scale profile: 512 peers × 2000 ops, oracles every 25th
+    /// advance.
+    pub fn large(seed: u64) -> Self {
+        Self::scaled("large", seed, 512, 2000, 25)
+    }
+
+    /// The soak profile: 512 peers × 5000 ops, oracles every 50th advance.
+    /// Not run in CI by default; meant for overnight churn hunts.
+    pub fn soak(seed: u64) -> Self {
+        Self::scaled("soak", seed, 512, 5000, 50)
     }
 
     /// The quick profile with every fault type disabled except item churn —
@@ -124,6 +193,10 @@ impl HarnessConfig {
                 profile: "quick-naive".to_string(),
                 ..HarnessConfig::quick(seed)
             }),
+            "standard" => Ok(HarnessConfig::standard(seed)),
+            "medium" => Ok(HarnessConfig::medium(seed)),
+            "large" => Ok(HarnessConfig::large(seed)),
+            "soak" => Ok(HarnessConfig::soak(seed)),
             other => Err(format!("unknown harness profile `{other}`")),
         }
     }
@@ -150,10 +223,33 @@ impl HarnessConfig {
         })
     }
 
-    /// Virtual-time horizon the failure schedule spreads its kills over
-    /// (ops × mean advance, with headroom for the pre-kill settles).
+    /// Expected virtual time of the scheduled (pre-settle) phase, derived
+    /// from the profile's actual advance distribution plus the pre-kill
+    /// settle rounds the generator inserts. The old hardcoded `ops × 150 ms`
+    /// over-shot the real op phase (mean advance is 90 ms), so large/soak
+    /// schedules spread their kills past the end of the run and quiescence
+    /// was entered with most scheduled failures silently dropped.
+    fn scheduled_phase(&self) -> Duration {
+        let (lo, hi) = self.advance_range_ms;
+        let mean_advance_ms = (lo + hi) / 2;
+        let op_phase = Duration::from_millis(self.ops as u64 * mean_advance_ms);
+        // Kills due inside the op phase each add one pre-kill settle.
+        let expected_kills =
+            (self.failures_per_100s * op_phase.as_secs_f64() / 100.0).ceil() as u32;
+        op_phase + self.pre_kill_settle * expected_kills
+    }
+
+    /// Expected total virtual duration of a run: the scheduled phase plus
+    /// the quiescence settle tail.
+    pub fn virtual_duration(&self) -> Duration {
+        self.scheduled_phase() + self.settle
+    }
+
+    /// Virtual-time horizon the failure schedule spreads its kills over —
+    /// the scheduled phase, so every drawn failure can actually land while
+    /// ops are still being issued.
     fn failure_horizon(&self) -> Duration {
-        Duration::from_millis(self.ops as u64 * 150)
+        self.scheduled_phase()
     }
 }
 
@@ -190,6 +286,16 @@ pub struct RunReport {
     pub violations: Vec<Violation>,
     /// Aggregate counters.
     pub stats: RunStats,
+    /// Network-level counters of the underlying simulator (events,
+    /// messages, peak queue depth / FIFO channels) — deterministic per
+    /// seed, and the raw material of the macro benchmark.
+    pub net: pepper_net::NetStats,
+    /// Virtual time at the end of the run (settle included).
+    pub virtual_elapsed: SimTime,
+    /// Alive ring members when the run ended.
+    pub final_members: usize,
+    /// Search keys stored across alive peers when the run ended.
+    pub stored_keys: BTreeSet<u64>,
     /// FNV-1a hash over the final ring + Data Store dump: two runs that
     /// executed the same schedule end in the same hash.
     pub final_state_hash: u64,
@@ -260,25 +366,27 @@ impl Harness {
     /// scheduling new ops at the first violation (the artifact then carries
     /// the minimal prefix), settles, and reports.
     pub fn run_generated(cfg: HarnessConfig) -> RunReport {
-        let mut gen = ScenarioGenerator::new(
+        let mut gen = ScenarioGenerator::with_advance_range(
             cfg.seed,
             cfg.weights,
             cfg.key_domain,
             cfg.min_members,
             cfg.failures_per_100s,
             cfg.failure_horizon(),
-            Duration::from_millis(400),
+            cfg.pre_kill_settle,
+            cfg.advance_range_ms,
         );
         let mut harness = Harness::new(cfg);
         for _ in 0..harness.cfg.ops {
-            let members = harness.cluster.ring_members();
-            let deletable = harness.oracle.deletable();
-            let view = GeneratorView {
-                now: harness.cluster.now(),
-                members: &members,
-                deletable: &deletable,
-            };
-            let ops = gen.next_op(&view);
+            let ops = harness.cluster.with_ring_members(|members| {
+                let deletable = harness.oracle.deletable();
+                let view = GeneratorView {
+                    now: harness.cluster.now(),
+                    members,
+                    deletable: &deletable,
+                };
+                gen.next_op(&view)
+            });
             for op in ops {
                 harness.apply(op);
             }
@@ -513,6 +621,13 @@ impl Harness {
         }
     }
 
+    /// Whether the most recent advance already ran the per-step oracles
+    /// (its index landed on the check cadence) — if so, the settled state
+    /// has been checked and the extra end-state pass would be redundant.
+    fn settle_landed_on_cadence(&self) -> bool {
+        self.advances_seen % self.cfg.check_every.max(1) == 0
+    }
+
     fn check_quiescence_invariants(&mut self) {
         let view = self.system_view();
         let overflow = self.cluster.system().overflow_threshold();
@@ -585,12 +700,28 @@ impl Harness {
         let had_violations = !self.violations.is_empty();
         if !had_violations {
             if !self.replaying {
-                while self.cluster.pool.len() < 2 {
+                // Enough free peers for every pending split to complete: in
+                // steady state each member holds at least `sf` items, so the
+                // settled ring needs at most `items / sf` members. Topping
+                // up to a flat 2 starved large runs (dozens of overflowing
+                // peers, an empty pool) and the storage bound never settled.
+                let sf = self.cluster.system().storage_factor.max(1);
+                let members = self.cluster.with_ring_members(|m| m.len());
+                let needed = (self.cluster.total_items() / sf)
+                    .saturating_sub(members)
+                    .max(2);
+                while self.cluster.pool.len() < needed {
                     self.apply(Op::AddFreePeer);
                 }
                 self.apply(Op::Advance {
                     ms: self.cfg.settle.as_millis() as u64,
                 });
+                // With a sparse check cadence the settle advance may not
+                // land on a checked step; make sure the strict per-step
+                // oracles see the settled state exactly once.
+                if self.violations.is_empty() && !self.settle_landed_on_cadence() {
+                    self.check_step_invariants();
+                }
                 self.check_quiescence_invariants();
             } else {
                 // A replayed *clean* trace already contains the quiescence
@@ -604,6 +735,9 @@ impl Harness {
                         ms: self.cfg.settle.as_millis() as u64,
                     });
                 if settled {
+                    if self.violations.is_empty() && !self.settle_landed_on_cadence() {
+                        self.check_step_invariants();
+                    }
                     self.check_quiescence_invariants();
                 }
             }
@@ -625,6 +759,10 @@ impl Harness {
             trace: self.trace,
             violations: self.violations,
             stats: self.stats,
+            net: self.cluster.sim.stats(),
+            virtual_elapsed: self.cluster.now(),
+            final_members: self.cluster.with_ring_members(|m| m.len()),
+            stored_keys: self.cluster.stored_keys(),
             final_state_hash,
             artifact,
         }

@@ -220,6 +220,10 @@ impl OpWeights {
     }
 }
 
+/// The default inclusive range (milliseconds) of the virtual-time advance
+/// drawn after every op.
+pub const DEFAULT_ADVANCE_RANGE_MS: (u64, u64) = (20, 160);
+
 /// What the generator needs to know about the live system to resolve an op.
 #[derive(Debug, Clone)]
 pub struct GeneratorView<'a> {
@@ -251,8 +255,9 @@ pub struct ScenarioGenerator {
 }
 
 impl ScenarioGenerator {
-    /// Creates a generator. `horizon` bounds the virtual time over which the
-    /// failure schedule spreads its kills.
+    /// Creates a generator with the default advance distribution
+    /// ([`DEFAULT_ADVANCE_RANGE_MS`]). `horizon` bounds the virtual time
+    /// over which the failure schedule spreads its kills.
     pub fn new(
         seed: u64,
         weights: OpWeights,
@@ -261,6 +266,31 @@ impl ScenarioGenerator {
         failures_per_100s: f64,
         horizon: Duration,
         pre_kill_settle: Duration,
+    ) -> Self {
+        Self::with_advance_range(
+            seed,
+            weights,
+            key_domain,
+            min_members,
+            failures_per_100s,
+            horizon,
+            pre_kill_settle,
+            DEFAULT_ADVANCE_RANGE_MS,
+        )
+    }
+
+    /// Creates a generator whose per-op virtual-time advance is drawn
+    /// uniformly from `advance_range_ms` (inclusive).
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_advance_range(
+        seed: u64,
+        weights: OpWeights,
+        key_domain: u64,
+        min_members: usize,
+        failures_per_100s: f64,
+        horizon: Duration,
+        pre_kill_settle: Duration,
+        advance_range_ms: (u64, u64),
     ) -> Self {
         let mut failure_rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9).wrapping_add(2));
         let schedule = FailureSchedule::poisson_like(
@@ -280,7 +310,7 @@ impl ScenarioGenerator {
             next_kill: 0,
             min_members,
             key_domain,
-            advance_range_ms: (20, 160),
+            advance_range_ms,
             pre_kill_settle,
         }
     }

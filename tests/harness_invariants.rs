@@ -12,7 +12,7 @@
 //! `PEPPER_HARNESS_SEEDS` (number of seeds, default 4) and
 //! `PEPPER_HARNESS_OPS` (ops per run, default 150).
 
-use pepper_sim::harness::{FailureArtifact, Harness, HarnessConfig};
+use pepper_sim::harness::{matrix_seed, FailureArtifact, Harness, HarnessConfig};
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -49,9 +49,9 @@ fn every_invariant_holds_across_the_seed_matrix() {
     let seeds = env_usize("PEPPER_HARNESS_SEEDS", 4);
     let ops = env_usize("PEPPER_HARNESS_OPS", 150);
     for i in 0..seeds {
-        // Spread the seeds so consecutive matrix sizes share a prefix (a
+        // The canonical ladder: consecutive matrix sizes share a prefix (a
         // red run in the 8-seed CI matrix reproduces locally by seed).
-        let seed = 1000 + (i as u64) * 17;
+        let seed = matrix_seed(i as u64);
         let cfg = HarnessConfig {
             ops,
             ..HarnessConfig::quick(seed)

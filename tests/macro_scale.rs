@@ -1,0 +1,140 @@
+//! Scale-profile coverage: cross-scale determinism, artifact replay at
+//! N = 128, invariant-cadence equivalence, and the (env-gated) large
+//! matrix.
+//!
+//! The scale profiles (`standard` 32 × 500, `medium` 128 × 1000, `large`
+//! 512 × 2000, `soak` 512 × 5000) drive the same harness as the quick CI
+//! matrix but with a sparse invariant cadence (`check_every`) so the
+//! whole-system oracles do not dominate the run. These tests pin down that
+//! scaling changes nothing about determinism:
+//!
+//! * the same seed at N = 128 produces byte-identical op traces, identical
+//!   `NetStats`, identical stored key sets and final state hashes;
+//! * a clean scale-profile trace frozen into an artifact replays to the
+//!   same end state;
+//! * the check cadence only affects *when* oracles run, never the
+//!   execution itself.
+//!
+//! `PEPPER_HARNESS_LARGE_SEEDS=k` additionally runs the full 512-peer ×
+//! 2000-op large profile for `k` seeds (CI exercises it through the
+//! release-mode macro bench instead, which is ~7× faster than a debug test
+//! run; see `.github/workflows/ci.yml`).
+
+use pepper_sim::harness::{matrix_seed, FailureArtifact, Harness, HarnessConfig};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[test]
+fn medium_profile_is_deterministic_and_its_artifact_replays() {
+    // Two generated runs: byte-identical schedules and end states.
+    let a = Harness::run_generated(HarnessConfig::medium(4242));
+    let b = Harness::run_generated(HarnessConfig::medium(4242));
+    assert!(
+        a.is_clean(),
+        "medium seed 4242 violations: {:?}",
+        a.violations
+    );
+    assert_eq!(
+        a.trace.encode(),
+        b.trace.encode(),
+        "op trace must be byte-identical across runs"
+    );
+    assert_eq!(a.net, b.net, "NetStats must be identical across runs");
+    assert_eq!(a.stored_keys, b.stored_keys);
+    assert_eq!(a.final_state_hash, b.final_state_hash);
+    assert_eq!(a.virtual_elapsed, b.virtual_elapsed);
+    assert_eq!(a.final_members, b.final_members);
+
+    // The profile must actually have scaled: a three-digit ring out of the
+    // 128-peer pool, with kills injected and queries checked.
+    assert!(a.final_members >= 64, "only {} members", a.final_members);
+    assert!(a.stats.kills > 0, "{:?}", a.stats);
+    assert!(a.stats.queries_checked > 0, "{:?}", a.stats);
+
+    // Freeze the clean trace into an artifact (the same container a red
+    // run would dump), round-trip it through its text form, and replay:
+    // the identical cluster is rebuilt from profile + seed and ends in the
+    // identical state.
+    let artifact = FailureArtifact {
+        seed: 4242,
+        profile: "medium".to_string(),
+        step: a.trace.len(),
+        violations: Vec::new(),
+        trace: a.trace.clone(),
+        ring_dump: String::new(),
+        store_dump: String::new(),
+    };
+    let parsed = FailureArtifact::parse(&artifact.encode()).expect("round-trips");
+    assert_eq!(parsed.trace.hash(), a.trace.hash());
+    let replayed = Harness::replay_artifact(&parsed).expect("profile reconstructs");
+    assert!(replayed.is_clean(), "{:?}", replayed.violations);
+    assert_eq!(replayed.trace.hash(), a.trace.hash());
+    assert_eq!(replayed.final_state_hash, a.final_state_hash);
+    assert_eq!(replayed.stored_keys, a.stored_keys);
+}
+
+#[test]
+fn check_cadence_only_affects_detection_not_execution() {
+    // The same seed with per-advance checks vs a sparse cadence: oracles
+    // read state, so the schedule, the network traffic and the end state
+    // must be bit-identical; both must be clean.
+    let every = Harness::run_generated(HarnessConfig {
+        check_every: 1,
+        ..HarnessConfig::quick(77)
+    });
+    let sparse = Harness::run_generated(HarnessConfig {
+        check_every: 7,
+        ..HarnessConfig::quick(77)
+    });
+    assert!(every.is_clean(), "{:?}", every.violations);
+    assert!(sparse.is_clean(), "{:?}", sparse.violations);
+    assert_eq!(every.trace.encode(), sparse.trace.encode());
+    assert_eq!(every.net, sparse.net);
+    assert_eq!(every.final_state_hash, sparse.final_state_hash);
+    assert_eq!(every.stored_keys, sparse.stored_keys);
+}
+
+#[test]
+fn scale_profiles_reconstruct_from_their_names() {
+    for profile in ["standard", "medium", "large", "soak"] {
+        let cfg = HarnessConfig::from_profile(profile, 9).expect("known profile");
+        assert_eq!(cfg.profile, profile);
+        assert_eq!(cfg.seed, 9);
+        assert!(cfg.check_every > 1, "{profile} must use a sparse cadence");
+    }
+    assert_eq!(
+        HarnessConfig::from_profile("large", 9)
+            .unwrap()
+            .initial_free_peers,
+        511
+    );
+    assert!(HarnessConfig::from_profile("gigantic", 9).is_err());
+}
+
+#[test]
+fn large_profile_matrix_env_gated() {
+    // Debug builds pay ~35 s per large run, so this is opt-in:
+    //   PEPPER_HARNESS_LARGE_SEEDS=4 cargo test --release -p pepper-sim \
+    //       --test macro_scale
+    // CI covers the same ground through the release-mode macro bench.
+    let seeds = env_usize("PEPPER_HARNESS_LARGE_SEEDS", 0);
+    for i in 0..seeds {
+        let seed = matrix_seed(i as u64);
+        let report = Harness::run_generated(HarnessConfig::large(seed));
+        assert!(
+            report.is_clean(),
+            "large seed {seed}: {:?}",
+            report.violations
+        );
+        assert!(
+            report.final_members >= 128,
+            "seed {seed}: only {} members",
+            report.final_members
+        );
+    }
+}
