@@ -2,12 +2,15 @@
 //!
 //! Runs the fault-injection harness profiles at N ∈ {32, 128, 512} peers
 //! (`standard` / `medium` / `large`), measures wall time, event throughput,
-//! message volume and the memory proxies the simulator tracks (peak event
-//! queue depth + peak FIFO-channel count), and writes the results to
-//! `BENCH_macro.json` at the repository root. The file is committed so every
-//! future PR can diff its perf trajectory against the previous one; CI runs
-//! a reduced `--smoke` variant that fails only on panic or invariant
-//! violation, never on timing noise.
+//! message volume, the memory proxies the simulator tracks (peak event
+//! queue depth + peak FIFO-channel count) and the crash-restart recovery
+//! counters (restarts, WAL records replayed), plus a focused WAL-replay
+//! throughput micro-measurement (records/sec through
+//! `PeerStorage::recover`), and writes the results to `BENCH_macro.json` at
+//! the repository root. The file is committed so every future PR can diff
+//! its perf trajectory against the previous one; CI runs a reduced
+//! `--smoke` variant that fails only on panic or invariant violation, never
+//! on timing noise.
 //!
 //! Usage (via the `experiments` binary):
 //!
@@ -22,7 +25,9 @@ use std::time::Instant;
 use pepper_sim::harness::{matrix_seed, FailureArtifact, Harness, HarnessConfig};
 
 /// Schema identifier written into the JSON (bump on layout changes).
-pub const SCHEMA: &str = "pepper-bench-macro/v1";
+/// v2: per-run `restarts` + `wal_records_replayed`, top-level `recovery`
+/// block with the WAL-replay throughput micro-bench.
+pub const SCHEMA: &str = "pepper-bench-macro/v2";
 
 /// Default output path: `BENCH_macro.json` at the repository root.
 pub fn default_out_path() -> PathBuf {
@@ -51,6 +56,8 @@ struct MacroRun {
     final_ring_members: usize,
     trace_ops: usize,
     kills: usize,
+    restarts: usize,
+    wal_records_replayed: u64,
     queries_checked: usize,
     queries_incomplete: usize,
     violations: usize,
@@ -61,7 +68,7 @@ impl MacroRun {
         let mut s = String::new();
         let _ = write!(
             s,
-            "    {{\n      \"profile\": \"{}\",\n      \"peers\": {},\n      \"ops\": {},\n      \"seed\": {},\n      \"wall_ms\": {:.1},\n      \"virtual_ms\": {},\n      \"expected_virtual_ms\": {},\n      \"events\": {},\n      \"events_per_sec\": {:.0},\n      \"messages_sent\": {},\n      \"messages_delivered\": {},\n      \"peak_queue_depth\": {},\n      \"peak_fifo_channels\": {},\n      \"rss_proxy_peak\": {},\n      \"final_ring_members\": {},\n      \"trace_ops\": {},\n      \"kills\": {},\n      \"queries_checked\": {},\n      \"queries_incomplete\": {},\n      \"violations\": {}\n    }}",
+            "    {{\n      \"profile\": \"{}\",\n      \"peers\": {},\n      \"ops\": {},\n      \"seed\": {},\n      \"wall_ms\": {:.1},\n      \"virtual_ms\": {},\n      \"expected_virtual_ms\": {},\n      \"events\": {},\n      \"events_per_sec\": {:.0},\n      \"messages_sent\": {},\n      \"messages_delivered\": {},\n      \"peak_queue_depth\": {},\n      \"peak_fifo_channels\": {},\n      \"rss_proxy_peak\": {},\n      \"final_ring_members\": {},\n      \"trace_ops\": {},\n      \"kills\": {},\n      \"restarts\": {},\n      \"wal_records_replayed\": {},\n      \"queries_checked\": {},\n      \"queries_incomplete\": {},\n      \"violations\": {}\n    }}",
             self.profile,
             self.peers,
             self.ops,
@@ -79,11 +86,53 @@ impl MacroRun {
             self.final_ring_members,
             self.trace_ops,
             self.kills,
+            self.restarts,
+            self.wal_records_replayed,
             self.queries_checked,
             self.queries_incomplete,
             self.violations,
         );
         s
+    }
+}
+
+/// The WAL-replay throughput micro-bench: how fast `PeerStorage::recover`
+/// chews through a synthetic log of `records` framed entries (the
+/// recovery-time metric of the perf trajectory — a restart's latency is
+/// dominated by replaying the WAL tail on top of the last snapshot).
+struct RecoveryBench {
+    records: u64,
+    wall_ms: f64,
+    records_per_sec: f64,
+}
+
+fn measure_wal_replay(records: u64) -> RecoveryBench {
+    use pepper_storage::{PeerStorage, RecoveryMode, StorageConfig};
+    use pepper_types::{Item, ItemId, PeerId, SearchKey};
+    let mut storage = PeerStorage::new_mem(
+        7,
+        StorageConfig {
+            // Keep everything in the WAL: the point is replay throughput.
+            snapshot_after_records: usize::MAX,
+        },
+    );
+    for i in 0..records {
+        let item = Item::new(ItemId::new(PeerId(1), i), SearchKey(i), format!("v{i}"));
+        // 2:1 insert/delete mix so replay exercises both record paths.
+        storage.log_item_insert(i, &item);
+        if i % 2 == 0 {
+            storage.log_item_delete(i);
+        }
+    }
+    let total = records + records / 2;
+    let start = Instant::now();
+    let recovered = storage.recover(RecoveryMode::Clean);
+    let wall = start.elapsed().as_secs_f64().max(1e-9);
+    assert_eq!(recovered.wal_records_replayed, total);
+    RecoveryBench {
+        records: total,
+        wall_ms: wall * 1e3,
+        records_per_sec: total as f64 / wall,
     }
 }
 
@@ -124,6 +173,8 @@ fn measure(cfg: HarnessConfig) -> MacroRun {
         final_ring_members: report.final_members,
         trace_ops: report.trace.len(),
         kills: report.stats.kills,
+        restarts: report.stats.restarts,
+        wal_records_replayed: report.stats.wal_records_replayed,
         queries_checked: report.stats.queries_checked,
         queries_incomplete: report.stats.queries_incomplete,
         violations: report.violations.len(),
@@ -202,10 +253,27 @@ pub fn run(args: &[String]) -> i32 {
         }
     }
 
+    // The recovery-time metric: WAL-replay throughput through the real
+    // recovery path (reported, never judged — like every timing here).
+    let recovery = measure_wal_replay(20_000);
+    println!(
+        "wal-replay  records={} wall={:>8.1}ms ({:>9.0} records/s)",
+        recovery.records, recovery.wall_ms, recovery.records_per_sec,
+    );
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"schema\": \"{SCHEMA}\",");
     let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"recovery\": {{");
+    let _ = writeln!(json, "    \"wal_replay_records\": {},", recovery.records);
+    let _ = writeln!(json, "    \"wal_replay_wall_ms\": {:.1},", recovery.wall_ms);
+    let _ = writeln!(
+        json,
+        "    \"wal_replay_records_per_sec\": {:.0}",
+        recovery.records_per_sec
+    );
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"runs\": [");
     let body: Vec<String> = runs.iter().map(MacroRun::to_json).collect();
     let _ = writeln!(json, "{}", body.join(",\n"));

@@ -681,8 +681,11 @@ impl DataStoreState {
         match write {
             DeferredWrite::CompleteSplit { moved } => {
                 let removed = self.store.take_range(&moved);
-                for (_, item) in &removed {
-                    self.emit(DsEvent::ItemRemoved { item: item.id });
+                for (mapped, item) in &removed {
+                    self.emit(DsEvent::ItemRemoved {
+                        item: item.id,
+                        mapped: *mapped,
+                    });
                 }
                 // The kept range is everything up to the boundary.
                 let boundary = moved.low();
@@ -765,8 +768,11 @@ impl DataStoreState {
                 self.redistribute_give_boundary = None;
                 let moving = CircularRange::new(self.range.low(), new_boundary);
                 let removed = self.store.take_range(&moving);
-                for (_, item) in &removed {
-                    self.emit(DsEvent::ItemRemoved { item: item.id });
+                for (mapped, item) in &removed {
+                    self.emit(DsEvent::ItemRemoved {
+                        item: item.id,
+                        mapped: *mapped,
+                    });
                 }
                 self.range = CircularRange::new(new_boundary, self.range.high());
                 self.rebalancing = false;
@@ -824,8 +830,11 @@ impl DataStoreState {
                     return; // already completed (e.g. give timeout + late ack)
                 }
                 let removed = self.store.drain_all();
-                for (_, item) in &removed {
-                    self.emit(DsEvent::ItemRemoved { item: item.id });
+                for (mapped, item) in &removed {
+                    self.emit(DsEvent::ItemRemoved {
+                        item: item.id,
+                        mapped: *mapped,
+                    });
                 }
                 let anchor = self.range.high();
                 self.range = CircularRange::empty(anchor);

@@ -70,6 +70,9 @@ pub enum DsEvent {
     ItemRemoved {
         /// Identity of the removed item.
         item: ItemId,
+        /// The removed item's mapped placement value (the durable-storage
+        /// WAL is keyed by mapped value).
+        mapped: u64,
     },
     /// The first peer of a scan rejected it (it no longer owns the query's
     /// lower bound); the index layer should re-route the scan start.

@@ -379,6 +379,21 @@ impl DataStoreState {
         if current.low() == pred_value {
             return None;
         }
+        // Extending down to exactly this peer's own value means the new
+        // predecessor is this peer itself — the sole-survivor takeover (the
+        // ring collapsed to one member whose neighbours all died or
+        // departed): claim the full circle; everything outside the current
+        // range is the acquired gap to revive.
+        if !current.is_empty() && pred_value == current.high() {
+            let acquired = CircularRange::new(current.high(), current.low());
+            self.range = CircularRange::full(current.high().raw());
+            self.emit(DsEvent::RangeChanged {
+                range: self.range,
+                value: self.range.high(),
+                grew: true,
+            });
+            return Some(acquired);
+        }
         // Only extend: the new low must lie outside the current range,
         // otherwise the "new" predecessor claims part of what we own and we
         // ignore it (hand-offs are the only way to shrink).
@@ -400,6 +415,22 @@ impl DataStoreState {
             grew: true,
         });
         Some(acquired)
+    }
+
+    /// FAULT-INJECTION ONLY: installs a recovered durable image as live,
+    /// owned state without any rejoin handshake — the deliberately broken
+    /// [`RecoveryMode::ServeStaleRange`] the harness red-tests its oracles
+    /// against. A correct restart never calls this: recovered state is
+    /// donated to the live owners instead (see `PeerNode::restart_rejoin`
+    /// in `pepper-index`).
+    ///
+    /// [`RecoveryMode::ServeStaleRange`]: https://docs.rs/pepper-storage
+    pub fn install_recovered_stale(&mut self, range: CircularRange, items: Vec<(u64, Item)>) {
+        self.status = DsStatus::Live;
+        self.range = range;
+        for (mapped, item) in items {
+            self.store.insert(mapped, item);
+        }
     }
 
     /// Inserts items revived from replicas (after a predecessor failure).
@@ -499,7 +530,10 @@ impl DataStoreState {
         }
         let removed = self.store.remove(mapped);
         if let Some(item) = &removed {
-            self.emit(DsEvent::ItemRemoved { item: item.id });
+            self.emit(DsEvent::ItemRemoved {
+                item: item.id,
+                mapped,
+            });
         }
         fx.send(
             reply_to,

@@ -58,6 +58,16 @@ impl FreePool {
         state.free.remove(&peer)
     }
 
+    /// Re-admits a previously retired peer: the crashed process restarted
+    /// under the same id, finished its recovery reconciliation, and is a
+    /// free peer again. (A plain [`FreePool::release`] deliberately refuses
+    /// retired peers — only an explicit restart may clear the retirement.)
+    pub fn readmit(&self, peer: PeerId) {
+        let mut state = self.inner.lock().expect("free pool poisoned");
+        state.retired.remove(&peer);
+        state.free.insert(peer);
+    }
+
     /// Number of free peers currently registered.
     pub fn len(&self) -> usize {
         self.inner.lock().expect("free pool poisoned").free.len()
@@ -119,6 +129,18 @@ mod tests {
         // Other peers are unaffected.
         pool.release(PeerId(5));
         assert_eq!(pool.acquire(), Some(PeerId(5)));
+    }
+
+    #[test]
+    fn readmit_clears_retirement() {
+        let pool = FreePool::new();
+        pool.release(PeerId(4));
+        pool.remove(PeerId(4)); // fail-stop
+        pool.readmit(PeerId(4)); // restart completed recovery
+        assert_eq!(pool.acquire(), Some(PeerId(4)));
+        // And a later release works again too.
+        pool.release(PeerId(4));
+        assert_eq!(pool.len(), 1);
     }
 
     #[test]

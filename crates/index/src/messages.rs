@@ -4,6 +4,7 @@ use pepper_datastore::{DsMsg, QueryId};
 use pepper_replication::ReplMsg;
 use pepper_ring::RingMsg;
 use pepper_router::RouterMsg;
+use pepper_storage::StorageMsg;
 use pepper_types::{Item, KeyInterval, PeerId, PeerValue};
 
 /// Payload of a routed request: delivered to the peer responsible for the
@@ -47,6 +48,8 @@ pub enum PeerMsg {
     Repl(ReplMsg),
     /// Content router traffic.
     Router(RouterMsg),
+    /// Durable-storage traffic (the periodic snapshot timer).
+    Storage(StorageMsg),
     /// A request being routed towards the peer responsible for `target`.
     Route {
         /// The mapped value the request must reach.
@@ -82,6 +85,7 @@ impl PeerMsg {
             PeerMsg::Ds(m) => m.tag(),
             PeerMsg::Repl(m) => m.tag(),
             PeerMsg::Router(m) => m.tag(),
+            PeerMsg::Storage(m) => m.tag(),
             PeerMsg::Route { .. } => "Route",
             PeerMsg::PredTakeover { .. } => "PredTakeover",
         }
@@ -100,6 +104,10 @@ mod tests {
         assert_eq!(
             PeerMsg::Router(RouterMsg::MaintainTick).tag(),
             "MaintainTick"
+        );
+        assert_eq!(
+            PeerMsg::Storage(StorageMsg::SnapshotTick).tag(),
+            "SnapshotTick"
         );
         assert_eq!(
             PeerMsg::Route {

@@ -8,6 +8,9 @@ use pepper_net::{Context, Effects, LayerCtx, LayerSlot, Node, SimTime};
 use pepper_replication::{ReplEvent, ReplicaConfig, ReplicationManager};
 use pepper_ring::{EntryState, RingConfig, RingEvent, RingState};
 use pepper_router::{HierarchicalRouter, RouterConfig};
+use pepper_storage::{
+    DurableImage, PeerStorage, RecoveredState, RecoveryMode, StorageEvent, StorageLayer,
+};
 use pepper_types::{
     CircularRange, Item, ItemId, KeyInterval, PeerId, PeerValue, RangeQuery, SearchKey,
     SystemConfig,
@@ -25,12 +28,26 @@ pub const MAX_ROUTE_HOPS: u32 = 32;
 /// reported as failed.
 pub const MAX_ITEM_ATTEMPTS: u32 = 8;
 
+/// Maximum number of re-routes for a *donation* insert (a restarted peer
+/// handing recovered items back to their live owners), and the pause between
+/// attempts. A donation may race the multi-second failure-detection +
+/// range-takeover window that follows the donor's own crash — while the
+/// crashed peer's old range is unowned every routed insert into it bounces —
+/// so donations retry patiently where a client insert would give up: the
+/// recovered item's WAL copy is gone from the live ring's point of view, and
+/// dropping the donation would lose an acknowledged item.
+pub const MAX_DONATION_ATTEMPTS: u32 = 40;
+/// Pause between donation re-routes (see [`MAX_DONATION_ATTEMPTS`]).
+pub const DONATION_RETRY_PAUSE: Duration = Duration::from_millis(250);
+
 #[derive(Debug, Clone)]
 struct PendingItemInsert {
     item: Item,
     mapped: u64,
     attempts: u32,
     started: SimTime,
+    /// Whether this is a restart-recovery donation (longer retry budget).
+    donation: bool,
 }
 
 #[derive(Debug, Clone)]
@@ -48,6 +65,16 @@ pub struct PeerNode {
     ds: LayerSlot<DataStoreState, PeerMsg>,
     repl: LayerSlot<ReplicationManager, PeerMsg>,
     router: LayerSlot<HierarchicalRouter, PeerMsg>,
+    stor: LayerSlot<StorageLayer, PeerMsg>,
+    /// The durable-storage engine, if this peer persists its state (the
+    /// harness attaches one to every peer; plain experiments run without).
+    storage: Option<PeerStorage>,
+    /// How this peer treats recovered durable state after a restart (the
+    /// broken variants exist only for oracle red tests).
+    recovery_mode: RecoveryMode,
+    /// Items recovered from durable storage, awaiting donation to their
+    /// current owners through [`PeerNode::restart_rejoin`].
+    recovered_donation: Vec<(u64, Item)>,
     pool: FreePool,
     /// The free peer an in-flight split is waiting to hand off to.
     pending_split: Option<PeerId>,
@@ -79,6 +106,10 @@ impl PeerNode {
                 HierarchicalRouter::new(id, RouterConfig::from_system(&cfg)),
                 PeerMsg::Router,
             ),
+            stor: LayerSlot::new(StorageLayer::new(cfg.snapshot_period), PeerMsg::Storage),
+            storage: None,
+            recovery_mode: RecoveryMode::Clean,
+            recovered_donation: Vec::new(),
             pool,
             cfg,
             pending_split: None,
@@ -111,6 +142,10 @@ impl PeerNode {
                 HierarchicalRouter::new(id, RouterConfig::from_system(&cfg)),
                 PeerMsg::Router,
             ),
+            stor: LayerSlot::new(StorageLayer::new(cfg.snapshot_period), PeerMsg::Storage),
+            storage: None,
+            recovery_mode: RecoveryMode::Clean,
+            recovered_donation: Vec::new(),
             pool,
             cfg,
             pending_split: None,
@@ -119,6 +154,63 @@ impl PeerNode {
             pending_deletes: HashMap::new(),
             observations: Vec::new(),
         }
+    }
+
+    /// Attaches a durable-storage engine and journals the current state as
+    /// the initial snapshot. Builder-style, used at node construction.
+    pub fn with_storage(mut self, mut storage: PeerStorage) -> Self {
+        storage.write_snapshot(&self.durable_image());
+        self.storage = Some(storage);
+        self
+    }
+
+    /// Rebuilds a peer from its recovered durable state after a crash (the
+    /// same peer id restarting on the same host). The peer comes back as a
+    /// **free** peer regardless of what it owned before the crash: a stale
+    /// range must never be served as owned. Its recovered items are parked
+    /// for donation to their current owners ([`PeerNode::restart_rejoin`]),
+    /// its recovered replica holdings are installed as replicas (soft state
+    /// the live ring refreshes anyway), and the storage engine keeps the
+    /// *pre-crash* durable image until the donation outcome is journaled by
+    /// normal operation — crashing again mid-donation just re-donates.
+    ///
+    /// With the deliberately broken [`RecoveryMode::ServeStaleRange`] the
+    /// recovered range and items are installed as live owned state with no
+    /// handshake — the misbehavior the harness's `recovered-range` oracle
+    /// exists to catch.
+    pub fn restarted(
+        id: PeerId,
+        cfg: SystemConfig,
+        pool: FreePool,
+        storage: PeerStorage,
+        recovered: RecoveredState,
+        mode: RecoveryMode,
+    ) -> Self {
+        let mut node = PeerNode::free_unpooled(id, cfg);
+        node.storage = Some(storage);
+        node.recovery_mode = mode;
+        node.repl.install_replicas(recovered.replicas);
+        node.pool = pool;
+        if recovered.live {
+            match mode {
+                RecoveryMode::ServeStaleRange => {
+                    node.ds
+                        .install_recovered_stale(recovered.range, recovered.items);
+                }
+                RecoveryMode::Clean | RecoveryMode::SkipWalTail => {
+                    node.recovered_donation = recovered.items;
+                }
+            }
+        }
+        node
+    }
+
+    /// A free-peer skeleton that does NOT self-register in the pool: the
+    /// throwaway pool absorbs `free`'s self-registration side effect, and
+    /// [`PeerNode::restarted`] installs the real pool (re-admission happens
+    /// explicitly once reconciliation is underway).
+    fn free_unpooled(id: PeerId, cfg: SystemConfig) -> Self {
+        PeerNode::free(id, cfg, FreePool::new())
     }
 
     // ------------------------------------------------------------------
@@ -165,6 +257,23 @@ impl PeerNode {
         self.ds.item_count()
     }
 
+    /// The durable-storage engine, if one is attached (read-only: digests,
+    /// WAL counters).
+    pub fn storage(&self) -> Option<&PeerStorage> {
+        self.storage.as_ref()
+    }
+
+    /// Detaches and returns the storage engine — the cluster pulls it out of
+    /// a crashed node to recover and rebuild the peer.
+    pub fn take_storage(&mut self) -> Option<PeerStorage> {
+        self.storage.take()
+    }
+
+    /// Items recovered from durable storage still awaiting donation.
+    pub fn pending_donation(&self) -> usize {
+        self.recovered_donation.len()
+    }
+
     /// Observations recorded so far (not drained).
     pub fn observations(&self) -> &[Observation] {
         &self.observations
@@ -201,6 +310,7 @@ impl PeerNode {
                 mapped,
                 attempts: 0,
                 started: now,
+                donation: false,
             },
         );
         self.handle_route(
@@ -302,6 +412,8 @@ impl PeerNode {
         self.process_repl_events(now, repl_events, out);
         // RouterEvent is uninhabited: nothing to process.
         self.router.start_timers(ctx, out);
+        let stor_events = self.stor.start_timers(ctx, out);
+        self.process_storage_events(now, stor_events, out);
     }
 
     /// The currently `JOINED` ring successors, in list order (the snapshot
@@ -337,6 +449,10 @@ impl PeerNode {
             PeerMsg::Router(m) => {
                 // RouterEvent is uninhabited: nothing to process.
                 self.router.handle(ctx, from, m, out);
+            }
+            PeerMsg::Storage(m) => {
+                let events = self.stor.handle(ctx, from, m, out);
+                self.process_storage_events(now, events, out);
             }
             PeerMsg::Route {
                 target,
@@ -379,10 +495,16 @@ impl PeerNode {
             return;
         }
         let (acquired, ds_events) = self.ds.with(out, |ds, _fx| ds.extend_low_to(value));
-        self.process_ds_events(now, ds_events, out);
+        // Revive BEFORE processing the extend's events: the RangeChanged
+        // handler prunes the replica store of everything the extended range
+        // now owns — which is exactly the local copies the revival must
+        // take. (With successors alive the RecoverRequest round-trip masked
+        // this; a sole survivor has nobody to recover from, so the ordering
+        // is load-bearing.)
         if let Some(acquired) = acquired {
             self.revive_range(now, acquired, out);
         }
+        self.process_ds_events(now, ds_events, out);
     }
 
     /// Revives a range this peer just became responsible for after its
@@ -514,6 +636,19 @@ impl PeerNode {
         events: Vec<DsEvent>,
         out: &mut Effects<PeerMsg>,
     ) {
+        // Bulk transfers (hand-offs, grants, redistributions, departures)
+        // emit one ItemStored/ItemRemoved per moved item followed by a
+        // range-level event whose handler writes a full snapshot — which
+        // truncates the WAL. Journaling those per-item records would pay a
+        // synced append per item only to discard it in the same batch (on a
+        // real-file VFS: one fsync per moved item), so per-item WAL writes
+        // are skipped whenever this batch snapshots anyway. The store is
+        // already fully updated when the batch is processed, so the
+        // snapshot covers every item of the batch regardless of order.
+        let snapshot_in_batch = self.storage.is_some()
+            && events
+                .iter()
+                .any(|e| matches!(e, DsEvent::RangeChanged { .. } | DsEvent::BecameFree));
         for event in events {
             match event {
                 DsEvent::SplitNeeded { .. } => self.start_split(now, out),
@@ -555,6 +690,10 @@ impl PeerNode {
                 DsEvent::RangeChanged { range, value, grew } => {
                     self.ring.set_value(value);
                     self.repl.prune_owned(&range);
+                    // Range changes move whole item sets at once (hand-offs,
+                    // grants, takeovers): a fresh snapshot is the only
+                    // durable encoding that cannot diverge from the store.
+                    self.persist_snapshot();
                     // Replicate-on-receive: a range change that brought items
                     // in (merge grant, hand-off, redistribution, revival)
                     // leaves them unreplicated until the next periodic
@@ -582,6 +721,9 @@ impl PeerNode {
                     self.ring.depart();
                     self.router.clear();
                     self.pool.release(self.id);
+                    // Durably record that this peer owns nothing anymore: a
+                    // restart must not resurrect the given-away range.
+                    self.persist_snapshot();
                 }
                 DsEvent::RangeBridged { gap } => {
                     self.revive_range(now, gap, out);
@@ -594,7 +736,26 @@ impl PeerNode {
                     // look alive again at its old position.
                     self.ring.note_departed(now, granter);
                 }
-                DsEvent::ItemStored { .. } | DsEvent::ItemRemoved { .. } => {}
+                DsEvent::ItemStored { item } => {
+                    // Journal-then-ack: this WAL append (synced) happens in
+                    // the same handler invocation that queues the ack
+                    // effect, so an acknowledged insert is durable by
+                    // construction. (Skipped when this batch writes a full
+                    // snapshot — see `snapshot_in_batch`.)
+                    let mapped = self.cfg.key_map.map(item.skv).raw();
+                    if !snapshot_in_batch {
+                        if let Some(storage) = self.storage.as_mut() {
+                            storage.log_item_insert(mapped, &item);
+                        }
+                    }
+                }
+                DsEvent::ItemRemoved { mapped, .. } => {
+                    if !snapshot_in_batch {
+                        if let Some(storage) = self.storage.as_mut() {
+                            storage.log_item_delete(mapped);
+                        }
+                    }
+                }
                 DsEvent::QueryRejected { query } => {
                     // Re-route after a pause: rejections mean the routing
                     // state is stale (a peer departed or a range moved); the
@@ -676,8 +837,112 @@ impl PeerNode {
                     let ((), ds_events) = self.ds.with(out, |ds, _fx| ds.install_revived(items));
                     self.process_ds_events(now, ds_events, out);
                 }
+                ReplEvent::ReplicasInstalled { items } => {
+                    // Journal the replica delta lazily (appended, not
+                    // synced): replicas are soft state the live owners
+                    // re-push every refresh round, and the un-synced tail
+                    // is what gives the crash injector real torn writes.
+                    if let Some(storage) = self.storage.as_mut() {
+                        storage.log_replica_puts(&items);
+                    }
+                }
             }
         }
+    }
+
+    // ---- storage event glue -----------------------------------------------
+
+    fn process_storage_events(
+        &mut self,
+        _now: SimTime,
+        events: Vec<StorageEvent>,
+        _out: &mut Effects<PeerMsg>,
+    ) {
+        for event in events {
+            match event {
+                StorageEvent::SnapshotDue => {
+                    // Periodic WAL compaction: only rewrite the image once
+                    // enough records accumulated to make it worthwhile.
+                    if self.storage.as_ref().is_some_and(|s| s.snapshot_due()) {
+                        self.persist_snapshot();
+                    }
+                }
+            }
+        }
+    }
+
+    /// The full durable image of this peer right now.
+    fn durable_image(&self) -> DurableImage {
+        DurableImage {
+            live: self.ds.status() == DsStatus::Live,
+            range: self.ds.range(),
+            items: self.ds.local_items_mapped(),
+            replicas: self.repl.replicas(),
+        }
+    }
+
+    /// Atomically rewrites the snapshot (and truncates the WAL), if a
+    /// storage engine is attached.
+    fn persist_snapshot(&mut self) {
+        if self.storage.is_none() {
+            return;
+        }
+        let image = self.durable_image();
+        if let Some(storage) = self.storage.as_mut() {
+            storage.write_snapshot(&image);
+        }
+    }
+
+    /// The rejoin handshake of a restarted peer: reconcile recovered stale
+    /// state against the live ring. The recovered *owned* items are donated
+    /// to their current owners through the normal routed-insert path (with
+    /// `contact` seeding the successor hint so routing can make progress
+    /// from a blank ring state), and the peer re-enters the free pool — it
+    /// never serves its stale range. Returns the number of donated items.
+    ///
+    /// Under the broken [`RecoveryMode::ServeStaleRange`] this does nothing:
+    /// the stale range is already (incorrectly) installed and the oracles
+    /// are expected to object.
+    pub fn restart_rejoin(
+        &mut self,
+        ctx: &mut Context<'_, PeerMsg>,
+        contact: Option<(PeerId, PeerValue)>,
+    ) -> usize {
+        if self.recovery_mode == RecoveryMode::ServeStaleRange {
+            return 0;
+        }
+        let now = ctx.now();
+        let mut out = Effects::new();
+        if let Some((peer, value)) = contact {
+            self.ds.set_successor(peer, value);
+        }
+        let donation = std::mem::take(&mut self.recovered_donation);
+        let donated = donation.len();
+        for (mapped, item) in donation {
+            self.pending_inserts.insert(
+                item.id,
+                PendingItemInsert {
+                    item: item.clone(),
+                    mapped,
+                    attempts: 0,
+                    started: now,
+                    donation: true,
+                },
+            );
+            self.handle_route(
+                now,
+                mapped,
+                RoutePayload::Insert {
+                    item,
+                    reply_to: self.id,
+                },
+                0,
+                &mut out,
+            );
+        }
+        self.pool.readmit(self.id);
+        ctx.apply(out, |m| m);
+        donated
     }
 
     /// Starts a split: draw a free peer, plan the split, insert the free peer
@@ -727,19 +992,30 @@ impl PeerNode {
             let retry = {
                 let pending = self.pending_inserts.get_mut(&id).expect("present");
                 pending.attempts += 1;
-                if pending.attempts > MAX_ITEM_ATTEMPTS {
+                let budget = if pending.donation {
+                    MAX_DONATION_ATTEMPTS
+                } else {
+                    MAX_ITEM_ATTEMPTS
+                };
+                if pending.attempts > budget {
                     None
                 } else {
-                    Some(pending.item.clone())
+                    Some((pending.item.clone(), pending.donation))
                 }
             };
             match retry {
-                Some(item) => {
-                    // Retry after a short pause: bounces usually mean a split
-                    // or merge is mid-flight and will settle within a few
-                    // round trips.
+                Some((item, donation)) => {
+                    // Retry after a pause: client-insert bounces usually mean
+                    // a split or merge is mid-flight and settle within a few
+                    // round trips; donation bounces can be waiting out a
+                    // whole failure-detection + takeover window.
+                    let pause = if donation {
+                        DONATION_RETRY_PAUSE
+                    } else {
+                        Duration::from_millis(25)
+                    };
                     out.timer(
-                        Duration::from_millis(25),
+                        pause,
                         PeerMsg::Route {
                             target: mapped,
                             payload: RoutePayload::Insert {
@@ -897,6 +1173,12 @@ impl Node for PeerNode {
 
     fn on_killed(&mut self) {
         self.pool.remove(self.id);
+        // A fail-stop is also a storage crash: the un-synced WAL tail is
+        // torn down to a seeded-random prefix. What survives is exactly
+        // what a later restart recovers.
+        if let Some(storage) = self.storage.as_mut() {
+            storage.crash();
+        }
     }
 }
 

@@ -149,6 +149,12 @@ pub struct Simulator<N: Node> {
     /// Scratch effects buffer reused across event deliveries (see
     /// [`Context`]).
     scratch: Vec<Effect<N::Msg>>,
+    /// Per-peer delivery floor set by [`Simulator::revive`]: events queued
+    /// with a sequence number below the floor predate the peer's current
+    /// incarnation (messages in flight to the crashed process, its old
+    /// timers) and are dropped instead of delivered — a restarted process
+    /// has fresh connections and fresh timers.
+    delivery_floor: BTreeMap<PeerId, u64>,
     /// Monotone counter bumped whenever node or liveness state may have
     /// changed (event processed, node added, kill, node accessed mutably).
     /// Lets callers memoize derived views of the cluster and invalidate
@@ -178,6 +184,7 @@ impl<N: Node> Simulator<N> {
             stats: NetStats::default(),
             fifo: BTreeMap::new(),
             scratch: Vec::new(),
+            delivery_floor: BTreeMap::new(),
             version: 0,
         }
     }
@@ -355,6 +362,28 @@ impl<N: Node> Simulator<N> {
         self.push(at, Payload::Kill { peer });
     }
 
+    /// Revives a previously killed peer under its original id with a fresh
+    /// node state (a process restart on the same host). Every event queued
+    /// before the revival — messages sent to the dead incarnation, its
+    /// leftover timers — is dropped at delivery time via a per-peer
+    /// sequence-number floor: a restarted process has new connections and
+    /// new timers, exactly like a real crash-recovery. Panics if the peer
+    /// is alive or was never registered.
+    pub fn revive(&mut self, peer: PeerId, node: N) {
+        assert!(
+            self.nodes.contains_key(&peer),
+            "revive: peer {peer} was never registered"
+        );
+        assert!(
+            !self.alive.contains(&peer),
+            "revive: peer {peer} is still alive"
+        );
+        self.version += 1;
+        self.delivery_floor.insert(peer, self.seq);
+        self.nodes.insert(peer, node);
+        self.alive.insert(peer);
+    }
+
     /// Runs a closure against a node with a live [`Context`], scheduling any
     /// effects the closure emits. This is how the harness invokes API methods
     /// (e.g. "issue a range query at peer p") without going through the
@@ -452,7 +481,19 @@ impl<N: Node> Simulator<N> {
             self.prune_stale_fifo();
         }
         match event.payload {
-            Payload::Kill { peer } => self.kill(peer),
+            Payload::Kill { peer } => {
+                // The revive delivery floor covers scheduled kills too: a
+                // `kill_at` aimed at an incarnation that has since crashed
+                // and been revived must not fell the NEW incarnation as a
+                // phantom second failure.
+                let below_floor = self
+                    .delivery_floor
+                    .get(&peer)
+                    .is_some_and(|floor| event.seq < *floor);
+                if !below_floor {
+                    self.kill(peer);
+                }
+            }
             Payload::Deliver {
                 from,
                 to,
@@ -460,7 +501,11 @@ impl<N: Node> Simulator<N> {
                 is_timer,
                 is_external,
             } => {
-                if !self.alive.contains(&to) {
+                let below_floor = self
+                    .delivery_floor
+                    .get(&to)
+                    .is_some_and(|floor| event.seq < *floor);
+                if !self.alive.contains(&to) || below_floor {
                     if is_timer {
                         self.stats.timers_dropped += 1;
                     } else {
@@ -785,6 +830,52 @@ mod tests {
         assert!(stats.peak_queue_depth >= 1);
         assert!(stats.peak_fifo_channels >= 3);
         assert!(stats.events_processed >= stats.total_events());
+    }
+
+    #[test]
+    fn revive_drops_pre_revival_events_and_delivers_new_ones() {
+        let (mut sim, a, b, _c) = three_node_sim();
+        // Schedule a message and a timer to b, then kill and revive it:
+        // neither may reach the new incarnation.
+        sim.with_node_ctx(a, |_, ctx| ctx.send(b, TokenMsg::Token(0)));
+        sim.with_node_ctx(b, |_, ctx| {
+            ctx.set_timer(Duration::from_millis(5), TokenMsg::Tick)
+        });
+        sim.kill(b);
+        sim.revive(
+            b,
+            TokenNode {
+                next: a,
+                tokens_seen: 0,
+                ticks: 0,
+                killed: false,
+            },
+        );
+        assert!(sim.is_alive(b));
+        sim.run_for(Duration::from_secs(1));
+        assert_eq!(sim.node(b).unwrap().tokens_seen, 0, "stale message dropped");
+        assert_eq!(sim.node(b).unwrap().ticks, 0, "stale timer dropped");
+        assert!(sim.stats().messages_dropped >= 1);
+        assert!(sim.stats().timers_dropped >= 1);
+        // Post-revival traffic is delivered normally.
+        sim.send_external(b, TokenMsg::Token(0));
+        sim.run_for(Duration::from_secs(1));
+        assert_eq!(sim.node(b).unwrap().tokens_seen, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "still alive")]
+    fn revive_refuses_a_live_peer() {
+        let (mut sim, a, _, _) = three_node_sim();
+        sim.revive(
+            a,
+            TokenNode {
+                next: a,
+                tokens_seen: 0,
+                ticks: 0,
+                killed: false,
+            },
+        );
     }
 
     #[test]

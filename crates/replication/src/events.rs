@@ -21,4 +21,12 @@ pub enum ReplEvent {
         /// The recovered items (mapped value, item).
         items: Vec<(u64, pepper_types::Item)>,
     },
+    /// A replica push landed and actually changed the replica store. Only
+    /// the *delta* (new or replaced entries) is reported: the periodic
+    /// refresh re-pushes every item every round, and journaling those
+    /// no-ops would grow the durable WAL without bound.
+    ReplicasInstalled {
+        /// The new or changed replicas (mapped value, item).
+        items: Vec<(u64, pepper_types::Item)>,
+    },
 }

@@ -216,6 +216,14 @@ impl ReplicationManager {
             .collect()
     }
 
+    /// Installs replicas recovered from durable storage after a restart (no
+    /// event is emitted: the records are already journaled).
+    pub fn install_replicas(&mut self, items: Vec<(u64, Item)>) {
+        for (mapped, item) in items {
+            self.replica_store.insert(mapped, item);
+        }
+    }
+
     /// Returns the replicas in a linear interval without removing them
     /// (used by oracles and tests).
     pub fn replicas_in_interval(&self, iv: &KeyInterval) -> Vec<(u64, Item)> {
@@ -270,8 +278,16 @@ impl ProtocolLayer for ReplicationManager {
                 extra_hop: _,
             } => {
                 self.pushes_received += 1;
+                let mut delta = Vec::new();
                 for (mapped, item) in items {
-                    self.replica_store.insert(mapped, item);
+                    if self.replica_store.get(&mapped) != Some(&item) {
+                        delta.push((mapped, item.clone()));
+                        self.replica_store.insert(mapped, item);
+                    }
+                }
+                if !delta.is_empty() {
+                    self.events
+                        .push(ReplEvent::ReplicasInstalled { items: delta });
                 }
             }
             ReplMsg::RecoverRequest { range } => {
@@ -323,7 +339,7 @@ mod tests {
                     refreshed = true;
                     rm.push_to_successors(ctx, own_items, successors, fx);
                 }
-                ReplEvent::Recovered { .. } => {}
+                ReplEvent::Recovered { .. } | ReplEvent::ReplicasInstalled { .. } => {}
             }
         }
         refreshed
@@ -594,6 +610,70 @@ mod tests {
             &reviver.drain_events()[0],
             ReplEvent::Recovered { items } if items.len() == 1
         ));
+    }
+
+    #[test]
+    fn pushes_report_only_the_changed_delta() {
+        let mut rm = ReplicationManager::new(PeerId(1), ReplicaConfig::test(2));
+        let mut fx = Effects::new();
+        ProtocolLayer::handle(
+            &mut rm,
+            ctx(1),
+            PeerId(0),
+            ReplMsg::Push {
+                items: vec![item(10), item(20)],
+                extra_hop: false,
+            },
+            &mut fx,
+        );
+        assert!(matches!(
+            &rm.drain_events()[..],
+            [ReplEvent::ReplicasInstalled { items }] if items.len() == 2
+        ));
+        // An identical re-push (the periodic refresh) changes nothing and
+        // reports nothing — the WAL must not grow on refresh rounds.
+        ProtocolLayer::handle(
+            &mut rm,
+            ctx(1),
+            PeerId(0),
+            ReplMsg::Push {
+                items: vec![item(10), item(20)],
+                extra_hop: false,
+            },
+            &mut fx,
+        );
+        assert!(rm.drain_events().is_empty());
+        // A push with one changed item reports exactly that item.
+        let changed = (
+            10,
+            Item::new(
+                pepper_types::ItemId::new(PeerId(7), 10),
+                SearchKey(10),
+                "v2",
+            ),
+        );
+        ProtocolLayer::handle(
+            &mut rm,
+            ctx(1),
+            PeerId(0),
+            ReplMsg::Push {
+                items: vec![changed.clone(), item(20)],
+                extra_hop: false,
+            },
+            &mut fx,
+        );
+        assert!(matches!(
+            &rm.drain_events()[..],
+            [ReplEvent::ReplicasInstalled { items }] if items == &vec![changed.clone()]
+        ));
+    }
+
+    #[test]
+    fn install_replicas_is_silent() {
+        let mut rm = ReplicationManager::new(PeerId(1), ReplicaConfig::test(2));
+        rm.install_replicas(vec![item(5), item(6)]);
+        assert_eq!(rm.replica_count(), 2);
+        assert!(rm.drain_events().is_empty());
     }
 
     #[test]

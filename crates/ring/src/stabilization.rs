@@ -62,7 +62,7 @@ impl RingState {
     }
 
     /// Sends a stabilization request to the first eligible successor.
-    pub(crate) fn run_stabilization(&mut self, _ctx: LayerCtx, fx: &mut Effects<RingMsg>) {
+    pub(crate) fn run_stabilization(&mut self, ctx: LayerCtx, fx: &mut Effects<RingMsg>) {
         if !self.is_member() {
             return;
         }
@@ -73,6 +73,32 @@ impl RingState {
                     from_value: self.value,
                 },
             );
+            return;
+        }
+        // Sole survivor: every other peer this node ever knew has died or
+        // departed (the successor list collapsed to the self entry), and no
+        // live peer exists to Chord-notify it a new predecessor — so the
+        // normal failure-takeover chain can never arm. This happens when a
+        // leave and a crash overlap: the leaver departs to its predecessor,
+        // the predecessor dies before its first notify reaches this peer,
+        // and this peer is the last one standing with a stale range. Adopt
+        // self as predecessor exactly like a freshly bootstrapped ring —
+        // the re-validated takeover then extends the range to the full
+        // circle (and revives the orphaned items from replicas). Gated on
+        // the predecessor lease so an active real predecessor is never
+        // usurped, and self-corrects via the takeover re-validation if an
+        // unknown member notifies in the meantime.
+        if self.phase == RingPhase::Joined && self.pred.map(|(p, _)| p) != Some(self.id) {
+            let lease_expired =
+                ctx.now.duration_since(self.pred_heard) > self.cfg.stabilization_period * 3;
+            if lease_expired {
+                self.pred = Some((self.id, self.value));
+                self.pred_heard = ctx.now;
+                self.emit(crate::events::RingEvent::NewPredecessor {
+                    peer: self.id,
+                    value: self.value,
+                });
+            }
         }
     }
 

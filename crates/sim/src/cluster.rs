@@ -16,8 +16,47 @@ use pepper_ring::consistency::{
     check_connectivity, check_consistent_successor_pointers, check_ring_invariants,
     ConsistencyReport, RingSnapshot,
 };
+use pepper_storage::{PeerStorage, RecoveryMode, StorageConfig};
 use pepper_types::{Item, ItemId, PeerId, PeerValue, RangeQuery, SearchKey, SystemConfig};
 use rand::Rng;
+
+/// Durable-storage settings of a simulated cluster. When present, every
+/// peer journals its state through a deterministic in-memory VFS
+/// ([`pepper_storage::MemVfs`]) seeded from the network seed and the peer
+/// id, and [`Cluster::crash_peer`] / [`Cluster::restart_peer`] become
+/// available.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityConfig {
+    /// Per-peer storage-engine tunables (snapshot compaction threshold).
+    pub storage: StorageConfig,
+    /// How restarted peers treat recovered state. [`RecoveryMode::Clean`]
+    /// outside of oracle red tests.
+    pub recovery: RecoveryMode,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            storage: StorageConfig::default(),
+            recovery: RecoveryMode::Clean,
+        }
+    }
+}
+
+/// What one [`Cluster::restart_peer`] recovered and donated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RestartOutcome {
+    /// WAL records replayed on top of the snapshot.
+    pub wal_records_replayed: u64,
+    /// Items in the recovered durable image.
+    pub items_recovered: usize,
+    /// Replica holdings in the recovered durable image.
+    pub replicas_recovered: usize,
+    /// Items handed to the rejoin donation path.
+    pub donated: usize,
+    /// Whether a torn/corrupt WAL tail was detected and discarded.
+    pub torn_tail: bool,
+}
 
 /// Configuration of a simulated cluster.
 #[derive(Debug, Clone)]
@@ -30,6 +69,8 @@ pub struct ClusterConfig {
     pub initial_free_peers: usize,
     /// Ring value of the first (bootstrap) peer.
     pub first_value: u64,
+    /// Durable peer storage (off by default; the harness turns it on).
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl ClusterConfig {
@@ -40,6 +81,7 @@ impl ClusterConfig {
             network: NetworkConfig::lan(seed),
             initial_free_peers: 0,
             first_value: u64::MAX / 2,
+            durability: None,
         }
     }
 
@@ -58,6 +100,7 @@ impl ClusterConfig {
             network: NetworkConfig::lan(seed),
             initial_free_peers: 0,
             first_value: u64::MAX / 2,
+            durability: None,
         }
     }
 
@@ -70,6 +113,12 @@ impl ClusterConfig {
     /// Builder-style override of the number of initial free peers.
     pub fn with_free_peers(mut self, n: usize) -> Self {
         self.initial_free_peers = n;
+        self
+    }
+
+    /// Builder-style enabling of durable peer storage.
+    pub fn with_durability(mut self, durability: DurabilityConfig) -> Self {
+        self.durability = Some(durability);
         self
     }
 }
@@ -96,6 +145,11 @@ pub struct Cluster {
     /// The bootstrap peer.
     pub first: PeerId,
     system: SystemConfig,
+    /// Durable-storage settings, if peers persist their state.
+    durability: Option<DurabilityConfig>,
+    /// Base seed for per-peer storage fault injection (the network seed, so
+    /// one harness seed pins the whole run — durable state included).
+    storage_seed: u64,
     next_item_seq: u64,
     /// Memoized ring-membership snapshot, keyed by the simulator's state
     /// version: the harness oracle asks for the member list once per
@@ -110,17 +164,29 @@ impl Cluster {
         let pool = FreePool::new();
         let mut sim = Simulator::new(cfg.network.clone());
         let system = cfg.system.clone();
+        let storage_seed = cfg.network.seed;
         let pool_first = pool.clone();
         let sys_first = system.clone();
         let first_value = cfg.first_value;
-        let first = sim
-            .add_node(move |id| PeerNode::first(id, PeerValue(first_value), sys_first, pool_first));
+        let durability = cfg.durability;
+        let first = sim.add_node(move |id| {
+            let node = PeerNode::first(id, PeerValue(first_value), sys_first, pool_first);
+            match durability {
+                Some(d) => node.with_storage(PeerStorage::new_mem(
+                    Self::storage_seed_for(storage_seed, id),
+                    d.storage,
+                )),
+                None => node,
+            }
+        });
         sim.with_node_ctx(first, |node, ctx| node.start(ctx));
         let mut cluster = Cluster {
             sim,
             pool,
             first,
             system,
+            durability,
+            storage_seed,
             next_item_seq: 0,
             members_cache: RefCell::new(None),
         };
@@ -130,9 +196,23 @@ impl Cluster {
         cluster
     }
 
+    /// Derives the fault-injection seed of one peer's [`pepper_storage::MemVfs`]
+    /// from the run seed: deterministic, and distinct across peers.
+    fn storage_seed_for(base: u64, id: PeerId) -> u64 {
+        base.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(id.raw())
+            .rotate_left(17)
+            ^ id.raw().wrapping_mul(0xa24b_aed4_963e_e407)
+    }
+
     /// The system configuration the cluster runs with.
     pub fn system(&self) -> &SystemConfig {
         &self.system
+    }
+
+    /// The durable-storage settings, if peers persist their state.
+    pub fn durability(&self) -> Option<DurabilityConfig> {
+        self.durability
     }
 
     /// Current virtual time.
@@ -145,7 +225,106 @@ impl Cluster {
     pub fn add_free_peer(&mut self) -> PeerId {
         let cfg = self.system.clone();
         let pool = self.pool.clone();
-        self.sim.add_node(move |id| PeerNode::free(id, cfg, pool))
+        let durability = self.durability;
+        let storage_seed = self.storage_seed;
+        self.sim.add_node(move |id| {
+            let node = PeerNode::free(id, cfg, pool);
+            match durability {
+                Some(d) => node.with_storage(PeerStorage::new_mem(
+                    Self::storage_seed_for(storage_seed, id),
+                    d.storage,
+                )),
+                None => node,
+            }
+        })
+    }
+
+    /// Fail-stops `peer` with the intent of restarting it later: its storage
+    /// engine applies the crash faults (un-synced WAL tail torn to a
+    /// seeded-random prefix) and [`Cluster::restart_peer`] can rebuild it
+    /// from what survived. Returns `false` if the peer was already dead.
+    /// Without durable storage this is just a kill.
+    pub fn crash_peer(&mut self, peer: PeerId) -> bool {
+        if !self.sim.is_alive(peer) {
+            return false;
+        }
+        self.sim.kill(peer);
+        true
+    }
+
+    /// Restarts a crashed peer from its recovered durable state: decodes the
+    /// snapshot, replays the WAL's valid prefix, rebuilds the node as a
+    /// *free* peer holding its recovered replicas, revives it on the
+    /// simulated network (stale in-flight messages and timers are dropped),
+    /// and drives the rejoin handshake — the recovered owned items are
+    /// donated to their current owners through the normal routed-insert
+    /// path. Returns `None` if durability is off, the peer is alive, or it
+    /// never had a storage engine (e.g. already restarted).
+    ///
+    /// With a broken [`RecoveryMode`] configured, the restarted peer
+    /// misbehaves exactly as documented there — the harness red-tests its
+    /// oracles against those modes.
+    pub fn restart_peer(&mut self, peer: PeerId) -> Option<RestartOutcome> {
+        let durability = self.durability?;
+        if self.sim.is_alive(peer) {
+            return None;
+        }
+        let storage = self.sim.node_mut(peer)?.take_storage()?;
+        let recovered = storage.recover(durability.recovery);
+        let outcome = RestartOutcome {
+            wal_records_replayed: recovered.wal_records_replayed,
+            items_recovered: recovered.items.len(),
+            replicas_recovered: recovered.replicas.len(),
+            donated: 0,
+            torn_tail: recovered.torn_tail,
+        };
+        let node = PeerNode::restarted(
+            peer,
+            self.system.clone(),
+            self.pool.clone(),
+            storage,
+            recovered,
+            durability.recovery,
+        );
+        self.sim.revive(peer, node);
+        // Seed the rejoin with a live contact (the lowest-id ring member):
+        // a restarted process re-bootstraps from a configured contact list,
+        // never from its stale ring state.
+        let contact = self
+            .with_ring_members(|m| m.iter().copied().find(|p| *p != peer))
+            .map(|p| {
+                (
+                    p,
+                    self.sim
+                        .node(p)
+                        .expect("member exists")
+                        .data_store()
+                        .value(),
+                )
+            });
+        let donated = self
+            .sim
+            .with_node_ctx(peer, |node, ctx| node.restart_rejoin(ctx, contact))
+            .unwrap_or(0);
+        Some(RestartOutcome { donated, ..outcome })
+    }
+
+    /// A deterministic digest over every peer's *durable* storage state
+    /// (dead peers included — their post-crash image is exactly what a
+    /// restart would recover). Folded into the harness final-state hash so
+    /// replay determinism pins the VFS contents too. Zero when durability
+    /// is off.
+    pub fn storage_digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for (p, node) in self.sim.nodes_iter() {
+            if let Some(storage) = node.storage() {
+                h ^= p.raw().wrapping_add(0x9e37_79b9);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+                h ^= storage.digest();
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
     }
 
     /// Advances virtual time.
@@ -482,6 +661,86 @@ mod tests {
             !members.is_empty()
         });
         assert!(nested);
+    }
+
+    fn durable_cluster(seed: u64, frees: usize) -> Cluster {
+        Cluster::new(
+            ClusterConfig::fast(seed)
+                .with_free_peers(frees)
+                .with_durability(DurabilityConfig::default()),
+        )
+    }
+
+    /// Grows a durable cluster to at least two ring members and settles it.
+    fn grown_durable_cluster(seed: u64) -> (Cluster, Vec<u64>) {
+        let mut cluster = durable_cluster(seed, 3);
+        let keys: Vec<u64> = (1..=10).map(|k| k * 10_000_000).collect();
+        for &k in &keys {
+            cluster.insert_key(k);
+            cluster.run(Duration::from_millis(50));
+        }
+        cluster.run_secs(4);
+        assert!(cluster.ring_members().len() >= 2);
+        (cluster, keys)
+    }
+
+    #[test]
+    fn crash_restart_recovers_acked_items_from_durable_state() {
+        let (mut cluster, keys) = grown_durable_cluster(31);
+        // Crash a non-bootstrap member that stores items.
+        let victim = *cluster
+            .ring_members()
+            .iter()
+            .find(|p| **p != cluster.first && cluster.node(**p).unwrap().item_count() > 0)
+            .expect("a storing member besides the bootstrap peer");
+        assert!(cluster.crash_peer(victim));
+        assert!(!cluster.crash_peer(victim), "double crash is a no-op");
+        cluster.run_secs(1);
+        let outcome = cluster.restart_peer(victim).expect("restart succeeds");
+        assert!(outcome.items_recovered > 0, "{outcome:?}");
+        assert_eq!(outcome.donated, outcome.items_recovered);
+        assert!(
+            cluster.restart_peer(victim).is_none(),
+            "double restart is refused (storage already taken)"
+        );
+        // The restarted peer is a free peer again — never a ring member
+        // serving its stale range.
+        assert!(!cluster.node(victim).unwrap().is_ring_member());
+        cluster.run_secs(6);
+        // No acked item is lost: everything survives on the live owners.
+        let stored = cluster.stored_keys();
+        for k in keys {
+            assert!(stored.contains(&k), "key {k} lost across crash-restart");
+        }
+        let (consistent, connected) = cluster.check_ring();
+        assert!(consistent && connected);
+    }
+
+    #[test]
+    fn restart_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let (mut cluster, _) = grown_durable_cluster(seed);
+            let victim = *cluster
+                .ring_members()
+                .iter()
+                .find(|p| **p != cluster.first)
+                .unwrap();
+            cluster.crash_peer(victim);
+            cluster.run_secs(1);
+            let outcome = cluster.restart_peer(victim).unwrap();
+            cluster.run_secs(5);
+            (outcome, cluster.stored_keys(), cluster.storage_digest())
+        };
+        assert_eq!(run(77), run(77));
+    }
+
+    #[test]
+    fn restart_without_durability_is_refused() {
+        let mut cluster = Cluster::new(ClusterConfig::fast(5).with_free_peers(1));
+        assert_eq!(cluster.storage_digest(), cluster.storage_digest());
+        let victim = cluster.first;
+        cluster.crash_peer(victim);
+        assert!(cluster.restart_peer(victim).is_none());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! | [`check_ring`] | per step | — |
 //! | [`check_range_partition`] | per step | gaps during failure recovery; overlaps across in-flight transfers |
 //! | [`check_duplicate_items`] | per step | duplicates across in-flight transfers (copy-then-delete) |
+//! | [`check_recovered_range`] | per step | — |
 //! | [`check_storage_bounds`] | quiescence | — |
 //! | [`check_replication`] | quiescence | — |
 
@@ -19,6 +20,7 @@ use std::collections::BTreeMap;
 use pepper_datastore::{DsSnapshot, DsStatus};
 use pepper_net::SimTime;
 use pepper_ring::consistency::{check_ring_invariants, RingSnapshot};
+use pepper_ring::RingPhase;
 use pepper_types::PeerId;
 
 /// One invariant violation.
@@ -116,11 +118,15 @@ pub fn check_range_partition(view: &SystemView, allow_gaps: bool) -> Vec<Violati
         // an overlap (a mis-extension can reach past the immediate
         // predecessor and swallow several peers — it must never be excused
         // as a "gap", which the failure-grace window would tolerate);
-        // anything else is a gap.
-        let overlapped = live
-            .iter()
-            .filter(|o| o.id != s.id)
-            .find(|o| o.range.contains(actual) || actual == o.range.low());
+        // anything else is a gap. `actual == o.high` is NOT an overlap:
+        // ranges are half-open `(low, high]`, so `(x, b]` and `(b, y]` tile
+        // perfectly — the sorted-order predecessor can differ from the
+        // tiling neighbour while a transfer double-owns a stretch (two
+        // peers share a high), and misreading that adjacency as an overlap
+        // would blame an uninvolved peer.
+        let overlapped = live.iter().filter(|o| o.id != s.id).find(|o| {
+            (o.range.contains(actual) && actual != o.range.high()) || actual == o.range.low()
+        });
         if let Some(victim) = overlapped {
             if !s.transfer_in_flight() && !victim.transfer_in_flight() {
                 out.push(Violation {
@@ -147,6 +153,38 @@ pub fn check_range_partition(view: &SystemView, allow_gaps: bool) -> Vec<Violati
         }
     }
     out
+}
+
+/// A peer must never *serve* a range it merely recovered from durable
+/// storage: a restarted peer's range is stale by definition (the live ring
+/// reassigned it during the downtime), so holding a Live Data Store with a
+/// non-empty range while being ring-`Free` means recovered state was
+/// installed without the rejoin handshake. Ring members in any joining /
+/// joined / leaving phase are legitimate owners; only the Free phase is
+/// impossible for a correct storing peer (a leaver stays `Leaving` until its
+/// range is fully given away, and departing empties the range in the same
+/// step).
+pub fn check_recovered_range(view: &SystemView) -> Vec<Violation> {
+    let phases: BTreeMap<PeerId, RingPhase> = view.ring.iter().map(|r| (r.id, r.phase)).collect();
+    view.stores
+        .iter()
+        .filter(|(alive, s)| {
+            *alive
+                && s.status == DsStatus::Live
+                && !s.range.is_empty()
+                && phases.get(&s.id) == Some(&RingPhase::Free)
+        })
+        .map(|(_, s)| Violation {
+            invariant: "recovered-range",
+            details: format!(
+                "peer {} serves range {} with {} item(s) while ring-Free — a recovered \
+                 stale range must never be owned before the rejoin handshake completes",
+                s.id,
+                s.range,
+                s.mapped_keys.len()
+            ),
+        })
+        .collect()
 }
 
 /// No mapped value may be stored at two live peers at once, except across a
@@ -311,6 +349,59 @@ mod tests {
         assert!(viols[0].details.contains("15"));
         stores[1].rebalancing = true;
         assert!(check_duplicate_items(&view(stores)).is_empty());
+    }
+
+    #[test]
+    fn boundary_adjacency_is_not_an_overlap() {
+        // Two peers sharing a high mid-transfer (copy-then-delete double-own)
+        // shift the sorted-order predecessors: peer 3's sorted predecessor
+        // becomes the transferring peer 4 instead of its tiling neighbour 2.
+        // Peer 3's low == peer 2's high is perfect `(a, b] (b, c]` adjacency
+        // and must classify as a (grace-excusable) gap against its sorted
+        // predecessor, never as an overlap with the uninvolved peer 2.
+        let mut transferring = store(4, 50, 80, &[60]);
+        transferring.writes_blocked = true; // in-flight transfer with peer 3
+        let v = view(vec![
+            store(1, 80, 20, &[10]),
+            store(2, 20, 40, &[30]),
+            store(3, 40, 80, &[70]),
+            transferring,
+        ]);
+        let viols = check_range_partition(&v, false);
+        assert!(
+            viols.iter().all(|x| !x.details.contains("overlap")),
+            "{viols:?}"
+        );
+        assert!(check_range_partition(&v, true).is_empty(), "in grace");
+    }
+
+    #[test]
+    fn recovered_stale_range_is_flagged_only_in_the_free_phase() {
+        let ring_snap = |phase: RingPhase| RingSnapshot {
+            id: PeerId(1),
+            value: pepper_types::PeerValue(20),
+            phase,
+            succ_list: Vec::new(),
+            target_len: 4,
+            alive: true,
+        };
+        let mut v = view(vec![store(1, 80, 20, &[10])]);
+        for legit in [
+            RingPhase::Joined,
+            RingPhase::Inserting,
+            RingPhase::Leaving,
+            RingPhase::Joining,
+        ] {
+            v.ring = vec![ring_snap(legit)];
+            assert!(check_recovered_range(&v).is_empty(), "{legit:?}");
+        }
+        v.ring = vec![ring_snap(RingPhase::Free)];
+        let viols = check_recovered_range(&v);
+        assert_eq!(viols.len(), 1, "{viols:?}");
+        assert_eq!(viols[0].invariant, "recovered-range");
+        // A dead peer's stale store is not "served"; no violation.
+        v.stores[0].0 = false;
+        assert!(check_recovered_range(&v).is_empty());
     }
 
     #[test]

@@ -188,6 +188,7 @@ fn leak_invariant_name(name: &str) -> &'static str {
         "replication" => "replication",
         "query-vs-oracle" => "query-vs-oracle",
         "item-conservation" => "item-conservation",
+        "recovered-range" => "recovered-range",
         _ => "unknown",
     }
 }

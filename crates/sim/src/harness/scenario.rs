@@ -54,6 +54,21 @@ pub enum Op {
         /// The victim.
         peer: PeerId,
     },
+    /// Fail-stop `peer` with the intent of restarting it: its durable
+    /// storage survives (minus whatever the crash-fault injector tears off
+    /// the un-synced WAL tail) and a matching [`Op::Restart`] follows later
+    /// in the schedule. Unlike [`Op::Kill`], no settle advance precedes a
+    /// crash — the WAL, not the replicas, is what recovery leans on.
+    Crash {
+        /// The victim.
+        peer: PeerId,
+    },
+    /// Restart a crashed peer from its recovered WAL + snapshot and drive
+    /// the rejoin handshake.
+    Restart {
+        /// The previously crashed peer.
+        peer: PeerId,
+    },
     /// Advance virtual time by `ms` milliseconds.
     Advance {
         /// Milliseconds of virtual time.
@@ -71,6 +86,8 @@ impl Op {
             Op::Query { at, lo, hi } => format!("query {} {} {}", at.raw(), lo, hi),
             Op::Leave { peer } => format!("leave {}", peer.raw()),
             Op::Kill { peer } => format!("kill {}", peer.raw()),
+            Op::Crash { peer } => format!("crash {}", peer.raw()),
+            Op::Restart { peer } => format!("restart {}", peer.raw()),
             Op::Advance { ms } => format!("advance-ms {ms}"),
         }
     }
@@ -99,6 +116,12 @@ impl Op {
                 peer: PeerId(num()?),
             },
             "kill" => Op::Kill {
+                peer: PeerId(num()?),
+            },
+            "crash" => Op::Crash {
+                peer: PeerId(num()?),
+            },
+            "restart" => Op::Restart {
                 peer: PeerId(num()?),
             },
             "advance-ms" => Op::Advance { ms: num()? },
@@ -198,11 +221,17 @@ pub struct OpWeights {
     pub add_free_peer: u32,
     /// Voluntary leave.
     pub leave: u32,
+    /// Crash-restart: fail-stop a member *without* a preceding settle
+    /// advance (so the WAL is load-bearing) and restart it from its durable
+    /// state after a drawn downtime. Forced to 0 when the cluster runs
+    /// without durable storage.
+    pub crash_restart: u32,
 }
 
 impl Default for OpWeights {
     /// A churn-heavy mix: mostly item traffic (which drives splits and
-    /// merges), with a steady trickle of arrivals, queries and leaves.
+    /// merges), with a steady trickle of arrivals, queries, leaves and
+    /// crash-restarts.
     fn default() -> Self {
         OpWeights {
             insert: 10,
@@ -210,19 +239,41 @@ impl Default for OpWeights {
             query: 5,
             add_free_peer: 3,
             leave: 1,
+            crash_restart: 2,
         }
     }
 }
 
 impl OpWeights {
     fn total(&self) -> u32 {
-        self.insert + self.delete + self.query + self.add_free_peer + self.leave
+        self.insert
+            + self.delete
+            + self.query
+            + self.add_free_peer
+            + self.leave
+            + self.crash_restart
     }
 }
 
 /// The default inclusive range (milliseconds) of the virtual-time advance
 /// drawn after every op.
 pub const DEFAULT_ADVANCE_RANGE_MS: (u64, u64) = (20, 160);
+
+/// Inclusive range (milliseconds) of the downtime drawn between a crash and
+/// its restart. Kept well inside the harness failure-grace window: while the
+/// peer is down, an acked item whose only surviving copy is its WAL is
+/// legitimately unavailable, and the grace window is what keeps the query
+/// oracle from flagging that as silent incorrectness.
+pub const CRASH_DOWNTIME_MS: (u64, u64) = (600, 2400);
+
+/// Minimum virtual-time spacing between any two fail-stops (kill or crash).
+/// The paper's tolerance model is one failure per detection-and-recovery
+/// window (`k − 1` concurrent failures at replication factor `k = 2`): two
+/// overlapping fail-stops of ring-adjacent peers can legitimately lose items
+/// and strand join propagation, which would red the oracles on a correct
+/// protocol. Kills due while a crashed peer is still down are *deferred*
+/// (not dropped) until the restart has happened and the spacing elapsed.
+pub const FAILSTOP_SPACING: Duration = Duration::from_secs(3);
 
 /// What the generator needs to know about the live system to resolve an op.
 #[derive(Debug, Clone)]
@@ -252,6 +303,23 @@ pub struct ScenarioGenerator {
     /// on a system that has had at least one replica-refresh round — the
     /// replication protocol's tolerance assumption.
     pre_kill_settle: Duration,
+    /// The key seed, kept so [`ScenarioGenerator::with_keys`] can rebuild
+    /// the key stream under a different distribution.
+    key_seed: u64,
+    /// Crashed peers awaiting their scheduled restart, ascending by due
+    /// time. Emitted as [`Op::Restart`] once due; any left over when the
+    /// schedule ends are restarted by the harness before quiescence.
+    pending_restarts: Vec<(SimTime, PeerId)>,
+    /// When the last fail-stop (kill or crash) was emitted — enforces
+    /// [`FAILSTOP_SPACING`].
+    last_failstop: Option<SimTime>,
+    /// When the last voluntary leave was emitted. A fail-stop landing
+    /// inside a leave's handshake window is a *double* membership event
+    /// (e.g. the crash of a leave-absorber mid-handshake strands both the
+    /// leaver's range and the absorber's), outside the paper's
+    /// single-failure tolerance model — so fail-stops keep
+    /// [`FAILSTOP_SPACING`] from leaves too.
+    last_leave: Option<SimTime>,
 }
 
 impl ScenarioGenerator {
@@ -312,7 +380,31 @@ impl ScenarioGenerator {
             key_domain,
             advance_range_ms,
             pre_kill_settle,
+            key_seed: seed ^ 0x5eed,
+            pending_restarts: Vec::new(),
+            last_failstop: None,
+            last_leave: None,
         }
+    }
+
+    /// Builder-style override of the insert-key distribution (the harness's
+    /// key-distribution knob). The key stream is rebuilt from the same seed,
+    /// so the default `Uniform` call is a no-op.
+    pub fn with_keys(mut self, distribution: KeyDistribution) -> Self {
+        self.keys = KeyGenerator::new(distribution, self.key_seed);
+        self
+    }
+
+    /// Crashed peers whose scheduled restart has not been emitted yet
+    /// (ascending by peer id). The harness restarts them explicitly before
+    /// quiescence: a crash whose restart never happens would be an
+    /// unannounced permanent kill, and — without the pre-kill settle round a
+    /// real [`Op::Kill`] gets — its newest acked items may exist only in the
+    /// WAL nobody would ever replay.
+    pub fn unrestarted(&self) -> Vec<PeerId> {
+        let mut peers: Vec<PeerId> = self.pending_restarts.iter().map(|(_, p)| *p).collect();
+        peers.sort_unstable();
+        peers
     }
 
     /// Draws the virtual-time advance that follows each op.
@@ -328,18 +420,43 @@ impl ScenarioGenerator {
         self.kills.get(self.next_kill).is_some_and(|t| *t <= now)
     }
 
+    /// Whether a new fail-stop may happen at `now` under the single-failure
+    /// model: no crashed peer still down, and [`FAILSTOP_SPACING`] elapsed
+    /// since both the previous fail-stop and the previous voluntary leave
+    /// (whose multi-round hand-off a fail-stop must not interrupt).
+    fn failstop_allowed(&self, now: SimTime) -> bool {
+        let spaced =
+            |t: Option<SimTime>| t.map_or(true, |t| now >= t.saturating_add(FAILSTOP_SPACING));
+        self.pending_restarts.is_empty() && spaced(self.last_failstop) && spaced(self.last_leave)
+    }
+
     /// Draws the next operation for the given system state. The op is fully
     /// concrete (peer ids, keys and bounds resolved) so the recorded trace
     /// replays without any random state.
     pub fn next_op(&mut self, view: &GeneratorView<'_>) -> Vec<Op> {
+        // Due restarts come first: a crashed peer's downtime is part of the
+        // recorded schedule, and delaying the restart past its drawn due
+        // time would stretch the window in which its WAL-only items are
+        // unavailable.
+        if let Some(idx) = self
+            .pending_restarts
+            .iter()
+            .position(|(due, _)| *due <= view.now)
+        {
+            let (_, peer) = self.pending_restarts.remove(idx);
+            return vec![Op::Restart { peer }];
+        }
         // Fail-stops take priority once their scheduled time has passed, as
-        // long as the ring keeps a quorum of members. The settle advance in
-        // front gives the replication layer one refresh round to cover the
-        // newest items, matching the paper's single-failure tolerance model.
-        if self.kill_due(view.now) {
+        // long as the ring keeps a quorum of members AND the single-failure
+        // model allows one ([`FAILSTOP_SPACING`]; a kill blocked by a
+        // crashed peer still being down stays due and fires after the
+        // restart). The settle advance in front gives the replication layer
+        // one refresh round to cover the newest items.
+        if self.kill_due(view.now) && self.failstop_allowed(view.now) {
             self.next_kill += 1;
             if view.members.len() > self.min_members {
                 let victim = view.members[self.rng.gen_range(0..view.members.len())];
+                self.last_failstop = Some(view.now);
                 return vec![
                     Op::Advance {
                         ms: self.pre_kill_settle.as_millis() as u64,
@@ -388,11 +505,38 @@ impl ScenarioGenerator {
             }
         } else if roll < w.insert + w.delete + w.query + w.add_free_peer {
             vec![Op::AddFreePeer]
-        } else {
-            // Voluntary leave, only while the ring keeps a quorum.
-            if view.members.len() > self.min_members {
+        } else if roll < w.insert + w.delete + w.query + w.add_free_peer + w.leave {
+            // Voluntary leave, only while the ring keeps a quorum and no
+            // crashed peer is down (the leaver's hand-off must not race an
+            // in-flight failure takeover).
+            if view.members.len() > self.min_members && self.pending_restarts.is_empty() {
                 match pick_member(&mut self.rng) {
-                    Some(peer) => vec![Op::Leave { peer }],
+                    Some(peer) => {
+                        self.last_leave = Some(view.now);
+                        vec![Op::Leave { peer }]
+                    }
+                    None => vec![Op::AddFreePeer],
+                }
+            } else {
+                vec![Op::AddFreePeer]
+            }
+        } else {
+            // Crash-restart, only while the ring keeps a quorum and the
+            // single-failure model allows a fail-stop. No settle advance in
+            // front (deliberately, unlike kills): the newest acked items may
+            // not be replicated yet, making the victim's synced WAL their
+            // only surviving copy — exactly the hazard the durable-storage
+            // subsystem exists for. The restart is scheduled after a drawn
+            // downtime and emitted once due.
+            if view.members.len() > self.min_members && self.failstop_allowed(view.now) {
+                match pick_member(&mut self.rng) {
+                    Some(peer) => {
+                        let (lo, hi) = CRASH_DOWNTIME_MS;
+                        let down = Duration::from_millis(self.rng.gen_range(lo..=hi));
+                        self.pending_restarts.push((view.now + down, peer));
+                        self.last_failstop = Some(view.now);
+                        vec![Op::Crash { peer }]
+                    }
                     None => vec![Op::AddFreePeer],
                 }
             } else {
@@ -425,6 +569,8 @@ mod tests {
             },
             Op::Leave { peer: PeerId(2) },
             Op::Kill { peer: PeerId(9) },
+            Op::Crash { peer: PeerId(4) },
+            Op::Restart { peer: PeerId(4) },
             Op::Advance { ms: 130 },
         ];
         for op in ops {
@@ -433,6 +579,7 @@ mod tests {
         assert_eq!(Op::decode("bogus 1 2"), None);
         assert_eq!(Op::decode("insert 1"), None);
         assert_eq!(Op::decode("kill 1 2"), None);
+        assert_eq!(Op::decode("restart"), None);
     }
 
     #[test]
@@ -488,6 +635,95 @@ mod tests {
     }
 
     #[test]
+    fn crash_restart_pairs_are_scheduled_and_emitted() {
+        let mut g = ScenarioGenerator::new(
+            5,
+            OpWeights {
+                insert: 0,
+                delete: 0,
+                query: 0,
+                add_free_peer: 0,
+                leave: 0,
+                crash_restart: 1,
+            },
+            1_000,
+            1,
+            0.0, // no fail-stop schedule: crashes only
+            Duration::from_secs(100),
+            Duration::from_millis(100),
+        );
+        let members = [PeerId(0), PeerId(1), PeerId(2)];
+        let view = |ms: u64| GeneratorView {
+            now: SimTime::from_millis(ms),
+            members: &members,
+            deletable: &[],
+        };
+        // A crash comes alone — no settle advance in front (the WAL, not
+        // the replicas, must carry the newest acked items).
+        let ops = g.next_op(&view(0));
+        let [Op::Crash { peer }] = ops[..] else {
+            panic!("expected a bare crash, got {ops:?}");
+        };
+        assert_eq!(g.unrestarted(), vec![peer]);
+        // Once the drawn downtime has passed, the restart is emitted before
+        // anything else.
+        let ops = g.next_op(&view(CRASH_DOWNTIME_MS.1 + 1));
+        assert_eq!(ops, vec![Op::Restart { peer }]);
+        assert!(g.unrestarted().is_empty());
+    }
+
+    #[test]
+    fn key_distribution_knob_rebuilds_the_insert_stream() {
+        let weights = OpWeights {
+            insert: 1,
+            delete: 0,
+            query: 0,
+            add_free_peer: 0,
+            leave: 0,
+            crash_restart: 0,
+        };
+        let make = |dist: Option<KeyDistribution>| {
+            let g = ScenarioGenerator::new(
+                11,
+                weights,
+                1_000_000,
+                2,
+                0.0,
+                Duration::from_secs(60),
+                Duration::from_millis(100),
+            );
+            match dist {
+                Some(d) => g.with_keys(d),
+                None => g,
+            }
+        };
+        let members = [PeerId(0)];
+        let keys_of = |mut g: ScenarioGenerator| -> Vec<u64> {
+            let view = GeneratorView {
+                now: SimTime::ZERO,
+                members: &members,
+                deletable: &[],
+            };
+            (0..20)
+                .flat_map(|_| g.next_op(&view))
+                .filter_map(|op| match op {
+                    Op::Insert { key, .. } => Some(key),
+                    _ => None,
+                })
+                .collect()
+        };
+        // The default distribution and an explicit Uniform are the same
+        // stream (same key seed).
+        let uniform = keys_of(make(None));
+        let explicit = keys_of(make(Some(KeyDistribution::Uniform { domain: 1_000_000 })));
+        assert_eq!(uniform, explicit);
+        // Sequential produces the strided ramp regardless of seed.
+        let seq = keys_of(make(Some(KeyDistribution::Sequential { stride: 10 })));
+        assert_eq!(seq, (1..=20).map(|i| i * 10).collect::<Vec<_>>());
+        assert_ne!(uniform, seq);
+    }
+
+    #[test]
     fn generator_respects_member_quorum_for_kills_and_leaves() {
         let mut g = ScenarioGenerator::new(
             3,
@@ -497,6 +733,7 @@ mod tests {
                 query: 0,
                 add_free_peer: 0,
                 leave: 1,
+                crash_restart: 1,
             },
             1_000,
             2,

@@ -128,6 +128,75 @@ mod tests {
     }
 
     #[test]
+    fn sequential_stride_is_exact_and_seed_independent() {
+        for stride in [1u64, 7, 1 << 20] {
+            let keys = KeyGenerator::new(KeyDistribution::Sequential { stride }, 3).take(50);
+            // Starts at `stride` and every consecutive gap is exactly one
+            // stride — the strictly-increasing worst case for hashing.
+            assert_eq!(keys[0], stride);
+            assert!(keys.windows(2).all(|w| w[1] - w[0] == stride), "{stride}");
+            // The stream is a pure function of the issue counter: seeds
+            // must not matter.
+            let other_seed = KeyGenerator::new(KeyDistribution::Sequential { stride }, 99).take(50);
+            assert_eq!(keys, other_seed);
+        }
+    }
+
+    /// Per-hotspot key counts over `n` equal-width buckets.
+    fn bucket_masses(theta: f64, hotspots: u64, samples: usize, seed: u64) -> Vec<usize> {
+        let domain = 100_000u64;
+        let mut g = KeyGenerator::new(
+            KeyDistribution::Zipf {
+                domain,
+                hotspots,
+                theta,
+            },
+            seed,
+        );
+        let bucket = domain / hotspots;
+        let mut counts = vec![0usize; hotspots as usize];
+        for key in g.take(samples) {
+            counts[((key / bucket) as usize).min(hotspots as usize - 1)] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn zipf_hotspot_mass_is_ordered_by_rank() {
+        // Rank r's expected mass is proportional to 1/r^theta: bucket
+        // counts must be (statistically) non-increasing in rank. With 8000
+        // samples over 8 hotspots the expected gaps are far larger than the
+        // sampling noise, so allow only a small slack.
+        let counts = bucket_masses(1.0, 8, 8000, 42);
+        for w in counts.windows(2) {
+            assert!(
+                w[0] as f64 >= w[1] as f64 * 0.85,
+                "hotspot masses must not increase with rank: {counts:?}"
+            );
+        }
+        assert!(counts[0] > counts[7] * 3, "{counts:?}");
+    }
+
+    #[test]
+    fn zipf_skew_grows_with_theta() {
+        // theta = 0 degenerates to uniform-over-hotspots; raising theta
+        // concentrates mass in rank 1. Check the rank-1 share is monotone
+        // across a theta sweep, and that theta = 0 is roughly flat.
+        let share = |theta: f64| {
+            let counts = bucket_masses(theta, 8, 8000, 7);
+            counts[0] as f64 / counts.iter().sum::<usize>() as f64
+        };
+        let flat = share(0.0);
+        assert!((flat - 1.0 / 8.0).abs() < 0.03, "theta=0 share {flat}");
+        let mid = share(0.8);
+        let steep = share(1.5);
+        assert!(flat < mid && mid < steep, "{flat} {mid} {steep}");
+        // Classic Zipf (theta = 1, n = 8): rank-1 share ≈ 1/H(8) ≈ 0.37.
+        let classic = share(1.0);
+        assert!((0.30..0.45).contains(&classic), "{classic}");
+    }
+
+    #[test]
     fn zipf_keys_are_skewed_towards_low_ranks() {
         let mut g = KeyGenerator::new(
             KeyDistribution::Zipf {

@@ -82,6 +82,10 @@ pub struct SystemConfig {
     pub router_order: usize,
     /// Period of the content-router maintenance loop.
     pub router_refresh_period: Duration,
+    /// Period of the durable-storage snapshot loop (WAL compaction). Only
+    /// meaningful for peers running with a storage engine attached; not a
+    /// paper parameter.
+    pub snapshot_period: Duration,
     /// The map `M : K -> PV` used by the Data Store.
     pub key_map: KeyMap,
     /// Protocol variant selection (PEPPER vs naive baselines).
@@ -100,6 +104,7 @@ impl SystemConfig {
             replica_refresh_period: Duration::from_secs(4),
             router_order: 2,
             router_refresh_period: Duration::from_secs(4),
+            snapshot_period: Duration::from_secs(10),
             key_map: KeyMap::order_preserving(),
             protocol: ProtocolConfig::pepper(),
         }

@@ -51,9 +51,12 @@ fn medium_profile_is_deterministic_and_its_artifact_replays() {
     assert_eq!(a.final_members, b.final_members);
 
     // The profile must actually have scaled: a three-digit ring out of the
-    // 128-peer pool, with kills injected and queries checked.
+    // 128-peer pool, with kills injected, crash-restarts recovered from
+    // durable state, and queries checked.
     assert!(a.final_members >= 64, "only {} members", a.final_members);
     assert!(a.stats.kills > 0, "{:?}", a.stats);
+    assert!(a.stats.restarts > 0, "{:?}", a.stats);
+    assert_eq!(a.stats.crashes, a.stats.restarts, "every crash restarts");
     assert!(a.stats.queries_checked > 0, "{:?}", a.stats);
 
     // Freeze the clean trace into an artifact (the same container a red
@@ -121,7 +124,9 @@ fn large_profile_matrix_env_gated() {
     // Debug builds pay ~35 s per large run, so this is opt-in:
     //   PEPPER_HARNESS_LARGE_SEEDS=4 cargo test --release -p pepper-sim \
     //       --test macro_scale
-    // CI covers the same ground through the release-mode macro bench.
+    // Per-push CI covers the same ground through the release-mode macro
+    // bench; the nightly workflow (.github/workflows/nightly.yml) runs this
+    // at 8 seeds.
     let seeds = env_usize("PEPPER_HARNESS_LARGE_SEEDS", 0);
     for i in 0..seeds {
         let seed = matrix_seed(i as u64);
@@ -135,6 +140,29 @@ fn large_profile_matrix_env_gated() {
             report.final_members >= 128,
             "seed {seed}: only {} members",
             report.final_members
+        );
+    }
+}
+
+#[test]
+fn soak_profile_matrix_env_gated() {
+    // The 512-peer × 5000-op soak profile — overnight-churn territory, run
+    // by the nightly workflow:
+    //   PEPPER_HARNESS_SOAK_SEEDS=1 cargo test --release -p pepper-sim \
+    //       --test macro_scale soak_profile_matrix_env_gated
+    let seeds = env_usize("PEPPER_HARNESS_SOAK_SEEDS", 0);
+    for i in 0..seeds {
+        let seed = matrix_seed(i as u64);
+        let report = Harness::run_generated(HarnessConfig::soak(seed));
+        assert!(
+            report.is_clean(),
+            "soak seed {seed}: {:?}",
+            report.violations
+        );
+        assert!(
+            report.stats.restarts > 0,
+            "soak seed {seed} never exercised crash-restart: {:?}",
+            report.stats
         );
     }
 }
