@@ -1,33 +1,46 @@
 //! The macro benchmark: whole-system harness runs at increasing scale.
 //!
-//! Runs the fault-injection harness profiles at N ∈ {32, 128, 512} peers
-//! (`standard` / `medium` / `large`), measures wall time, event throughput,
-//! message volume, the memory proxies the simulator tracks (peak event
-//! queue depth + peak FIFO-channel count) and the crash-restart recovery
-//! counters (restarts, WAL records replayed), plus a focused WAL-replay
-//! throughput micro-measurement (records/sec through
-//! `PeerStorage::recover`), and writes the results to `BENCH_macro.json` at
-//! the repository root. The file is committed so every future PR can diff
-//! its perf trajectory against the previous one; CI runs a reduced
-//! `--smoke` variant that fails only on panic or invariant violation, never
-//! on timing noise.
+//! Runs the fault-injection harness profiles at N ∈ {32, 128, 512, 4096}
+//! peers (`standard` / `medium` / `large` / `xlarge`), measures wall time,
+//! event throughput, message volume, the memory proxies the simulator
+//! tracks (peak event queue depth + peak FIFO-channel count), the
+//! crash-restart recovery counters, a hop-count histogram over every
+//! completed range query and a per-peer delivered-load profile (the
+//! baselines any routing-depth or load-balancing work has to beat), plus a
+//! focused WAL-replay throughput micro-measurement at two log lengths
+//! (whose throughput ratio would expose a super-linear replay regression),
+//! and writes the results to `BENCH_macro.json` at the repository root.
+//! The file is committed so every future PR can diff its perf trajectory
+//! against the previous one; CI runs a reduced `--smoke` variant that
+//! fails only on panic or invariant violation, never on timing noise.
+//!
+//! With `--threads T` (T > 1) every ladder instance is executed twice —
+//! once on the classic single-threaded engine and once on the
+//! epoch-parallel engine with `T` worker threads — and the run **fails**
+//! if the op-trace hash, the final-state hash or any `NetStats` counter
+//! diverges between the two: the determinism contract of the parallel
+//! engine, enforced on every bench run. Both rows are written to the JSON,
+//! so the committed file documents the cross-thread agreement.
 //!
 //! Usage (via the `experiments` binary):
 //!
 //! ```text
-//! cargo run --release -p pepper-bench -- macro [--smoke] [--seeds K] [--out PATH]
+//! cargo run --release -p pepper-bench -- macro \
+//!     [--smoke] [--seeds K] [--threads T] [--out PATH]
 //! ```
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
 
-use pepper_sim::harness::{matrix_seed, FailureArtifact, Harness, HarnessConfig};
+use pepper_sim::harness::{matrix_seed, FailureArtifact, Harness, HarnessConfig, RunReport};
 
 /// Schema identifier written into the JSON (bump on layout changes).
-/// v2: per-run `restarts` + `wal_records_replayed`, top-level `recovery`
-/// block with the WAL-replay throughput micro-bench.
-pub const SCHEMA: &str = "pepper-bench-macro/v2";
+/// v3: per-run `threads`, `trace_hash` + `final_state_hash` (the
+/// cross-thread determinism witnesses), hop-count histogram + percentile
+/// summary, per-peer load summary, the `xlarge` N=4096 rung, and a
+/// two-length WAL-replay scaling block.
+pub const SCHEMA: &str = "pepper-bench-macro/v3";
 
 /// Default output path: `BENCH_macro.json` at the repository root.
 pub fn default_out_path() -> PathBuf {
@@ -37,12 +50,22 @@ pub fn default_out_path() -> PathBuf {
     ))
 }
 
+/// Percentile over a sorted slice (nearest-rank).
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 /// One measured harness run.
 struct MacroRun {
     profile: String,
     peers: usize,
     ops: usize,
     seed: u64,
+    threads: u32,
     wall_ms: f64,
     virtual_ms: u64,
     expected_virtual_ms: u64,
@@ -55,24 +78,107 @@ struct MacroRun {
     rss_proxy_peak: u64,
     final_ring_members: usize,
     trace_ops: usize,
+    trace_hash: u64,
+    final_state_hash: u64,
     kills: usize,
     restarts: usize,
     wal_records_replayed: u64,
     queries_checked: usize,
     queries_incomplete: usize,
     violations: usize,
+    /// Histogram of routing hops per completed query: `hop_histogram[h]` =
+    /// number of queries that took `h` hops (tail clamped into the last
+    /// bucket).
+    hop_histogram: Vec<u64>,
+    hops_p50: u64,
+    hops_p99: u64,
+    hops_max: u64,
+    /// Per-peer delivered-event load summary (messages + timers).
+    load_mean: f64,
+    load_p50: u64,
+    load_p99: u64,
+    load_max: u64,
+    /// `load_max / load_mean`: the load-imbalance factor the D3-tree-style
+    /// balancing work will target.
+    load_imbalance: f64,
 }
 
+/// Largest tracked hop count; longer routes land in the final bucket.
+const HOP_BUCKETS: usize = 32;
+
 impl MacroRun {
+    fn from_report(cfg_threads: u32, wall_s: f64, run: RunMeta, report: &RunReport) -> Self {
+        let mut hops: Vec<u64> = report.query_hops.iter().map(|&h| u64::from(h)).collect();
+        hops.sort_unstable();
+        let mut hop_histogram = vec![0u64; HOP_BUCKETS];
+        for &h in &hops {
+            hop_histogram[(h as usize).min(HOP_BUCKETS - 1)] += 1;
+        }
+        // Drop trailing empty buckets so the JSON stays readable.
+        while hop_histogram.len() > 1 && *hop_histogram.last().unwrap() == 0 {
+            hop_histogram.pop();
+        }
+        let mut load: Vec<u64> = report.peer_deliveries.iter().map(|&(_, n)| n).collect();
+        load.sort_unstable();
+        let load_mean = if load.is_empty() {
+            0.0
+        } else {
+            load.iter().sum::<u64>() as f64 / load.len() as f64
+        };
+        let load_max = load.last().copied().unwrap_or(0);
+        MacroRun {
+            profile: run.profile,
+            peers: run.peers,
+            ops: run.ops,
+            seed: run.seed,
+            threads: cfg_threads,
+            wall_ms: wall_s * 1e3,
+            virtual_ms: report.virtual_elapsed.as_millis_f64() as u64,
+            expected_virtual_ms: run.expected_virtual_ms,
+            events: report.net.events_processed,
+            events_per_sec: report.net.events_processed as f64 / wall_s,
+            messages_sent: report.net.messages_sent,
+            messages_delivered: report.net.messages_delivered,
+            peak_queue_depth: report.net.peak_queue_depth,
+            peak_fifo_channels: report.net.peak_fifo_channels,
+            rss_proxy_peak: report.net.peak_queue_depth + report.net.peak_fifo_channels,
+            final_ring_members: report.final_members,
+            trace_ops: report.trace.len(),
+            trace_hash: report.trace.hash(),
+            final_state_hash: report.final_state_hash,
+            kills: report.stats.kills,
+            restarts: report.stats.restarts,
+            wal_records_replayed: report.stats.wal_records_replayed,
+            queries_checked: report.stats.queries_checked,
+            queries_incomplete: report.stats.queries_incomplete,
+            violations: report.violations.len(),
+            hops_p50: percentile(&hops, 50.0),
+            hops_p99: percentile(&hops, 99.0),
+            hops_max: hops.last().copied().unwrap_or(0),
+            hop_histogram,
+            load_mean,
+            load_p50: percentile(&load, 50.0),
+            load_p99: percentile(&load, 99.0),
+            load_max,
+            load_imbalance: if load_mean > 0.0 {
+                load_max as f64 / load_mean
+            } else {
+                0.0
+            },
+        }
+    }
+
     fn to_json(&self) -> String {
+        let hop_hist: Vec<String> = self.hop_histogram.iter().map(u64::to_string).collect();
         let mut s = String::new();
         let _ = write!(
             s,
-            "    {{\n      \"profile\": \"{}\",\n      \"peers\": {},\n      \"ops\": {},\n      \"seed\": {},\n      \"wall_ms\": {:.1},\n      \"virtual_ms\": {},\n      \"expected_virtual_ms\": {},\n      \"events\": {},\n      \"events_per_sec\": {:.0},\n      \"messages_sent\": {},\n      \"messages_delivered\": {},\n      \"peak_queue_depth\": {},\n      \"peak_fifo_channels\": {},\n      \"rss_proxy_peak\": {},\n      \"final_ring_members\": {},\n      \"trace_ops\": {},\n      \"kills\": {},\n      \"restarts\": {},\n      \"wal_records_replayed\": {},\n      \"queries_checked\": {},\n      \"queries_incomplete\": {},\n      \"violations\": {}\n    }}",
+            "    {{\n      \"profile\": \"{}\",\n      \"peers\": {},\n      \"ops\": {},\n      \"seed\": {},\n      \"threads\": {},\n      \"wall_ms\": {:.1},\n      \"virtual_ms\": {},\n      \"expected_virtual_ms\": {},\n      \"events\": {},\n      \"events_per_sec\": {:.0},\n      \"messages_sent\": {},\n      \"messages_delivered\": {},\n      \"peak_queue_depth\": {},\n      \"peak_fifo_channels\": {},\n      \"rss_proxy_peak\": {},\n      \"final_ring_members\": {},\n      \"trace_ops\": {},\n      \"trace_hash\": \"{:016x}\",\n      \"final_state_hash\": \"{:016x}\",\n      \"kills\": {},\n      \"restarts\": {},\n      \"wal_records_replayed\": {},\n      \"queries_checked\": {},\n      \"queries_incomplete\": {},\n      \"violations\": {},\n      \"hops_p50\": {},\n      \"hops_p99\": {},\n      \"hops_max\": {},\n      \"hop_histogram\": [{}],\n      \"load_mean\": {:.1},\n      \"load_p50\": {},\n      \"load_p99\": {},\n      \"load_max\": {},\n      \"load_imbalance\": {:.2}\n    }}",
             self.profile,
             self.peers,
             self.ops,
             self.seed,
+            self.threads,
             self.wall_ms,
             self.virtual_ms,
             self.expected_virtual_ms,
@@ -85,12 +191,23 @@ impl MacroRun {
             self.rss_proxy_peak,
             self.final_ring_members,
             self.trace_ops,
+            self.trace_hash,
+            self.final_state_hash,
             self.kills,
             self.restarts,
             self.wal_records_replayed,
             self.queries_checked,
             self.queries_incomplete,
             self.violations,
+            self.hops_p50,
+            self.hops_p99,
+            self.hops_max,
+            hop_hist.join(", "),
+            self.load_mean,
+            self.load_p50,
+            self.load_p99,
+            self.load_max,
+            self.load_imbalance,
         );
         s
     }
@@ -136,16 +253,27 @@ fn measure_wal_replay(records: u64) -> RecoveryBench {
     }
 }
 
-fn measure(cfg: HarnessConfig) -> MacroRun {
-    let profile = cfg.profile.clone();
-    let peers = cfg.initial_free_peers + 1;
-    let ops = cfg.ops;
-    let seed = cfg.seed;
-    let expected_virtual_ms = cfg.virtual_duration().as_millis() as u64;
+/// Config facts captured before the harness consumes the config.
+struct RunMeta {
+    profile: String,
+    peers: usize,
+    ops: usize,
+    seed: u64,
+    expected_virtual_ms: u64,
+}
+
+fn measure(cfg: HarnessConfig) -> (MacroRun, RunReport) {
+    let meta = RunMeta {
+        profile: cfg.profile.clone(),
+        peers: cfg.initial_free_peers + 1,
+        ops: cfg.ops,
+        seed: cfg.seed,
+        expected_virtual_ms: cfg.virtual_duration().as_millis() as u64,
+    };
+    let threads = cfg.exec.threads;
     let start = Instant::now();
     let report = Harness::run_generated(cfg);
-    let wall = start.elapsed();
-    let wall_s = wall.as_secs_f64().max(1e-9);
+    let wall_s = start.elapsed().as_secs_f64().max(1e-9);
     // A violation freezes a replayable artifact exactly like a red test
     // run would: dump it so the seed-replay workflow (TESTING.md) applies
     // to bench failures too. CI uploads the dump directory on red.
@@ -155,37 +283,53 @@ fn measure(cfg: HarnessConfig) -> MacroRun {
             Err(e) => eprintln!("failed to dump violation artifact: {e}"),
         }
     }
-    MacroRun {
-        profile,
-        peers,
-        ops,
-        seed,
-        wall_ms: wall_s * 1e3,
-        virtual_ms: report.virtual_elapsed.as_millis_f64() as u64,
-        expected_virtual_ms,
-        events: report.net.events_processed,
-        events_per_sec: report.net.events_processed as f64 / wall_s,
-        messages_sent: report.net.messages_sent,
-        messages_delivered: report.net.messages_delivered,
-        peak_queue_depth: report.net.peak_queue_depth,
-        peak_fifo_channels: report.net.peak_fifo_channels,
-        rss_proxy_peak: report.net.peak_queue_depth + report.net.peak_fifo_channels,
-        final_ring_members: report.final_members,
-        trace_ops: report.trace.len(),
-        kills: report.stats.kills,
-        restarts: report.stats.restarts,
-        wal_records_replayed: report.stats.wal_records_replayed,
-        queries_checked: report.stats.queries_checked,
-        queries_incomplete: report.stats.queries_incomplete,
-        violations: report.violations.len(),
-    }
+    (
+        MacroRun::from_report(threads, wall_s, meta, &report),
+        report,
+    )
+}
+
+fn print_run(run: &MacroRun) {
+    println!(
+        "{:<10} peers={:<4} ops={:<5} seed={:<5} threads={} wall={:>8.1}ms events={:>9} \
+         ({:>9.0}/s) members={:<4} hops_p99={:<3} load_imb={:<5.2} violations={}",
+        run.profile,
+        run.peers,
+        run.ops,
+        run.seed,
+        run.threads,
+        run.wall_ms,
+        run.events,
+        run.events_per_sec,
+        run.final_ring_members,
+        run.hops_p99,
+        run.load_imbalance,
+        run.violations,
+    );
+}
+
+/// Fields that must agree bit for bit between a single-threaded run and an
+/// epoch-parallel run of the same (profile, seed).
+fn determinism_witness(run: &MacroRun, report: &RunReport) -> impl PartialEq + std::fmt::Debug {
+    (
+        run.trace_hash,
+        run.final_state_hash,
+        report.net,
+        report.final_members,
+        report.stats.queries_checked,
+        report.query_hops.clone(),
+        report.peer_deliveries.clone(),
+    )
 }
 
 /// Runs the macro benchmark. Returns the process exit code: non-zero iff
-/// any run tripped an invariant (timing is reported, never judged).
+/// any run tripped an invariant or (with `--threads`) the parallel engine
+/// diverged from the single-threaded trace (timing is reported, never
+/// judged).
 pub fn run(args: &[String]) -> i32 {
     let mut smoke = false;
     let mut seeds = 1u64;
+    let mut threads = 1u32;
     let mut out = default_out_path();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -195,6 +339,13 @@ pub fn run(args: &[String]) -> i32 {
                 Some(k) => seeds = k,
                 None => {
                     eprintln!("--seeds needs a number");
+                    return 2;
+                }
+            },
+            "--threads" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(t) => threads = t,
+                None => {
+                    eprintln!("--threads needs a number");
                     return 2;
                 }
             },
@@ -213,66 +364,100 @@ pub fn run(args: &[String]) -> i32 {
     }
 
     // The scale ladder. Smoke keeps the profile shapes (peer counts, mix,
-    // cadence) but cuts the op counts so CI finishes in seconds.
+    // cadence) but cuts the op counts so CI finishes in seconds. The
+    // xlarge rung always runs a single seed: one 4096-peer trajectory
+    // point per regeneration is plenty, and it dominates the wall time.
     let instances: Vec<fn(u64) -> HarnessConfig> = vec![
         HarnessConfig::standard,
         HarnessConfig::medium,
         HarnessConfig::large,
+        HarnessConfig::xlarge,
     ];
 
     let mut runs = Vec::new();
     let mut violations = 0usize;
+    let mut divergences = 0usize;
     for make in &instances {
         for i in 0..seeds {
             let seed = matrix_seed(i);
             let mut cfg = make(seed);
             if smoke {
-                if cfg.profile == "large" {
+                if cfg.profile == "large" || cfg.profile == "xlarge" {
                     continue; // smoke covers N ∈ {32, 128}
                 }
                 cfg.ops /= 4;
             }
-            let run = measure(cfg);
-            println!(
-                "{:<10} peers={:<4} ops={:<5} seed={:<5} wall={:>8.1}ms events={:>9} \
-                 ({:>9.0}/s) members={:<4} peakq={:<5} fifo={:<5} violations={}",
-                run.profile,
-                run.peers,
-                run.ops,
-                run.seed,
-                run.wall_ms,
-                run.events,
-                run.events_per_sec,
-                run.final_ring_members,
-                run.peak_queue_depth,
-                run.peak_fifo_channels,
-                run.violations,
-            );
+            if cfg.profile == "xlarge" && i > 0 {
+                continue;
+            }
+            let (run, report) = measure(cfg.clone());
+            print_run(&run);
             violations += run.violations;
+            if threads > 1 {
+                // Re-run on the epoch-parallel engine and hold it to the
+                // byte-identical contract.
+                cfg.exec = pepper_sim::ExecConfig::threaded(threads);
+                let (trun, treport) = measure(cfg);
+                print_run(&trun);
+                violations += trun.violations;
+                if determinism_witness(&run, &report) != determinism_witness(&trun, &treport) {
+                    eprintln!(
+                        "DIVERGENCE: {} seed {} differs between 1 and {} threads \
+                         (trace {:016x} vs {:016x}, state {:016x} vs {:016x})",
+                        run.profile,
+                        run.seed,
+                        threads,
+                        run.trace_hash,
+                        trun.trace_hash,
+                        run.final_state_hash,
+                        trun.final_state_hash,
+                    );
+                    divergences += 1;
+                }
+                runs.push(trun);
+            }
             runs.push(run);
         }
     }
 
     // The recovery-time metric: WAL-replay throughput through the real
-    // recovery path (reported, never judged — like every timing here).
-    let recovery = measure_wal_replay(20_000);
+    // recovery path, at two log lengths 4× apart. The map-based replay
+    // image makes the pass O(n log n), so the throughput ratio stays near
+    // 1.0; a quadratic regression would show up as a collapse at the
+    // longer length (and is pinned by a regression test in
+    // `pepper-storage`). Reported, never judged — like every timing here.
+    let recovery_short = measure_wal_replay(25_000);
+    let recovery = measure_wal_replay(100_000);
+    let scaling = recovery.records_per_sec / recovery_short.records_per_sec.max(1e-9);
     println!(
-        "wal-replay  records={} wall={:>8.1}ms ({:>9.0} records/s)",
-        recovery.records, recovery.wall_ms, recovery.records_per_sec,
+        "wal-replay  records={} wall={:>8.1}ms ({:>9.0} records/s; {:.2}x throughput at 4x length)",
+        recovery.records, recovery.wall_ms, recovery.records_per_sec, scaling,
     );
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"schema\": \"{SCHEMA}\",");
     let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"threads\": {threads},");
     let _ = writeln!(json, "  \"recovery\": {{");
     let _ = writeln!(json, "    \"wal_replay_records\": {},", recovery.records);
     let _ = writeln!(json, "    \"wal_replay_wall_ms\": {:.1},", recovery.wall_ms);
     let _ = writeln!(
         json,
-        "    \"wal_replay_records_per_sec\": {:.0}",
+        "    \"wal_replay_records_per_sec\": {:.0},",
         recovery.records_per_sec
     );
+    let _ = writeln!(
+        json,
+        "    \"wal_replay_short_records\": {},",
+        recovery_short.records
+    );
+    let _ = writeln!(
+        json,
+        "    \"wal_replay_short_records_per_sec\": {:.0},",
+        recovery_short.records_per_sec
+    );
+    let _ = writeln!(json, "    \"wal_replay_scaling_ratio\": {scaling:.2}");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"runs\": [");
     let body: Vec<String> = runs.iter().map(MacroRun::to_json).collect();
@@ -287,6 +472,10 @@ pub fn run(args: &[String]) -> i32 {
         }
     }
 
+    if divergences > 0 {
+        eprintln!("macro bench: {divergences} cross-thread divergence(s) — failing");
+        return 1;
+    }
     if violations > 0 {
         eprintln!("macro bench: {violations} invariant violation(s) — failing");
         return 1;

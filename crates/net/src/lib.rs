@@ -22,15 +22,17 @@
 
 pub mod effect;
 pub mod failure;
+mod intern;
 pub mod latency;
 pub mod layer;
 pub mod sim;
 pub mod stats;
 pub mod time;
+mod wheel;
 
 pub use effect::{Effect, Effects, LayerCtx};
 pub use failure::FailureSchedule;
-pub use latency::{LatencyModel, NetworkConfig};
+pub use latency::{ExecConfig, LatencyModel, NetworkConfig, ShardLayout};
 pub use layer::{LayerSlot, ProtocolLayer};
 pub use sim::{Context, Node, Simulator};
 pub use stats::NetStats;

@@ -5,9 +5,41 @@
 //! the future). The simulator owns a priority queue of events ordered by
 //! `(virtual time, sequence number)`, which makes every run fully
 //! deterministic for a given seed and call sequence.
+//!
+//! # Execution engines
+//!
+//! Two engines drive event delivery, selected by
+//! [`ExecConfig::threads`](crate::latency::ExecConfig):
+//!
+//! * **classic** (`threads == 1`, the default): the textbook sequential
+//!   loop — pop, deliver, schedule effects, repeat.
+//! * **epoch-parallel** (`threads > 1`): conservative parallel
+//!   discrete-event simulation over virtual-time epochs. Each epoch drains
+//!   every event in the window `[T, T + lookahead)` — `lookahead` is the
+//!   minimum latency plus the processing delay, so nothing processed in
+//!   the window can schedule an effect back *into* the window — partitions
+//!   them by destination-peer shard, runs the handlers per shard (on
+//!   worker threads when the window is wide enough to pay for the
+//!   round-trip), and then replays all scheduling side effects at the
+//!   epoch barrier in canonical `(time, seq)` order: sequence numbers,
+//!   latency RNG draws, FIFO bumps, statistics and queue-depth high-water
+//!   marks all happen exactly as the classic loop would have performed
+//!   them. The observable trace, [`NetStats`], and every node's state are
+//!   therefore byte-identical for any thread count and any shard layout.
+//!
+//! The equivalence argument needs two workload properties, both satisfied
+//! by the protocol stack (and asserted by the thread-matrix tests):
+//! handlers draw nothing from [`Context::rng`] (in parallel mode each
+//! shard owns a private stream), and no timer fires faster than the
+//! lookahead (protocol timers are ≥ 20 ms against a 150 µs LAN lookahead).
+//! Sub-lookahead effects are still *correctly ordered* against all future
+//! events — they are merely deferred to the next epoch instead of joining
+//! the current one, which the [`Simulator::lookahead_deferrals`]
+//! diagnostic counts.
 
-use std::cmp::Ordering;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::mpsc;
 use std::time::Duration;
 
 use pepper_types::PeerId;
@@ -15,18 +47,25 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::effect::{Effect, Effects, LayerCtx};
-use crate::latency::NetworkConfig;
+use crate::intern::{PeerTable, DENSE_NONE};
+use crate::latency::{LatencyModel, NetworkConfig, ShardLayout};
 use crate::stats::NetStats;
 use crate::time::SimTime;
+use crate::wheel::EventWheel;
 
 /// The sender id used for harness-injected ("external") messages, standing in
 /// for a client outside the P2P system.
 pub const EXTERNAL_SENDER: PeerId = PeerId(u64::MAX);
 
 /// A peer state machine driven by the simulator.
-pub trait Node {
+///
+/// `Send` bounds (on the node and its message type) exist for the
+/// epoch-parallel engine, which moves events and touches node state from
+/// worker threads; every protocol node is plain owned data, so the bounds
+/// are free.
+pub trait Node: Send {
     /// The message type this node exchanges (timers deliver the same type).
-    type Msg: Clone + std::fmt::Debug;
+    type Msg: Clone + std::fmt::Debug + Send;
 
     /// Handles a delivered message. `from` is [`EXTERNAL_SENDER`] for
     /// harness-injected messages and the node's own id for timers.
@@ -50,31 +89,6 @@ enum Payload<M> {
     },
     /// Fail-stop the peer.
     Kill { peer: PeerId },
-}
-
-#[derive(Debug)]
-struct QueuedEvent<M> {
-    at: SimTime,
-    seq: u64,
-    payload: Payload<M>,
-}
-
-impl<M> PartialEq for QueuedEvent<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<M> Eq for QueuedEvent<M> {}
-impl<M> PartialOrd for QueuedEvent<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for QueuedEvent<M> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest event pops first.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
 }
 
 /// The mutable context handed to a node while it handles an event.
@@ -107,6 +121,11 @@ impl<'a, M> Context<'a, M> {
     }
 
     /// The simulator's deterministic random number generator.
+    ///
+    /// In epoch-parallel runs each shard draws from its own deterministic
+    /// stream, so a node that consumes randomness here is reproducible per
+    /// `(seed, shard count)` but not across thread counts. No protocol
+    /// node uses this; it exists for ad-hoc experiment nodes.
     pub fn rng(&mut self) -> &mut StdRng {
         self.rng
     }
@@ -128,11 +147,193 @@ impl<'a, M> Context<'a, M> {
     }
 }
 
+/// An FxHash-style hasher for the FIFO channel map: the keys are two
+/// already-well-distributed `u64` peer ids, so a multiply-rotate mix beats
+/// SipHash by a wide margin on the dispatch hot path.
+#[derive(Default)]
+struct PairHasher(u64);
+
+impl Hasher for PairHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0.rotate_left(5) ^ n).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+type FifoMap = HashMap<(PeerId, PeerId), SimTime, BuildHasherDefault<PairHasher>>;
+
+/// How a delivered event was classified (for the stats counters).
+#[derive(Debug, Clone, Copy)]
+enum DeliverKind {
+    Msg,
+    Timer,
+    External,
+}
+
+/// What happened to one window event on its shard — everything the barrier
+/// merge needs to replay the classic loop's side effects canonically.
+enum Outcome<M> {
+    DropMsg,
+    DropTimer,
+    Deliver {
+        to: PeerId,
+        dense: u32,
+        kind: DeliverKind,
+        effects: Vec<Effect<M>>,
+    },
+    Kill {
+        peer: PeerId,
+        did: bool,
+    },
+}
+
+/// One drained event, tagged with its window position and the interned
+/// slot of its destination.
+struct WindowEvent<M> {
+    idx: u32,
+    at: SimTime,
+    seq: u64,
+    dense: u32,
+    payload: Payload<M>,
+}
+
+/// Raw views into the peer table for shard workers.
+///
+/// # Safety discipline
+///
+/// The epoch engine partitions dense peer slots across shards; a shard
+/// task dereferences `nodes`/`alive` only for slots owned by its shard
+/// (`floor` is read-only and static during a run). The driving thread
+/// does not touch the table between dispatching tasks and collecting the
+/// last shard result, so no slot is ever aliased mutably.
+struct Tables<N> {
+    nodes: *mut N,
+    alive: *mut bool,
+    floor: *const u64,
+}
+
+impl<N> Clone for Tables<N> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<N> Copy for Tables<N> {}
+
+/// One shard's slice of an epoch window plus the raw state it may touch.
+struct ShardTask<N: Node> {
+    shard: u32,
+    events: Vec<WindowEvent<N::Msg>>,
+    tables: Tables<N>,
+    rng: *mut StdRng,
+    pool: *mut Vec<Vec<Effect<N::Msg>>>,
+}
+
+// SAFETY: the raw pointers target state partitioned by shard (see
+// `Tables`); `N` and `N::Msg` are `Send` by the `Node` supertrait bounds.
+unsafe impl<N: Node> Send for ShardTask<N> {}
+
+type ShardResult<M> = (u32, Vec<(u32, Outcome<M>)>);
+
+/// Runs one shard's window events in `(time, seq)` order, mutating only
+/// shard-owned node/liveness slots and recording an [`Outcome`] per event.
+/// All global side effects (stats, RNG, FIFO, scheduling) are deferred to
+/// the barrier merge.
+fn process_shard<N: Node>(task: ShardTask<N>) -> ShardResult<N::Msg> {
+    let ShardTask {
+        shard,
+        events,
+        tables,
+        rng,
+        pool,
+    } = task;
+    // SAFETY: the shard exclusively owns its RNG stream and effect-buffer
+    // pool for the duration of the epoch (see `Tables`).
+    let rng = unsafe { &mut *rng };
+    let pool = unsafe { &mut *pool };
+    let mut out = Vec::with_capacity(events.len());
+    for ev in events {
+        match ev.payload {
+            Payload::Kill { peer } => {
+                // SAFETY: `peer` belongs to this shard (events are routed
+                // by destination slot).
+                let did = ev.dense != DENSE_NONE
+                    && ev.seq >= unsafe { *tables.floor.add(ev.dense as usize) }
+                    && unsafe { *tables.alive.add(ev.dense as usize) };
+                if did {
+                    unsafe {
+                        *tables.alive.add(ev.dense as usize) = false;
+                        (*tables.nodes.add(ev.dense as usize)).on_killed();
+                    }
+                }
+                out.push((ev.idx, Outcome::Kill { peer, did }));
+            }
+            Payload::Deliver {
+                from,
+                to,
+                msg,
+                is_timer,
+                is_external,
+            } => {
+                // SAFETY: `to` belongs to this shard.
+                let deliver = ev.dense != DENSE_NONE
+                    && ev.seq >= unsafe { *tables.floor.add(ev.dense as usize) }
+                    && unsafe { *tables.alive.add(ev.dense as usize) };
+                if !deliver {
+                    let outcome = if is_timer {
+                        Outcome::DropTimer
+                    } else {
+                        Outcome::DropMsg
+                    };
+                    out.push((ev.idx, outcome));
+                    continue;
+                }
+                let mut ctx = Context {
+                    self_id: to,
+                    now: ev.at,
+                    rng,
+                    out: pool.pop().unwrap_or_default(),
+                };
+                // SAFETY: as above — shard-owned slot.
+                unsafe {
+                    (*tables.nodes.add(ev.dense as usize)).on_message(&mut ctx, from, msg);
+                }
+                let kind = if is_timer {
+                    DeliverKind::Timer
+                } else if is_external {
+                    DeliverKind::External
+                } else {
+                    DeliverKind::Msg
+                };
+                out.push((
+                    ev.idx,
+                    Outcome::Deliver {
+                        to,
+                        dense: ev.dense,
+                        kind,
+                        effects: ctx.out,
+                    },
+                ));
+            }
+        }
+    }
+    (shard, out)
+}
+
 /// The discrete-event simulator.
 pub struct Simulator<N: Node> {
-    nodes: BTreeMap<PeerId, N>,
-    alive: BTreeSet<PeerId>,
-    queue: BinaryHeap<QueuedEvent<N::Msg>>,
+    /// Interned peer slots: nodes, liveness, revive floors (see
+    /// [`crate::intern::PeerTable`]).
+    table: PeerTable<N>,
+    queue: EventWheel<Payload<N::Msg>>,
     now: SimTime,
     seq: u64,
     next_peer_id: u64,
@@ -145,21 +346,32 @@ pub struct Simulator<N: Node> {
     /// purged when either endpoint is killed and pruned periodically once
     /// their constraint lies in the past, so churn-heavy runs cannot grow
     /// the map without bound.
-    fifo: BTreeMap<(PeerId, PeerId), SimTime>,
+    fifo: FifoMap,
     /// Scratch effects buffer reused across event deliveries (see
     /// [`Context`]).
     scratch: Vec<Effect<N::Msg>>,
-    /// Per-peer delivery floor set by [`Simulator::revive`]: events queued
-    /// with a sequence number below the floor predate the peer's current
-    /// incarnation (messages in flight to the crashed process, its old
-    /// timers) and are dropped instead of delivered — a restarted process
-    /// has fresh connections and fresh timers.
-    delivery_floor: BTreeMap<PeerId, u64>,
     /// Monotone counter bumped whenever node or liveness state may have
     /// changed (event processed, node added, kill, node accessed mutably).
     /// Lets callers memoize derived views of the cluster and invalidate
     /// them precisely.
     version: u64,
+    /// Delivered events (messages + timers + external) per peer slot — the
+    /// raw material of the macro bench's per-peer load histogram.
+    deliveries_by_slot: Vec<u64>,
+    /// Conservative epoch width in nanoseconds: minimum latency plus
+    /// processing delay. Zero disables the epoch engine (instant configs).
+    lookahead_nanos: u64,
+    /// Effects that landed inside their own epoch window (only possible
+    /// for sub-lookahead timers, which no protocol node uses): correctly
+    /// ordered, but deferred to the next epoch rather than processed in
+    /// the current one as the classic loop would.
+    lookahead_deferrals: u64,
+    /// Per-shard deterministic RNG streams for [`Context::rng`] in
+    /// parallel mode (lazily sized).
+    shard_rngs: Vec<StdRng>,
+    /// Per-shard pools of recycled effect buffers — the cross-shard
+    /// extension of the classic loop's single `scratch` vector.
+    shard_pools: Vec<Vec<Vec<Effect<N::Msg>>>>,
 }
 
 /// Prune the FIFO map whenever an event lands and the map exceeds this many
@@ -172,20 +384,28 @@ impl<N: Node> Simulator<N> {
     /// Creates a simulator with the given network configuration.
     pub fn new(config: NetworkConfig) -> Self {
         let rng = StdRng::seed_from_u64(config.seed);
+        let min_latency = match config.latency {
+            LatencyModel::Constant(d) => d,
+            LatencyModel::Uniform { min, .. } => min,
+        };
+        let lookahead_nanos = (min_latency + config.processing_delay).as_nanos() as u64;
         Simulator {
-            nodes: BTreeMap::new(),
-            alive: BTreeSet::new(),
-            queue: BinaryHeap::new(),
+            table: PeerTable::new(),
+            queue: EventWheel::new(),
             now: SimTime::ZERO,
             seq: 0,
             next_peer_id: 0,
             config,
             rng,
             stats: NetStats::default(),
-            fifo: BTreeMap::new(),
+            fifo: FifoMap::default(),
             scratch: Vec::new(),
-            delivery_floor: BTreeMap::new(),
             version: 0,
+            deliveries_by_slot: Vec::new(),
+            lookahead_nanos,
+            lookahead_deferrals: 0,
+            shard_rngs: Vec::new(),
+            shard_pools: Vec::new(),
         }
     }
 
@@ -212,14 +432,32 @@ impl<N: Node> Simulator<N> {
         self.version
     }
 
+    /// How many effects were scheduled inside their own epoch window (see
+    /// the module docs). Always zero for the protocol stack; non-zero only
+    /// if a node sets timers shorter than the network lookahead while the
+    /// epoch engine is active.
+    pub fn lookahead_deferrals(&self) -> u64 {
+        self.lookahead_deferrals
+    }
+
+    /// Delivered events (messages + timers + external) per registered
+    /// peer, in increasing id order — the per-peer load profile.
+    pub fn per_peer_deliveries(&self) -> Vec<(PeerId, u64)> {
+        self.table
+            .order()
+            .iter()
+            .map(|&d| (self.table.raw_of(d), self.deliveries_by_slot[d as usize]))
+            .collect()
+    }
+
     /// Adds a node built by `build`, which receives the freshly assigned
     /// peer id. Returns the id.
     pub fn add_node(&mut self, build: impl FnOnce(PeerId) -> N) -> PeerId {
         let id = PeerId(self.next_peer_id);
         self.next_peer_id += 1;
         self.version += 1;
-        self.nodes.insert(id, build(id));
-        self.alive.insert(id);
+        self.table.intern(id, build(id));
+        self.deliveries_by_slot.push(0);
         id
     }
 
@@ -227,30 +465,28 @@ impl<N: Node> Simulator<N> {
     /// is already taken or collides with [`EXTERNAL_SENDER`].
     pub fn add_node_with_id(&mut self, id: PeerId, node: N) {
         assert_ne!(id, EXTERNAL_SENDER, "peer id reserved for external sender");
-        assert!(
-            !self.nodes.contains_key(&id),
-            "peer id {id} already registered"
-        );
         self.next_peer_id = self.next_peer_id.max(id.raw() + 1);
         self.version += 1;
-        self.nodes.insert(id, node);
-        self.alive.insert(id);
+        self.table.intern(id, node);
+        self.deliveries_by_slot.push(0);
     }
 
     /// Returns `true` if the peer exists and has not been killed.
     pub fn is_alive(&self, id: PeerId) -> bool {
-        self.alive.contains(&id)
+        self.table.is_alive(id)
     }
 
     /// Immutable access to a node's state (dead nodes remain inspectable).
     pub fn node(&self, id: PeerId) -> Option<&N> {
-        self.nodes.get(&id)
+        let d = self.table.dense(id);
+        (d != DENSE_NONE).then(|| self.table.node(d))
     }
 
     /// Mutable access to a node's state.
     pub fn node_mut(&mut self, id: PeerId) -> Option<&mut N> {
         self.version += 1;
-        self.nodes.get_mut(&id)
+        let d = self.table.dense(id);
+        (d != DENSE_NONE).then(|| self.table.node_mut(d))
     }
 
     /// All registered peer ids (alive and dead), in increasing order.
@@ -258,50 +494,58 @@ impl<N: Node> Simulator<N> {
     /// Allocates; per-op loops should prefer [`Simulator::peers`] /
     /// [`Simulator::nodes_iter`].
     pub fn peer_ids(&self) -> Vec<PeerId> {
-        self.nodes.keys().copied().collect()
+        self.peers().collect()
     }
 
     /// All registered peer ids (alive and dead), in increasing order,
     /// without allocating.
     pub fn peers(&self) -> impl Iterator<Item = PeerId> + '_ {
-        self.nodes.keys().copied()
+        self.table.order().iter().map(|&d| self.table.raw_of(d))
     }
 
     /// Every registered node tagged with its id, in increasing id order.
     pub fn nodes_iter(&self) -> impl Iterator<Item = (PeerId, &N)> {
-        self.nodes.iter().map(|(p, n)| (*p, n))
+        self.table
+            .order()
+            .iter()
+            .map(|&d| (self.table.raw_of(d), self.table.node(d)))
     }
 
     /// Every alive node tagged with its id, in increasing id order.
     pub fn alive_nodes_iter(&self) -> impl Iterator<Item = (PeerId, &N)> {
-        self.nodes
+        self.table
+            .order()
             .iter()
-            .filter(|(p, _)| self.alive.contains(*p))
-            .map(|(p, n)| (*p, n))
+            .filter(|&&d| self.table.is_alive_dense(d))
+            .map(|&d| (self.table.raw_of(d), self.table.node(d)))
     }
 
     /// Mutable iteration over every registered node (alive and dead).
-    pub fn nodes_iter_mut(&mut self) -> impl Iterator<Item = (PeerId, &mut N)> {
+    pub fn nodes_iter_mut(&mut self) -> impl Iterator<Item = (PeerId, &mut N)> + '_ {
         self.version += 1;
-        self.nodes.iter_mut().map(|(p, n)| (*p, n))
+        self.table.iter_mut_ordered()
     }
 
     /// All currently alive peer ids, in increasing order.
     ///
     /// Allocates; per-op loops should prefer [`Simulator::alive_iter`].
     pub fn alive_peers(&self) -> Vec<PeerId> {
-        self.alive.iter().copied().collect()
+        self.alive_iter().collect()
     }
 
     /// All currently alive peer ids, in increasing order, without
     /// allocating.
     pub fn alive_iter(&self) -> impl Iterator<Item = PeerId> + '_ {
-        self.alive.iter().copied()
+        self.table
+            .order()
+            .iter()
+            .filter(|&&d| self.table.is_alive_dense(d))
+            .map(|&d| self.table.raw_of(d))
     }
 
     /// Number of alive peers.
     pub fn alive_count(&self) -> usize {
-        self.alive.len()
+        self.table.alive_count()
     }
 
     /// Number of (sender, receiver) channels currently tracked for FIFO
@@ -311,10 +555,14 @@ impl<N: Node> Simulator<N> {
         self.fifo.len()
     }
 
-    fn push(&mut self, at: SimTime, payload: Payload<N::Msg>) {
+    fn push_raw(&mut self, at: SimTime, payload: Payload<N::Msg>) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(QueuedEvent { at, seq, payload });
+        self.queue.push(at, seq, payload);
+    }
+
+    fn push(&mut self, at: SimTime, payload: Payload<N::Msg>) {
+        self.push_raw(at, payload);
         self.stats.peak_queue_depth = self.stats.peak_queue_depth.max(self.queue.len() as u64);
     }
 
@@ -346,13 +594,12 @@ impl<N: Node> Simulator<N> {
     /// entries would otherwise only leak (churn-heavy runs killed hundreds
     /// of peers and the per-pair map grew without bound).
     pub fn kill(&mut self, peer: PeerId) {
-        if self.alive.remove(&peer) {
+        let d = self.table.dense(peer);
+        if d != DENSE_NONE && self.table.set_dead(d) {
             self.version += 1;
             self.fifo
                 .retain(|(from, to), _| *from != peer && *to != peer);
-            if let Some(node) = self.nodes.get_mut(&peer) {
-                node.on_killed();
-            }
+            self.table.node_mut(d).on_killed();
         }
     }
 
@@ -366,22 +613,20 @@ impl<N: Node> Simulator<N> {
     /// node state (a process restart on the same host). Every event queued
     /// before the revival — messages sent to the dead incarnation, its
     /// leftover timers — is dropped at delivery time via a per-peer
-    /// sequence-number floor: a restarted process has new connections and
-    /// new timers, exactly like a real crash-recovery. Panics if the peer
+    /// sequence-number floor: a restarted process has fresh connections and
+    /// fresh timers, exactly like a real crash-recovery. Panics if the peer
     /// is alive or was never registered.
     pub fn revive(&mut self, peer: PeerId, node: N) {
+        let d = self.table.dense(peer);
+        assert!(d != DENSE_NONE, "revive: peer {peer} was never registered");
         assert!(
-            self.nodes.contains_key(&peer),
-            "revive: peer {peer} was never registered"
-        );
-        assert!(
-            !self.alive.contains(&peer),
+            !self.table.is_alive_dense(d),
             "revive: peer {peer} is still alive"
         );
         self.version += 1;
-        self.delivery_floor.insert(peer, self.seq);
-        self.nodes.insert(peer, node);
-        self.alive.insert(peer);
+        self.table.set_floor(d, self.seq);
+        self.table.replace_node(d, node);
+        self.table.set_alive(d);
     }
 
     /// Runs a closure against a node with a live [`Context`], scheduling any
@@ -395,22 +640,39 @@ impl<N: Node> Simulator<N> {
         id: PeerId,
         f: impl FnOnce(&mut N, &mut Context<'_, N::Msg>) -> R,
     ) -> Option<R> {
-        if !self.alive.contains(&id) {
+        let d = self.table.dense(id);
+        if d == DENSE_NONE || !self.table.is_alive_dense(d) {
             return None;
         }
         self.version += 1;
-        let node = self.nodes.get_mut(&id)?;
         let mut ctx = Context {
             self_id: id,
             now: self.now,
             rng: &mut self.rng,
             out: std::mem::take(&mut self.scratch),
         };
-        let result = f(node, &mut ctx);
+        let result = f(self.table.node_mut(d), &mut ctx);
         let mut out = ctx.out;
         self.schedule_effects(id, &mut out);
         self.scratch = out;
         Some(result)
+    }
+
+    /// Applies the send bookkeeping shared by both engines: messages-sent
+    /// counter, latency draw, FIFO bump and channel high-water mark.
+    /// Returns the delivery time; the caller pushes the event.
+    #[inline]
+    fn schedule_send(&mut self, from: PeerId, to: PeerId) -> SimTime {
+        self.stats.messages_sent += 1;
+        let latency = self.config.latency.sample(&mut self.rng);
+        let mut at = self.now + latency + self.config.processing_delay;
+        // Enforce FIFO delivery per (sender, receiver) pair.
+        if let Some(prev) = self.fifo.get(&(from, to)) {
+            at = at.max(*prev + Duration::from_nanos(1));
+        }
+        self.fifo.insert((from, to), at);
+        self.stats.peak_fifo_channels = self.stats.peak_fifo_channels.max(self.fifo.len() as u64);
+        at
     }
 
     /// Schedules the drained effects, leaving `effects` empty (its capacity
@@ -419,16 +681,7 @@ impl<N: Node> Simulator<N> {
         for effect in effects.drain(..) {
             match effect {
                 Effect::Send { to, msg } => {
-                    self.stats.messages_sent += 1;
-                    let latency = self.config.latency.sample(&mut self.rng);
-                    let mut at = self.now + latency + self.config.processing_delay;
-                    // Enforce FIFO delivery per (sender, receiver) pair.
-                    if let Some(prev) = self.fifo.get(&(from, to)) {
-                        at = at.max(*prev + Duration::from_nanos(1));
-                    }
-                    self.fifo.insert((from, to), at);
-                    self.stats.peak_fifo_channels =
-                        self.stats.peak_fifo_channels.max(self.fifo.len() as u64);
+                    let at = self.schedule_send(from, to);
                     self.push(
                         at,
                         Payload::Deliver {
@@ -469,10 +722,10 @@ impl<N: Node> Simulator<N> {
     /// Processes the next queued event, advancing virtual time to it.
     /// Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(event) = self.queue.pop() else {
+        let Some((at, seq, payload)) = self.queue.pop() else {
             return false;
         };
-        self.now = self.now.max(event.at);
+        self.now = self.now.max(at);
         self.version += 1;
         self.stats.events_processed += 1;
         if self.stats.events_processed % FIFO_PRUNE_INTERVAL == 0
@@ -480,16 +733,14 @@ impl<N: Node> Simulator<N> {
         {
             self.prune_stale_fifo();
         }
-        match event.payload {
+        match payload {
             Payload::Kill { peer } => {
                 // The revive delivery floor covers scheduled kills too: a
                 // `kill_at` aimed at an incarnation that has since crashed
                 // and been revived must not fell the NEW incarnation as a
                 // phantom second failure.
-                let below_floor = self
-                    .delivery_floor
-                    .get(&peer)
-                    .is_some_and(|floor| event.seq < *floor);
+                let d = self.table.dense(peer);
+                let below_floor = d != DENSE_NONE && seq < self.table.floor(d);
                 if !below_floor {
                     self.kill(peer);
                 }
@@ -501,11 +752,10 @@ impl<N: Node> Simulator<N> {
                 is_timer,
                 is_external,
             } => {
-                let below_floor = self
-                    .delivery_floor
-                    .get(&to)
-                    .is_some_and(|floor| event.seq < *floor);
-                if !self.alive.contains(&to) || below_floor {
+                let d = self.table.dense(to);
+                let deliverable =
+                    d != DENSE_NONE && seq >= self.table.floor(d) && self.table.is_alive_dense(d);
+                if !deliverable {
                     if is_timer {
                         self.stats.timers_dropped += 1;
                     } else {
@@ -520,17 +770,14 @@ impl<N: Node> Simulator<N> {
                 } else {
                     self.stats.messages_delivered += 1;
                 }
-                let node = self
-                    .nodes
-                    .get_mut(&to)
-                    .expect("alive peer must have a node");
+                self.deliveries_by_slot[d as usize] += 1;
                 let mut ctx = Context {
                     self_id: to,
                     now: self.now,
                     rng: &mut self.rng,
                     out: std::mem::take(&mut self.scratch),
                 };
-                node.on_message(&mut ctx, from, msg);
+                self.table.node_mut(d).on_message(&mut ctx, from, msg);
                 let mut out = ctx.out;
                 self.schedule_effects(to, &mut out);
                 self.scratch = out;
@@ -543,12 +790,16 @@ impl<N: Node> Simulator<N> {
     /// event scheduled at or before the deadline is processed, and the clock
     /// ends at exactly `deadline`.
     pub fn run_until(&mut self, deadline: SimTime) {
-        loop {
-            match self.queue.peek() {
-                Some(ev) if ev.at <= deadline => {
-                    self.step();
+        if self.config.exec.threads > 1 && self.lookahead_nanos > 0 {
+            self.run_epochs(deadline);
+        } else {
+            loop {
+                match self.queue.peek() {
+                    Some(at) if at <= deadline => {
+                        self.step();
+                    }
+                    _ => break,
                 }
-                _ => break,
             }
         }
         self.now = self.now.max(deadline);
@@ -574,11 +825,238 @@ impl<N: Node> Simulator<N> {
     pub fn pending_events(&self) -> usize {
         self.queue.len()
     }
+
+    // ------------------------------------------------------------------
+    // The epoch-parallel engine
+    // ------------------------------------------------------------------
+
+    /// Maps a dense peer slot to its shard under the configured layout.
+    #[inline]
+    fn shard_of(dense: u32, shards: usize, layout: ShardLayout, block: usize) -> usize {
+        match layout {
+            ShardLayout::RoundRobin => dense as usize % shards,
+            ShardLayout::Blocks => (dense as usize / block).min(shards - 1),
+        }
+    }
+
+    /// The conservative epoch loop (see the module docs): drain a
+    /// lookahead window, process it per shard, replay every scheduling
+    /// side effect at the barrier in canonical `(time, seq)` order.
+    fn run_epochs(&mut self, deadline: SimTime) {
+        let exec = self.config.exec;
+        let shards = if exec.shards == 0 {
+            (exec.threads as usize * 4).max(1)
+        } else {
+            exec.shards as usize
+        };
+        while self.shard_rngs.len() < shards {
+            // Stable per-shard streams: Context::rng draws are reproducible
+            // per (seed, shard index) regardless of thread count.
+            let i = self.shard_rngs.len() as u64;
+            self.shard_rngs.push(StdRng::seed_from_u64(
+                self.config.seed ^ (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1),
+            ));
+            self.shard_pools.push(Vec::new());
+        }
+        let threshold = exec.parallel_threshold.max(1) as usize;
+        let n_workers = (exec.threads as usize - 1).min(shards.saturating_sub(1));
+        let block = self.table.len().div_ceil(shards).max(1);
+        let layout = exec.layout;
+
+        std::thread::scope(|scope| {
+            // Workers are spawned lazily on the first window wide enough to
+            // dispatch: typical protocol epochs hold a handful of events and
+            // run inline, so narrow runs never pay the spawn cost.
+            let mut senders: Vec<mpsc::Sender<ShardTask<N>>> = Vec::new();
+            let (result_tx, result_rx) = mpsc::channel::<ShardResult<N::Msg>>();
+            let mut shard_events: Vec<Vec<WindowEvent<N::Msg>>> =
+                (0..shards).map(|_| Vec::new()).collect();
+            let mut meta: Vec<(SimTime, u32)> = Vec::new();
+            let mut results: Vec<Vec<(u32, Outcome<N::Msg>)>> =
+                (0..shards).map(|_| Vec::new()).collect();
+            let mut cursors = vec![0usize; shards];
+
+            while let Some(t_min) = self.queue.peek() {
+                if t_min > deadline {
+                    break;
+                }
+                let window_end = SimTime::from_nanos(
+                    t_min
+                        .as_nanos()
+                        .saturating_add(self.lookahead_nanos)
+                        .min(deadline.as_nanos().saturating_add(1)),
+                );
+                // Queue depth before the drain — replayed during the merge
+                // so peak_queue_depth matches the classic loop exactly.
+                let mut virtual_depth = self.queue.len();
+                meta.clear();
+                let mut count = 0u32;
+                while let Some(at) = self.queue.peek() {
+                    if at >= window_end {
+                        break;
+                    }
+                    let (at, seq, payload) = self.queue.pop().expect("peeked");
+                    let dense = match &payload {
+                        Payload::Deliver { to, .. } => self.table.dense(*to),
+                        Payload::Kill { peer } => self.table.dense(*peer),
+                    };
+                    let shard = if dense == DENSE_NONE {
+                        0
+                    } else {
+                        Self::shard_of(dense, shards, layout, block)
+                    };
+                    meta.push((at, shard as u32));
+                    shard_events[shard].push(WindowEvent {
+                        idx: count,
+                        at,
+                        seq,
+                        dense,
+                        payload,
+                    });
+                    count += 1;
+                }
+
+                // Dispatch: worker threads when the window is wide enough,
+                // inline otherwise — same per-shard function, same records,
+                // same merge, so the dispatch choice is output-invariant.
+                let wide = count as usize >= threshold && n_workers > 0;
+                if wide && senders.is_empty() {
+                    for _ in 0..n_workers {
+                        let (tx, rx) = mpsc::channel::<ShardTask<N>>();
+                        let rtx = result_tx.clone();
+                        scope.spawn(move || {
+                            while let Ok(task) = rx.recv() {
+                                if rtx.send(process_shard(task)).is_err() {
+                                    break;
+                                }
+                            }
+                        });
+                        senders.push(tx);
+                    }
+                }
+                let (nodes, alive, floor) = self.table.storage_ptrs();
+                let tables = Tables {
+                    nodes,
+                    alive,
+                    floor,
+                };
+                let mut outstanding = 0usize;
+                for (s, events) in shard_events.iter_mut().enumerate() {
+                    if events.is_empty() {
+                        results[s].clear();
+                        continue;
+                    }
+                    let task = ShardTask {
+                        shard: s as u32,
+                        events: std::mem::take(events),
+                        tables,
+                        rng: &mut self.shard_rngs[s] as *mut StdRng,
+                        pool: &mut self.shard_pools[s] as *mut Vec<Vec<Effect<N::Msg>>>,
+                    };
+                    let lane = s % (n_workers + 1);
+                    if wide && lane != 0 {
+                        senders[lane - 1].send(task).expect("worker alive");
+                        outstanding += 1;
+                    } else {
+                        let (shard, recs) = process_shard(task);
+                        results[shard as usize] = recs;
+                    }
+                }
+                for _ in 0..outstanding {
+                    let (shard, recs) = result_rx.recv().expect("worker result");
+                    results[shard as usize] = recs;
+                }
+
+                // Barrier merge: replay all global side effects in canonical
+                // (time, seq) order — the exact interleaving the classic
+                // loop would have produced.
+                cursors.iter_mut().for_each(|c| *c = 0);
+                let mut killed = 0usize;
+                for (i, &(at, shard)) in meta.iter().enumerate() {
+                    self.now = self.now.max(at);
+                    self.version += 1;
+                    self.stats.events_processed += 1;
+                    virtual_depth -= 1;
+                    if self.stats.events_processed % FIFO_PRUNE_INTERVAL == 0
+                        && self.fifo.len() > FIFO_PRUNE_THRESHOLD
+                    {
+                        self.prune_stale_fifo();
+                    }
+                    let s = shard as usize;
+                    let (idx, outcome) =
+                        std::mem::replace(&mut results[s][cursors[s]], (0, Outcome::DropMsg));
+                    debug_assert_eq!(idx as usize, i, "shard records must interleave in order");
+                    cursors[s] += 1;
+                    match outcome {
+                        Outcome::DropMsg => self.stats.messages_dropped += 1,
+                        Outcome::DropTimer => self.stats.timers_dropped += 1,
+                        Outcome::Kill { peer, did } => {
+                            if did {
+                                self.version += 1;
+                                killed += 1;
+                                self.fifo
+                                    .retain(|(from, to), _| *from != peer && *to != peer);
+                            }
+                        }
+                        Outcome::Deliver {
+                            to,
+                            dense,
+                            kind,
+                            mut effects,
+                        } => {
+                            match kind {
+                                DeliverKind::Timer => self.stats.timers_fired += 1,
+                                DeliverKind::External => self.stats.external_delivered += 1,
+                                DeliverKind::Msg => self.stats.messages_delivered += 1,
+                            }
+                            self.deliveries_by_slot[dense as usize] += 1;
+                            for effect in effects.drain(..) {
+                                let (at, payload) = match effect {
+                                    Effect::Send { to: target, msg } => (
+                                        self.schedule_send(to, target),
+                                        Payload::Deliver {
+                                            from: to,
+                                            to: target,
+                                            msg,
+                                            is_timer: false,
+                                            is_external: false,
+                                        },
+                                    ),
+                                    Effect::Timer { delay, msg } => (
+                                        self.now + delay,
+                                        Payload::Deliver {
+                                            from: to,
+                                            to,
+                                            msg,
+                                            is_timer: true,
+                                            is_external: false,
+                                        },
+                                    ),
+                                };
+                                if at < window_end {
+                                    self.lookahead_deferrals += 1;
+                                }
+                                self.push_raw(at, payload);
+                                virtual_depth += 1;
+                                self.stats.peak_queue_depth =
+                                    self.stats.peak_queue_depth.max(virtual_depth as u64);
+                            }
+                            self.shard_pools[s].push(effects);
+                        }
+                    }
+                }
+                if killed > 0 {
+                    self.table.note_killed(killed);
+                }
+            }
+        });
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::latency::ExecConfig;
 
     /// A toy node: forwards a counter around a fixed ring of peers and counts
     /// how many times it saw the token; also supports a periodic tick.
@@ -896,5 +1374,138 @@ mod tests {
         assert_eq!(a, PeerId(0));
         assert_eq!(b, PeerId(1));
         assert_eq!(sim.peer_ids(), vec![a, b]);
+    }
+
+    // ------------------------------------------------------------------
+    // Epoch-engine equivalence
+    // ------------------------------------------------------------------
+
+    /// A churn-heavy token workload over `n` peers: external bursts wide
+    /// enough to trigger worker dispatch, chained forwards, periodic
+    /// ticks, scheduled kills and a revive.
+    fn churny_run(exec: ExecConfig, n: u64) -> (SimTime, NetStats, Vec<(PeerId, u64)>, Vec<u32>) {
+        let mut sim: Simulator<TokenNode> = Simulator::new(NetworkConfig::lan(7).with_exec(exec));
+        for i in 0..n {
+            sim.add_node(|id| TokenNode {
+                next: PeerId((id.raw() + 1) % n),
+                tokens_seen: 0,
+                ticks: 0,
+                killed: false,
+            });
+            let _ = i;
+        }
+        // A wide same-instant burst: every peer gets a chained token, so
+        // the first epochs hold hundreds of events.
+        for i in 0..n {
+            sim.send_external(PeerId(i), TokenMsg::Token(20));
+        }
+        sim.send_external(PeerId(0), TokenMsg::Tick);
+        sim.kill_at(PeerId(3), SimTime::from_millis(2));
+        sim.kill_at(PeerId(5), SimTime::from_millis(4));
+        sim.run_for(Duration::from_millis(10));
+        sim.revive(
+            PeerId(3),
+            TokenNode {
+                next: PeerId(4 % n),
+                tokens_seen: 0,
+                ticks: 0,
+                killed: false,
+            },
+        );
+        for i in 0..n {
+            sim.send_external(PeerId(i), TokenMsg::Token(10));
+        }
+        sim.run_for(Duration::from_secs(3));
+        let tokens: Vec<u32> = sim.nodes_iter().map(|(_, node)| node.tokens_seen).collect();
+        (sim.now(), sim.stats(), sim.per_peer_deliveries(), tokens)
+    }
+
+    #[test]
+    fn epoch_engine_is_byte_identical_to_classic() {
+        let n = 64;
+        let classic = churny_run(ExecConfig::single_thread(), n);
+        for threads in [2, 4, 8] {
+            for layout in [ShardLayout::RoundRobin, ShardLayout::Blocks] {
+                for shards in [0, 3, 16] {
+                    let exec = ExecConfig {
+                        threads,
+                        shards,
+                        layout,
+                        // Low threshold: force actual worker dispatch even
+                        // for mid-sized windows.
+                        parallel_threshold: 8,
+                    };
+                    let parallel = churny_run(exec, n);
+                    assert_eq!(
+                        classic, parallel,
+                        "threads={threads} layout={layout:?} shards={shards} diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_engine_defers_sub_lookahead_timers_and_counts_them() {
+        // A node whose timer is shorter than the network lookahead: the
+        // epoch engine keeps total order but defers the timer to the next
+        // epoch, and reports having done so.
+        #[derive(Debug)]
+        struct FastTimer {
+            fired: u32,
+        }
+        impl Node for FastTimer {
+            type Msg = ();
+            fn on_message(&mut self, ctx: &mut Context<'_, ()>, _from: PeerId, _msg: ()) {
+                self.fired += 1;
+                if self.fired < 50 {
+                    ctx.set_timer(Duration::from_micros(10), ());
+                }
+            }
+        }
+        let exec = ExecConfig {
+            threads: 2,
+            parallel_threshold: 1,
+            ..ExecConfig::default()
+        };
+        let mut sim: Simulator<FastTimer> = Simulator::new(NetworkConfig::lan(1).with_exec(exec));
+        let a = sim.add_node(|_| FastTimer { fired: 0 });
+        sim.send_external(a, ());
+        sim.run_for(Duration::from_secs(1));
+        assert_eq!(sim.node(a).unwrap().fired, 50);
+        assert!(
+            sim.lookahead_deferrals() > 0,
+            "10 µs timers against a 150 µs lookahead must be deferred"
+        );
+        // Protocol-speed timers never defer.
+        let (mut normal, a2, _, _) = three_node_sim();
+        normal.send_external(a2, TokenMsg::Tick);
+        normal.run_for(Duration::from_secs(5));
+        assert_eq!(normal.lookahead_deferrals(), 0);
+    }
+
+    #[test]
+    fn instant_config_stays_on_the_classic_engine() {
+        // Zero lookahead (instant network) cannot form epochs; the
+        // simulator must silently fall back to the classic loop.
+        let exec = ExecConfig::threaded(4);
+        let mut sim: Simulator<TokenNode> =
+            Simulator::new(NetworkConfig::instant(3).with_exec(exec));
+        let a = sim.add_node(|_| TokenNode {
+            next: PeerId(1),
+            tokens_seen: 0,
+            ticks: 0,
+            killed: false,
+        });
+        sim.add_node(|_| TokenNode {
+            next: PeerId(0),
+            tokens_seen: 0,
+            ticks: 0,
+            killed: false,
+        });
+        sim.send_external(a, TokenMsg::Token(9));
+        sim.run_for(Duration::from_secs(1));
+        assert_eq!(sim.stats().messages_delivered, 9);
+        assert_eq!(sim.lookahead_deferrals(), 0);
     }
 }

@@ -45,7 +45,7 @@ use std::time::Duration;
 
 use pepper_datastore::QueryId;
 use pepper_index::Observation;
-use pepper_net::{NetworkConfig, SimTime};
+use pepper_net::{ExecConfig, NetworkConfig, SimTime};
 use pepper_ring::consistency::format_ring;
 use pepper_storage::RecoveryMode;
 use pepper_types::{ItemId, PeerId, ProtocolConfig, SearchKey, SystemConfig};
@@ -127,6 +127,10 @@ pub struct HarnessConfig {
     /// skewed Zipf keys stress split/merge balancing, sequential keys are
     /// the order-preserving worst case).
     pub key_distribution: KeyDistribution,
+    /// Simulator execution engine (threads/shards). Output-invariant: any
+    /// value produces the same trace, stats and final-state hash, so replay
+    /// artifacts do not record it and the thread-matrix tests assert it.
+    pub exec: ExecConfig,
 }
 
 impl HarnessConfig {
@@ -151,6 +155,7 @@ impl HarnessConfig {
             pre_kill_settle: Duration::from_millis(400),
             durability: Some(DurabilityConfig::default()),
             key_distribution: KeyDistribution::Uniform { domain: KEY_DOMAIN },
+            exec: ExecConfig::default(),
         }
     }
 
@@ -185,6 +190,7 @@ impl HarnessConfig {
             pre_kill_settle: Duration::from_millis(400),
             durability: Some(DurabilityConfig::default()),
             key_distribution: KeyDistribution::Uniform { domain: KEY_DOMAIN },
+            exec: ExecConfig::default(),
         }
     }
 
@@ -210,6 +216,15 @@ impl HarnessConfig {
     /// Not run in CI by default; meant for overnight churn hunts.
     pub fn soak(seed: u64) -> Self {
         Self::scaled("soak", seed, 512, 5000, 50)
+    }
+
+    /// The xlarge scale profile: 4096 peers × 3000 ops, oracles every 100th
+    /// advance (the whole-system oracles scan every peer, so a denser
+    /// cadence would dominate the run at this size). The top bench rung —
+    /// the scale where routing-depth and load-balance questions get
+    /// interesting.
+    pub fn xlarge(seed: u64) -> Self {
+        Self::scaled("xlarge", seed, 4096, 3000, 100)
     }
 
     /// The quick profile with every fault type disabled except item churn —
@@ -289,6 +304,7 @@ impl HarnessConfig {
             "medium-zipf" => Ok(Self::zipfed(HarnessConfig::medium(seed), profile)),
             "large" => Ok(HarnessConfig::large(seed)),
             "soak" => Ok(HarnessConfig::soak(seed)),
+            "xlarge" => Ok(HarnessConfig::xlarge(seed)),
             other => Err(format!("unknown harness profile `{other}`")),
         }
     }
@@ -309,7 +325,7 @@ impl HarnessConfig {
     fn cluster(&self) -> Cluster {
         Cluster::new(ClusterConfig {
             system: self.system(),
-            network: NetworkConfig::lan(self.seed),
+            network: NetworkConfig::lan(self.seed).with_exec(self.exec),
             initial_free_peers: self.initial_free_peers,
             first_value: u64::MAX / 2,
             durability: self.durability,
@@ -411,6 +427,14 @@ pub struct RunReport {
     /// FNV-1a hash over the final ring + Data Store dump: two runs that
     /// executed the same schedule end in the same hash.
     pub final_state_hash: u64,
+    /// Routing hop count of every completed query, in completion order —
+    /// the raw material of the macro bench's hop-count histogram (the
+    /// baseline any sub-logarithmic-routing work has to beat).
+    pub query_hops: Vec<u32>,
+    /// Delivered events (messages + timers + external) per peer, in
+    /// increasing id order — the per-peer load profile for the bench's
+    /// load-balance histogram.
+    pub peer_deliveries: Vec<(PeerId, u64)>,
     /// The frozen artifact, present iff violations were found.
     pub artifact: Option<FailureArtifact>,
 }
@@ -443,6 +467,7 @@ pub struct Harness {
     stats: RunStats,
     violations: Vec<Violation>,
     pending_queries: Vec<PendingQuery>,
+    query_hops: Vec<u32>,
     insert_keys_by_id: HashMap<ItemId, u64>,
     raw_by_mapped: HashMap<u64, u64>,
     /// Peers currently down from an [`Op::Crash`], awaiting their
@@ -469,6 +494,7 @@ impl Harness {
             stats: RunStats::default(),
             violations: Vec::new(),
             pending_queries: Vec::new(),
+            query_hops: Vec::new(),
             insert_keys_by_id: HashMap::new(),
             raw_by_mapped: HashMap::new(),
             crashed: BTreeSet::new(),
@@ -654,6 +680,7 @@ impl Harness {
                 Observation::QueryCompleted {
                     query,
                     items,
+                    hops,
                     complete,
                     ..
                 } => {
@@ -662,6 +689,7 @@ impl Harness {
                         .iter()
                         .position(|p| p.at == peer && p.id == query)
                     {
+                        self.query_hops.push(hops);
                         let pending = self.pending_queries.swap_remove(idx);
                         self.evaluate_query(pending, &items, complete);
                     }
@@ -937,6 +965,8 @@ impl Harness {
             final_members: self.cluster.with_ring_members(|m| m.len()),
             stored_keys: self.cluster.stored_keys(),
             final_state_hash,
+            query_hops: self.query_hops,
+            peer_deliveries: self.cluster.sim.per_peer_deliveries(),
             artifact,
         }
     }

@@ -31,3 +31,7 @@ pub mod workload;
 pub use cluster::{Cluster, ClusterConfig};
 pub use harness::{Harness, HarnessConfig, RunReport};
 pub use metrics::{Stats, Table};
+// Simulator execution-engine knobs, re-exported so harness drivers (bench,
+// integration tests) can set thread/shard counts without depending on
+// `pepper-net` directly.
+pub use pepper_net::{ExecConfig, ShardLayout};

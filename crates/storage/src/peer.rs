@@ -365,4 +365,58 @@ mod tests {
         assert_eq!(rec.items.len(), 1);
         assert_eq!(rec.items[0].1.payload, "newer");
     }
+
+    /// Builds a never-snapshotted WAL of `n` insert/delete records churning
+    /// a fixed set of keys — the pathological shape for any replay that
+    /// scans the recovered image per record.
+    fn pathological_log(seed: u64, n: u64) -> PeerStorage {
+        let mut st = PeerStorage::new_mem(
+            seed,
+            StorageConfig {
+                snapshot_after_records: usize::MAX,
+            },
+        );
+        for i in 0..n {
+            // Half the records churn the same 64 hot keys, half are fresh:
+            // both the repeated-upsert and the growing-image cases stress
+            // the replay's per-record lookup.
+            let mapped = if i % 2 == 0 { i % 64 } else { 1000 + i };
+            st.log_item_insert(mapped, &item(mapped));
+            if i % 4 == 0 {
+                st.log_item_delete(mapped);
+            }
+        }
+        st
+    }
+
+    #[test]
+    fn long_wal_replay_scales_linearly() {
+        // Regression guard for the O(n²) replay shape (a linear scan of the
+        // recovered Vec per WAL record): replaying an 8× longer log must
+        // cost roughly 8× — far below the ~64× a quadratic replay costs.
+        // The bound is deliberately loose (3× headroom over linear) so
+        // timing noise can't trip it, while a quadratic regression
+        // overshoots it by an order of magnitude.
+        let small_n = 8_000u64;
+        let big_n = 64_000u64;
+        let small = pathological_log(3, small_n);
+        let big = pathological_log(4, big_n);
+        // Warm-up + correctness: both images must decode fully.
+        assert!(small.recover(RecoveryMode::Clean).wal_records_replayed > 0);
+        let t0 = std::time::Instant::now();
+        let rec_small = small.recover(RecoveryMode::Clean);
+        let small_wall = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        let rec_big = big.recover(RecoveryMode::Clean);
+        let big_wall = t1.elapsed();
+        assert_eq!(rec_small.wal_records_replayed, small_n + small_n / 4);
+        assert_eq!(rec_big.wal_records_replayed, big_n + big_n / 4);
+        assert!(!rec_big.torn_tail);
+        let ratio = big_wall.as_secs_f64() / small_wall.as_secs_f64().max(1e-9);
+        assert!(
+            ratio < 24.0,
+            "8x WAL length cost {ratio:.1}x replay time ({small_wall:?} -> {big_wall:?}); \
+             replay is no longer ~linear in log length"
+        );
+    }
 }

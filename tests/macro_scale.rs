@@ -104,7 +104,7 @@ fn check_cadence_only_affects_detection_not_execution() {
 
 #[test]
 fn scale_profiles_reconstruct_from_their_names() {
-    for profile in ["standard", "medium", "large", "soak"] {
+    for profile in ["standard", "medium", "large", "soak", "xlarge"] {
         let cfg = HarnessConfig::from_profile(profile, 9).expect("known profile");
         assert_eq!(cfg.profile, profile);
         assert_eq!(cfg.seed, 9);
@@ -115,6 +115,12 @@ fn scale_profiles_reconstruct_from_their_names() {
             .unwrap()
             .initial_free_peers,
         511
+    );
+    assert_eq!(
+        HarnessConfig::from_profile("xlarge", 9)
+            .unwrap()
+            .initial_free_peers,
+        4095
     );
     assert!(HarnessConfig::from_profile("gigantic", 9).is_err());
 }
@@ -141,6 +147,35 @@ fn large_profile_matrix_env_gated() {
             "seed {seed}: only {} members",
             report.final_members
         );
+    }
+}
+
+#[test]
+fn zipf_profile_matrix_env_gated() {
+    // Skewed-key scale profiles (`standard-zipf` 32 peers, `medium-zipf`
+    // 128 peers: Zipf-distributed insert keys with 16 hot spots, theta
+    // 0.9) — sustained hot-spot mass drives repeated splits of the same
+    // region, the balancing worst case. Run by the nightly workflow so
+    // skewed-key behavior has a regression record before any
+    // routing/balancing work lands:
+    //   PEPPER_HARNESS_ZIPF_SEEDS=4 cargo test --release -p pepper-sim \
+    //       --test macro_scale zipf_profile_matrix_env_gated
+    let seeds = env_usize("PEPPER_HARNESS_ZIPF_SEEDS", 0);
+    for profile in ["standard-zipf", "medium-zipf"] {
+        for i in 0..seeds {
+            let seed = matrix_seed(i as u64);
+            let cfg = HarnessConfig::from_profile(profile, seed).expect("known profile");
+            let report = Harness::run_generated(cfg);
+            assert!(
+                report.is_clean(),
+                "{profile} seed {seed}: {:?}",
+                report.violations
+            );
+            assert!(
+                !report.stored_keys.is_empty(),
+                "{profile} seed {seed} stored nothing"
+            );
+        }
     }
 }
 

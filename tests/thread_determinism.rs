@@ -1,0 +1,123 @@
+//! Cross-thread-count determinism of the epoch-parallel simulator.
+//!
+//! The epoch engine's contract (ARCHITECTURE.md, "Simulator performance")
+//! is that thread count and shard layout are pure execution details: the
+//! op trace, every `NetStats` counter, the per-peer load profile, the
+//! query hop counts and the final-state hash must be byte-identical to the
+//! classic single-threaded loop. These tests hold whole-system harness
+//! runs to that contract at N = 128 (full profile) and N = 4096 (smoke),
+//! with the inline-dispatch threshold forced low so real worker threads —
+//! not the inline fallback — process the shards.
+
+use pepper_sim::harness::{Harness, HarnessConfig};
+use pepper_sim::{ExecConfig, ShardLayout};
+
+/// Everything observable about a run, collapsed for equality assertions.
+#[derive(Debug, PartialEq)]
+struct Witness {
+    trace_hash: u64,
+    final_state_hash: u64,
+    net: pepper_net::NetStats,
+    final_members: usize,
+    stored_keys: usize,
+    violations: usize,
+    query_hops: Vec<u32>,
+    peer_deliveries_hash: u64,
+}
+
+fn witness(cfg: HarnessConfig) -> Witness {
+    let report = Harness::run_generated(cfg);
+    let mut dump = String::new();
+    for (peer, n) in &report.peer_deliveries {
+        dump.push_str(&format!("{peer}:{n},"));
+    }
+    Witness {
+        trace_hash: report.trace.hash(),
+        final_state_hash: report.final_state_hash,
+        net: report.net,
+        final_members: report.final_members,
+        stored_keys: report.stored_keys.len(),
+        violations: report.violations.len(),
+        query_hops: report.query_hops.clone(),
+        peer_deliveries_hash: pepper_sim::harness::fnv1a(dump.as_bytes()),
+    }
+}
+
+/// N=128: the full thread × layout matrix against the classic engine.
+#[test]
+fn medium_profile_is_byte_identical_across_threads_and_layouts() {
+    let base = |seed| {
+        let mut cfg = HarnessConfig::medium(seed);
+        // Determinism does not depend on schedule length; a shorter run
+        // keeps the 7-run matrix inside the tier-1 budget.
+        cfg.ops = 250;
+        cfg
+    };
+    let classic = witness(base(1000));
+    assert_eq!(classic.violations, 0, "baseline run must be clean");
+    assert!(
+        !classic.query_hops.is_empty(),
+        "profile must exercise queries for the hop comparison to mean anything"
+    );
+    for threads in [2, 4] {
+        for layout in [ShardLayout::RoundRobin, ShardLayout::Blocks] {
+            let mut cfg = base(1000);
+            cfg.exec = ExecConfig {
+                threads,
+                shards: 0,
+                layout,
+                // Force genuine worker dispatch: protocol epochs are a
+                // handful of events wide, far below the default inline
+                // threshold.
+                parallel_threshold: 4,
+            };
+            let parallel = witness(cfg);
+            assert_eq!(
+                classic, parallel,
+                "threads={threads} layout={layout:?} diverged from classic"
+            );
+        }
+    }
+}
+
+/// N=128 with an explicit uneven shard count: the shard count is as much
+/// an execution detail as the thread count.
+#[test]
+fn shard_count_is_output_invariant() {
+    let base = |exec| {
+        let mut cfg = HarnessConfig::medium(1017);
+        cfg.ops = 120;
+        cfg.exec = exec;
+        cfg
+    };
+    let classic = witness(base(ExecConfig::single_thread()));
+    for shards in [3, 7, 32] {
+        let parallel = witness(base(ExecConfig {
+            threads: 2,
+            shards,
+            layout: ShardLayout::RoundRobin,
+            parallel_threshold: 4,
+        }));
+        assert_eq!(classic, parallel, "shards={shards} diverged");
+    }
+}
+
+/// N=4096 smoke: the top bench rung's peer count, a short schedule, 1 vs 4
+/// threads.
+#[test]
+fn xlarge_smoke_is_byte_identical_across_threads() {
+    let base = |exec| {
+        let mut cfg = HarnessConfig::xlarge(1000);
+        cfg.ops = 40;
+        cfg.exec = exec;
+        cfg
+    };
+    let classic = witness(base(ExecConfig::single_thread()));
+    let parallel = witness(base(ExecConfig {
+        threads: 4,
+        shards: 0,
+        layout: ShardLayout::Blocks,
+        parallel_threshold: 8,
+    }));
+    assert_eq!(classic, parallel, "xlarge smoke diverged at 4 threads");
+}
