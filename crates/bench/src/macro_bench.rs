@@ -34,13 +34,30 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use pepper_sim::harness::{matrix_seed, FailureArtifact, Harness, HarnessConfig, RunReport};
+use pepper_sim::TraceConfig;
+
+/// The trace configuration macro-bench runs execute under: the metrics
+/// registry on (its per-layer counters land in the committed JSON), causal
+/// tracing off (the committed events/sec trajectory measures the
+/// tracing-disabled fast path the overhead guard holds to baseline).
+pub fn bench_trace_config() -> TraceConfig {
+    TraceConfig {
+        tracing: false,
+        metrics: true,
+        ..TraceConfig::off()
+    }
+}
 
 /// Schema identifier written into the JSON (bump on layout changes).
 /// v3: per-run `threads`, `trace_hash` + `final_state_hash` (the
 /// cross-thread determinism witnesses), hop-count histogram + percentile
 /// summary, per-peer load summary, the `xlarge` N=4096 rung, and a
 /// two-length WAL-replay scaling block.
-pub const SCHEMA: &str = "pepper-bench-macro/v3";
+/// v4: percentiles are linearly interpolated (fractional values on small
+/// samples), and every run carries the epoch-engine wall-clock profile
+/// (`engine_*`) plus the per-layer metrics registry (`metrics` counters and
+/// `metrics_histograms` summaries) collected with tracing off.
+pub const SCHEMA: &str = "pepper-bench-macro/v4";
 
 /// Default output path: `BENCH_macro.json` at the repository root.
 pub fn default_out_path() -> PathBuf {
@@ -50,13 +67,21 @@ pub fn default_out_path() -> PathBuf {
     ))
 }
 
-/// Percentile over a sorted slice (nearest-rank).
-fn percentile(sorted: &[u64], p: f64) -> u64 {
+/// Percentile over a sorted slice, linearly interpolated between the two
+/// nearest ranks (the "exclusive" definition used by numpy's default): the
+/// p-th percentile sits at fractional rank `p/100 · (n−1)`. Nearest-rank
+/// rounding collapses p99 onto the max for any sample smaller than 100
+/// observations, which is exactly the regime the per-rung load summaries
+/// live in.
+fn percentile(sorted: &[u64], p: f64) -> f64 {
     if sorted.is_empty() {
-        return 0;
+        return 0.0;
     }
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
+    let rank = (p / 100.0).clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] as f64 + (sorted[hi] as f64 - sorted[lo] as f64) * frac
 }
 
 /// One measured harness run.
@@ -90,17 +115,23 @@ struct MacroRun {
     /// number of queries that took `h` hops (tail clamped into the last
     /// bucket).
     hop_histogram: Vec<u64>,
-    hops_p50: u64,
-    hops_p99: u64,
+    hops_p50: f64,
+    hops_p99: f64,
     hops_max: u64,
     /// Per-peer delivered-event load summary (messages + timers).
     load_mean: f64,
-    load_p50: u64,
-    load_p99: u64,
+    load_p50: f64,
+    load_p99: f64,
     load_max: u64,
     /// `load_max / load_mean`: the load-imbalance factor the D3-tree-style
     /// balancing work will target.
     load_imbalance: f64,
+    /// Epoch-engine wall-clock profile (phase times + shard occupancy).
+    engine: pepper_sim::EngineProfile,
+    /// Pre-rendered JSON of the per-layer metrics counters.
+    metrics_json: String,
+    /// Pre-rendered JSON of the per-layer metrics histogram summaries.
+    metrics_hist_json: String,
 }
 
 /// Largest tracked hop count; longer routes land in the final bucket.
@@ -126,6 +157,29 @@ impl MacroRun {
             load.iter().sum::<u64>() as f64 / load.len() as f64
         };
         let load_max = load.last().copied().unwrap_or(0);
+        let metrics_json = {
+            let entries: Vec<String> = report
+                .metrics
+                .counters()
+                .map(|(layer, name, v)| format!("\"{layer}.{name}\": {v}"))
+                .collect();
+            format!("{{{}}}", entries.join(", "))
+        };
+        let metrics_hist_json = {
+            let entries: Vec<String> = report
+                .metrics
+                .histograms()
+                .map(|(layer, name, h)| {
+                    format!(
+                        "\"{layer}.{name}\": {{\"count\": {}, \"mean\": {:.1}, \"max\": {}}}",
+                        h.count,
+                        h.mean(),
+                        h.max
+                    )
+                })
+                .collect();
+            format!("{{{}}}", entries.join(", "))
+        };
         MacroRun {
             profile: run.profile,
             peers: run.peers,
@@ -165,6 +219,9 @@ impl MacroRun {
             } else {
                 0.0
             },
+            engine: report.engine,
+            metrics_json,
+            metrics_hist_json,
         }
     }
 
@@ -173,7 +230,7 @@ impl MacroRun {
         let mut s = String::new();
         let _ = write!(
             s,
-            "    {{\n      \"profile\": \"{}\",\n      \"peers\": {},\n      \"ops\": {},\n      \"seed\": {},\n      \"threads\": {},\n      \"wall_ms\": {:.1},\n      \"virtual_ms\": {},\n      \"expected_virtual_ms\": {},\n      \"events\": {},\n      \"events_per_sec\": {:.0},\n      \"messages_sent\": {},\n      \"messages_delivered\": {},\n      \"peak_queue_depth\": {},\n      \"peak_fifo_channels\": {},\n      \"rss_proxy_peak\": {},\n      \"final_ring_members\": {},\n      \"trace_ops\": {},\n      \"trace_hash\": \"{:016x}\",\n      \"final_state_hash\": \"{:016x}\",\n      \"kills\": {},\n      \"restarts\": {},\n      \"wal_records_replayed\": {},\n      \"queries_checked\": {},\n      \"queries_incomplete\": {},\n      \"violations\": {},\n      \"hops_p50\": {},\n      \"hops_p99\": {},\n      \"hops_max\": {},\n      \"hop_histogram\": [{}],\n      \"load_mean\": {:.1},\n      \"load_p50\": {},\n      \"load_p99\": {},\n      \"load_max\": {},\n      \"load_imbalance\": {:.2}\n    }}",
+            "    {{\n      \"profile\": \"{}\",\n      \"peers\": {},\n      \"ops\": {},\n      \"seed\": {},\n      \"threads\": {},\n      \"wall_ms\": {:.1},\n      \"virtual_ms\": {},\n      \"expected_virtual_ms\": {},\n      \"events\": {},\n      \"events_per_sec\": {:.0},\n      \"messages_sent\": {},\n      \"messages_delivered\": {},\n      \"peak_queue_depth\": {},\n      \"peak_fifo_channels\": {},\n      \"rss_proxy_peak\": {},\n      \"final_ring_members\": {},\n      \"trace_ops\": {},\n      \"trace_hash\": \"{:016x}\",\n      \"final_state_hash\": \"{:016x}\",\n      \"kills\": {},\n      \"restarts\": {},\n      \"wal_records_replayed\": {},\n      \"queries_checked\": {},\n      \"queries_incomplete\": {},\n      \"violations\": {},\n      \"hops_p50\": {:.2},\n      \"hops_p99\": {:.2},\n      \"hops_max\": {},\n      \"hop_histogram\": [{}],\n      \"load_mean\": {:.1},\n      \"load_p50\": {:.2},\n      \"load_p99\": {:.2},\n      \"load_max\": {},\n      \"load_imbalance\": {:.2},\n      \"engine_windows\": {},\n      \"engine_parallel_windows\": {},\n      \"engine_drain_ms\": {:.1},\n      \"engine_exec_ms\": {:.1},\n      \"engine_merge_ms\": {:.1},\n      \"engine_imbalance\": {:.2},\n      \"metrics\": {},\n      \"metrics_histograms\": {}\n    }}",
             self.profile,
             self.peers,
             self.ops,
@@ -208,6 +265,14 @@ impl MacroRun {
             self.load_p99,
             self.load_max,
             self.load_imbalance,
+            self.engine.windows,
+            self.engine.parallel_windows,
+            self.engine.drain_nanos as f64 / 1e6,
+            self.engine.exec_nanos as f64 / 1e6,
+            self.engine.merge_nanos as f64 / 1e6,
+            self.engine.imbalance(),
+            self.metrics_json,
+            self.metrics_hist_json,
         );
         s
     }
@@ -292,7 +357,7 @@ fn measure(cfg: HarnessConfig) -> (MacroRun, RunReport) {
 fn print_run(run: &MacroRun) {
     println!(
         "{:<10} peers={:<4} ops={:<5} seed={:<5} threads={} wall={:>8.1}ms events={:>9} \
-         ({:>9.0}/s) members={:<4} hops_p99={:<3} load_imb={:<5.2} violations={}",
+         ({:>9.0}/s) members={:<4} hops_p99={:<6.2} load_imb={:<5.2} violations={}",
         run.profile,
         run.peers,
         run.ops,
@@ -390,6 +455,7 @@ pub fn run(args: &[String]) -> i32 {
             if cfg.profile == "xlarge" && i > 0 {
                 continue;
             }
+            cfg.trace = bench_trace_config();
             let (run, report) = measure(cfg.clone());
             print_run(&run);
             violations += run.violations;
@@ -481,4 +547,152 @@ pub fn run(args: &[String]) -> i32 {
         return 1;
     }
     0
+}
+
+/// Pulls `events_per_sec` of the single-threaded run of `profile` out of a
+/// committed `BENCH_macro.json` (a stateful line scan over our own writer's
+/// output — the file is machine-written, two fields per run suffice).
+fn baseline_events_per_sec(json: &str, profile: &str) -> Option<f64> {
+    let mut in_profile = false;
+    let mut single_threaded = false;
+    for line in json.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if let Some(v) = line.strip_prefix("\"profile\": ") {
+            in_profile = v.trim_matches('"') == profile;
+            single_threaded = false;
+        } else if let Some(v) = line.strip_prefix("\"threads\": ") {
+            single_threaded = v == "1";
+        } else if let Some(v) = line.strip_prefix("\"events_per_sec\": ") {
+            if in_profile && single_threaded {
+                return v.parse().ok();
+            }
+        }
+    }
+    None
+}
+
+/// The disabled-tracing overhead guard (`experiments trace-overhead`): runs
+/// the large rung with tracing fully off and fails if its events/sec fell
+/// more than `--tolerance` percent below the committed `BENCH_macro.json`
+/// baseline — the instrumentation's disabled fast path must stay free. The
+/// default tolerance is generous because CI machines differ from the
+/// machine that committed the baseline; run with `--tolerance 3` locally
+/// on the baseline machine for the tight check. Also reports (never
+/// judges) the cost of tracing *enabled* on the same rung.
+pub fn overhead_guard(args: &[String]) -> i32 {
+    let mut tolerance = 40.0f64;
+    let mut baseline_path = default_out_path();
+    let mut profile = "large".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tolerance" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(t) => tolerance = t,
+                None => {
+                    eprintln!("--tolerance needs a percentage");
+                    return 2;
+                }
+            },
+            "--baseline" => match it.next() {
+                Some(p) => baseline_path = PathBuf::from(p),
+                None => {
+                    eprintln!("--baseline needs a path");
+                    return 2;
+                }
+            },
+            "--profile" => match it.next() {
+                Some(p) => profile = p.clone(),
+                None => {
+                    eprintln!("--profile needs a name");
+                    return 2;
+                }
+            },
+            other => {
+                eprintln!("unknown trace-overhead flag `{other}`");
+                return 2;
+            }
+        }
+    }
+    let baseline_json = match std::fs::read_to_string(&baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read baseline {}: {e}", baseline_path.display());
+            return 2;
+        }
+    };
+    let Some(baseline) = baseline_events_per_sec(&baseline_json, &profile) else {
+        eprintln!(
+            "no single-threaded `{profile}` run in {}",
+            baseline_path.display()
+        );
+        return 2;
+    };
+
+    let seed = matrix_seed(0);
+    let mut cfg = HarnessConfig::from_profile(&profile, seed).expect("known profile");
+    cfg.trace = TraceConfig::off();
+    let (off_run, _) = measure(cfg.clone());
+    print_run(&off_run);
+    cfg.trace = TraceConfig::enabled();
+    let (on_run, _) = measure(cfg);
+    print_run(&on_run);
+
+    let delta = (off_run.events_per_sec - baseline) / baseline * 100.0;
+    let enabled_cost =
+        (off_run.events_per_sec - on_run.events_per_sec) / off_run.events_per_sec.max(1e-9) * 100.0;
+    println!(
+        "trace-overhead: {profile} disabled {:.0}/s vs baseline {:.0}/s ({:+.1}%); \
+         enabled costs {:.1}%",
+        off_run.events_per_sec, baseline, delta, enabled_cost
+    );
+    if off_run.events_per_sec < baseline * (1.0 - tolerance / 100.0) {
+        eprintln!(
+            "trace-overhead: disabled-tracing throughput fell {:.1}% below the committed \
+             baseline (tolerance {tolerance}%)",
+            -delta
+        );
+        return 1;
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hand-computed interpolated percentiles: `[1,2,3,4]` has p50 halfway
+    /// between its two middle values and a p99 strictly below the max —
+    /// the property nearest-rank got wrong on every small sample.
+    #[test]
+    fn percentile_interpolates_on_small_samples() {
+        let s = [1u64, 2, 3, 4];
+        assert!((percentile(&s, 50.0) - 2.5).abs() < 1e-9);
+        assert!((percentile(&s, 99.0) - 3.97).abs() < 1e-9);
+        assert!((percentile(&s, 0.0) - 1.0).abs() < 1e-9);
+        assert!((percentile(&s, 100.0) - 4.0).abs() < 1e-9);
+        let t = [10u64, 20, 30, 40, 50];
+        assert!((percentile(&t, 50.0) - 30.0).abs() < 1e-9);
+        assert!((percentile(&t, 99.0) - 49.6).abs() < 1e-9);
+        assert!(
+            percentile(&t, 99.0) < 50.0,
+            "p99 of a 5-sample set must not collapse onto the max"
+        );
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        assert_eq!(percentile(&[], 99.0), 0.0);
+        assert_eq!(percentile(&[7], 50.0), 7.0);
+        assert_eq!(percentile(&[7], 99.0), 7.0);
+    }
+
+    #[test]
+    fn baseline_scan_finds_the_single_threaded_row() {
+        let json = "\
+            {\n  \"runs\": [\n    {\n      \"profile\": \"large\",\n      \"threads\": 4,\n      \
+            \"events_per_sec\": 111\n    },\n    {\n      \"profile\": \"large\",\n      \
+            \"threads\": 1,\n      \"events_per_sec\": 222\n    }\n  ]\n}\n";
+        assert_eq!(baseline_events_per_sec(json, "large"), Some(222.0));
+        assert_eq!(baseline_events_per_sec(json, "medium"), None);
+    }
 }

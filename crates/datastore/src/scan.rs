@@ -41,6 +41,31 @@ impl DataStoreState {
         (items, pieces)
     }
 
+    /// Whether the scan walk terminates at this peer: either its range owns
+    /// the interval's upper bound, or the walk has *overshot* it.
+    ///
+    /// The upper bound can fall in a key-space gap — a failed peer's range
+    /// during the window between the failure and its successor's takeover.
+    /// No live range ever contains such a bound, so a termination check
+    /// based on ownership alone laps the entire ring (and would re-lap it
+    /// forever, but for the [`MAX_SCAN_HOPS`] cap) while every lap re-sends
+    /// duplicate results. Overshoot is detected in circular walk distance
+    /// from the interval's lower bound: the highs of the visited ranges walk
+    /// monotonically away from `lo`, so the first peer whose high is at or
+    /// past `hi` is where the scan must stop — with the gap uncovered, which
+    /// query finalization reports as `complete: false` (availability, not
+    /// correctness, is what a failure may cost).
+    fn scan_reached_upper_bound(&self, interval: &KeyInterval) -> bool {
+        if self.range.contains(interval.hi()) {
+            return true;
+        }
+        if self.range.is_empty() {
+            return false;
+        }
+        let walked = |v: u64| v.wrapping_sub(interval.lo());
+        walked(self.range.high().raw()) >= walked(interval.hi())
+    }
+
     /// One hop of the PEPPER `scanRange`.
     pub(crate) fn on_scan_step(
         &mut self,
@@ -81,7 +106,7 @@ impl DataStoreState {
             },
         );
 
-        if self.range.contains(interval.hi()) || hop >= MAX_SCAN_HOPS {
+        if self.scan_reached_upper_bound(&interval) || hop >= MAX_SCAN_HOPS {
             fx.send(query.origin, DsMsg::ScanDone { query, hops: hop });
             self.release_scan_lock(ctx, fx);
             return;
@@ -253,7 +278,7 @@ impl DataStoreState {
                 hop,
             },
         );
-        if self.range.contains(interval.hi()) || hop >= MAX_SCAN_HOPS {
+        if self.scan_reached_upper_bound(&interval) || hop >= MAX_SCAN_HOPS {
             fx.send(query.origin, DsMsg::ScanDone { query, hops: hop });
             return;
         }
@@ -517,6 +542,88 @@ mod tests {
         // A stale timeout afterwards is ignored.
         p.on_scan_forward_timeout(ctx(1), qid(9, 0), PeerId(3), 0, 2, &mut fx);
         assert_eq!(p.scan_locks(), 0);
+    }
+
+    #[test]
+    fn scan_overshooting_a_gap_terminates_instead_of_lapping_the_ring() {
+        // Regression pin for the hops_p99 = 1024 outlier in the committed
+        // N=32 standard bench rung: the query's upper bound (150) lies in a
+        // failed peer's range that nobody has taken over yet, so no live
+        // range contains it. The walk arrives at the next live peer past the
+        // gap — range (200, 300] — which must recognize the overshoot and
+        // finalize the scan instead of forwarding it around the entire ring
+        // until MAX_SCAN_HOPS.
+        let mut p = live_peer(4, 200, 300, &[250]);
+        p.set_successor(PeerId(5), PeerValue(400));
+        let mut fx = Effects::new();
+        let interval = KeyInterval::new(50, 150).unwrap();
+        p.on_scan_step(ctx(4), qid(9, 0), interval, Some(PeerId(3)), 2, &mut fx);
+        let effects = fx.drain();
+        assert!(
+            effects.iter().any(|e| matches!(
+                e,
+                Effect::Send { to, msg: DsMsg::ScanDone { hops: 2, .. } } if *to == PeerId(9)
+            )),
+            "the scan must finalize at the overshooting peer"
+        );
+        assert!(
+            !effects.iter().any(|e| matches!(
+                e,
+                Effect::Send {
+                    msg: DsMsg::ScanStep { .. },
+                    ..
+                }
+            )),
+            "the scan must not keep walking past the query interval"
+        );
+        assert_eq!(p.scan_locks(), 0);
+    }
+
+    #[test]
+    fn naive_scan_overshooting_a_gap_terminates_too() {
+        let mut p = live_peer(4, 200, 300, &[250]);
+        p.set_successor(PeerId(5), PeerValue(400));
+        let mut fx = Effects::new();
+        let interval = KeyInterval::new(50, 150).unwrap();
+        p.on_naive_scan_step(ctx(4), qid(9, 0), interval, 2, &mut fx);
+        let effects = fx.drain();
+        assert!(effects.iter().any(|e| matches!(
+            e,
+            Effect::Send {
+                msg: DsMsg::ScanDone { hops: 2, .. },
+                ..
+            }
+        )));
+        assert!(!effects.iter().any(|e| matches!(
+            e,
+            Effect::Send {
+                msg: DsMsg::NaiveScanStep { .. },
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn overshoot_guard_handles_wrapping_walks() {
+        // The walk wraps the top of the domain: lo = MAX - 10, hi = MAX - 2
+        // (a KeyInterval is linear, but the *walk* from the owner of lo may
+        // wrap). A peer whose range wraps past the bound terminates; one
+        // strictly between lo and hi keeps forwarding.
+        let hi = u64::MAX - 2;
+        let interval = KeyInterval::new(u64::MAX - 10, hi).unwrap();
+        // Range (MAX-6, 5] wraps and contains hi: plain ownership.
+        let p_owner = live_peer(1, u64::MAX - 6, 5, &[]);
+        assert!(p_owner.scan_reached_upper_bound(&interval));
+        // Range (2, 20]: entirely past the wrap, high walked beyond hi.
+        let p_past = live_peer(2, 2, 20, &[]);
+        assert!(p_past.scan_reached_upper_bound(&interval));
+        // Range (MAX-10, MAX-5]: mid-walk, must keep forwarding.
+        let p_mid = live_peer(3, u64::MAX - 10, u64::MAX - 5, &[]);
+        assert!(!p_mid.scan_reached_upper_bound(&interval));
+        // An empty range never claims the bound.
+        let mut p_empty = live_peer(5, 0, 100, &[]);
+        p_empty.range = CircularRange::empty(50u64);
+        assert!(!p_empty.scan_reached_upper_bound(&interval));
     }
 
     #[test]

@@ -90,6 +90,20 @@ impl PeerMsg {
             PeerMsg::PredTakeover { .. } => "PredTakeover",
         }
     }
+
+    /// The protocol layer this message belongs to, as a short static tag
+    /// (the index-level routing envelope and takeover timer count as
+    /// `"index"`).
+    pub fn layer_tag(&self) -> &'static str {
+        match self {
+            PeerMsg::Ring(_) => "ring",
+            PeerMsg::Ds(_) => "ds",
+            PeerMsg::Repl(_) => "repl",
+            PeerMsg::Router(_) => "router",
+            PeerMsg::Storage(_) => "storage",
+            PeerMsg::Route { .. } | PeerMsg::PredTakeover { .. } => "index",
+        }
+    }
 }
 
 #[cfg(test)]
@@ -120,6 +134,30 @@ mod tests {
             }
             .tag(),
             "Route"
+        );
+    }
+
+    #[test]
+    fn layer_tags_name_the_owning_layer() {
+        assert_eq!(PeerMsg::Ring(RingMsg::StabilizeTick).layer_tag(), "ring");
+        assert_eq!(PeerMsg::Ds(DsMsg::HandoffAck).layer_tag(), "ds");
+        assert_eq!(PeerMsg::Repl(ReplMsg::RefreshTick).layer_tag(), "repl");
+        assert_eq!(
+            PeerMsg::Router(RouterMsg::MaintainTick).layer_tag(),
+            "router"
+        );
+        assert_eq!(
+            PeerMsg::Storage(StorageMsg::SnapshotTick).layer_tag(),
+            "storage"
+        );
+        assert_eq!(
+            PeerMsg::PredTakeover {
+                peer: PeerId(1),
+                value: PeerValue(0),
+                low_at_arm: PeerValue(0)
+            }
+            .layer_tag(),
+            "index"
         );
     }
 }

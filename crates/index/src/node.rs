@@ -11,6 +11,7 @@ use pepper_router::{HierarchicalRouter, RouterConfig};
 use pepper_storage::{
     DurableImage, PeerStorage, RecoveredState, RecoveryMode, StorageEvent, StorageLayer,
 };
+use pepper_trace::{Metrics, TraceConfig, TraceEvent, Tracer};
 use pepper_types::{
     CircularRange, Item, ItemId, KeyInterval, PeerId, PeerValue, RangeQuery, SearchKey,
     SystemConfig,
@@ -83,6 +84,10 @@ pub struct PeerNode {
     pending_inserts: HashMap<ItemId, PendingItemInsert>,
     pending_deletes: HashMap<u64, PendingItemDelete>,
     observations: Vec<Observation>,
+    /// Causal trace recorder (off by default; see [`PeerNode::with_trace`]).
+    trace: Tracer,
+    /// Per-layer metrics registry (disabled by default).
+    metrics: Metrics,
 }
 
 impl PeerNode {
@@ -117,6 +122,8 @@ impl PeerNode {
             pending_inserts: HashMap::new(),
             pending_deletes: HashMap::new(),
             observations: Vec::new(),
+            trace: Tracer::off(),
+            metrics: Metrics::disabled(),
         }
     }
 
@@ -153,6 +160,8 @@ impl PeerNode {
             pending_inserts: HashMap::new(),
             pending_deletes: HashMap::new(),
             observations: Vec::new(),
+            trace: Tracer::off(),
+            metrics: Metrics::disabled(),
         }
     }
 
@@ -161,6 +170,31 @@ impl PeerNode {
     pub fn with_storage(mut self, mut storage: PeerStorage) -> Self {
         storage.write_snapshot(&self.durable_image());
         self.storage = Some(storage);
+        self
+    }
+
+    /// Configures tracing and metrics for this peer. Builder-style, used at
+    /// node construction; with [`TraceConfig::off`] (the default) every
+    /// record site reduces to an inlined discriminant check.
+    pub fn with_trace(mut self, cfg: &TraceConfig) -> Self {
+        self.trace = if cfg.tracing {
+            Tracer::ring(cfg.ring_capacity)
+        } else {
+            Tracer::off()
+        };
+        self.metrics = if cfg.metrics {
+            Metrics::enabled()
+        } else {
+            Metrics::disabled()
+        };
+        self
+    }
+
+    /// Seeds this peer's tracer with events recorded by its pre-crash
+    /// incarnation, so a post-mortem of a restarted peer still covers the
+    /// events leading up to the crash. No-op when tracing is off.
+    pub fn with_trace_history(mut self, events: Vec<TraceEvent>) -> Self {
+        self.trace.preload(events);
         self
     }
 
@@ -284,6 +318,23 @@ impl PeerNode {
         std::mem::take(&mut self.observations)
     }
 
+    /// The per-layer metrics registry (empty and inert unless enabled via
+    /// [`PeerNode::with_trace`]).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Snapshot of the retained trace events, oldest first (empty when
+    /// tracing is off).
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.trace.snapshot()
+    }
+
+    /// Trace events evicted from the bounded ring buffer so far.
+    pub fn trace_dropped(&self) -> u64 {
+        self.trace.dropped()
+    }
+
     // ------------------------------------------------------------------
     // index API (invoked by the harness through `Simulator::with_node_ctx`)
     // ------------------------------------------------------------------
@@ -292,6 +343,8 @@ impl PeerNode {
     /// an index; joining peers start automatically when they join.
     pub fn start(&mut self, ctx: &mut Context<'_, PeerMsg>) {
         let now = ctx.now();
+        self.trace.set_cid(ctx.cid());
+        self.note(now, "api", "Start", String::new);
         let mut out = Effects::new();
         self.start_layers(now, &mut out);
         ctx.apply(out, |m| m);
@@ -303,6 +356,8 @@ impl PeerNode {
         let now = ctx.now();
         let mut out = Effects::new();
         let mapped = self.cfg.key_map.map(item.skv).raw();
+        self.trace.set_cid(ctx.cid());
+        self.note(now, "api", "InsertItem", || format!("mapped={mapped}"));
         self.pending_inserts.insert(
             item.id,
             PendingItemInsert {
@@ -331,6 +386,8 @@ impl PeerNode {
         let now = ctx.now();
         let mut out = Effects::new();
         let mapped = self.cfg.key_map.map(key).raw();
+        self.trace.set_cid(ctx.cid());
+        self.note(now, "api", "DeleteItem", || format!("mapped={mapped}"));
         self.pending_deletes
             .insert(mapped, PendingItemDelete { attempts: 0 });
         self.handle_route(
@@ -355,6 +412,8 @@ impl PeerNode {
         query: RangeQuery,
     ) -> Option<QueryId> {
         let now = ctx.now();
+        self.trace.set_cid(ctx.cid());
+        self.note(now, "api", "RangeQuery", String::new);
         let mut out = Effects::new();
         let lctx = LayerCtx::new(self.id, now);
         let (registered, ds_events) = self
@@ -377,6 +436,8 @@ impl PeerNode {
     /// an offer already in flight).
     pub fn request_leave(&mut self, ctx: &mut Context<'_, PeerMsg>) -> bool {
         let now = ctx.now();
+        self.trace.set_cid(ctx.cid());
+        self.note(now, "api", "RequestLeave", String::new);
         let mut out = Effects::new();
         let started = match self.ring.pred() {
             Some((pred, _)) if pred != self.id => {
@@ -398,6 +459,22 @@ impl PeerNode {
 
     fn layer_ctx(&self, now: SimTime) -> LayerCtx {
         LayerCtx::new(self.id, now)
+    }
+
+    /// The single instrumentation point: records one trace event under the
+    /// current correlation id and bumps the matching `(layer, kind)`
+    /// counter. `detail` is only built when tracing is on.
+    #[inline]
+    fn note(
+        &mut self,
+        now: SimTime,
+        layer: &'static str,
+        kind: &'static str,
+        detail: impl FnOnce() -> String,
+    ) {
+        self.metrics.bump(layer, kind);
+        self.trace
+            .record(now.as_nanos(), self.id.raw(), layer, kind, detail);
     }
 
     /// Starts every layer's periodic timers through the uniform
@@ -502,6 +579,7 @@ impl PeerNode {
         // this; a sole survivor has nobody to recover from, so the ordering
         // is load-bearing.)
         if let Some(acquired) = acquired {
+            self.note(now, "index", "TakeoverExtend", || format!("{acquired:?}"));
             self.revive_range(now, acquired, out);
         }
         self.process_ds_events(now, ds_events, out);
@@ -536,6 +614,7 @@ impl PeerNode {
         out: &mut Effects<PeerMsg>,
     ) {
         for event in events {
+            self.note(now, "ring", event.tag(), String::new);
             match event {
                 RingEvent::Joined { value, .. } => {
                     self.ds.became_ring_member(value);
@@ -650,6 +729,7 @@ impl PeerNode {
                 .iter()
                 .any(|e| matches!(e, DsEvent::RangeChanged { .. } | DsEvent::BecameFree));
         for event in events {
+            self.note(now, "ds", event.tag(), String::new);
             match event {
                 DsEvent::SplitNeeded { .. } => self.start_split(now, out),
                 DsEvent::MergeNeeded { .. } => {
@@ -746,6 +826,7 @@ impl PeerNode {
                     if !snapshot_in_batch {
                         if let Some(storage) = self.storage.as_mut() {
                             storage.log_item_insert(mapped, &item);
+                            self.metrics.bump("storage", "wal_append");
                         }
                     }
                 }
@@ -753,6 +834,7 @@ impl PeerNode {
                     if !snapshot_in_batch {
                         if let Some(storage) = self.storage.as_mut() {
                             storage.log_item_delete(mapped);
+                            self.metrics.bump("storage", "wal_append");
                         }
                     }
                 }
@@ -782,6 +864,17 @@ impl PeerNode {
                     elapsed,
                     complete,
                 } => {
+                    self.metrics.observe("ds", "scan_hops", hops as u64);
+                    self.metrics
+                        .observe("ds", "scan_elapsed_nanos", elapsed.as_nanos() as u64);
+                    self.metrics.bump(
+                        "ds",
+                        if complete {
+                            "scan_complete"
+                        } else {
+                            "scan_incomplete"
+                        },
+                    );
                     self.observations.push(Observation::QueryCompleted {
                         query,
                         items,
@@ -818,6 +911,7 @@ impl PeerNode {
         out: &mut Effects<PeerMsg>,
     ) {
         for event in events {
+            self.note(now, "repl", event.tag(), String::new);
             match event {
                 ReplEvent::RefreshDue => {
                     // One refresh round of the CFS scheme, fed with the
@@ -844,6 +938,8 @@ impl PeerNode {
                     // is what gives the crash injector real torn writes.
                     if let Some(storage) = self.storage.as_mut() {
                         storage.log_replica_puts(&items);
+                        self.metrics
+                            .add("storage", "wal_replica_puts", items.len() as u64);
                     }
                 }
             }
@@ -854,11 +950,12 @@ impl PeerNode {
 
     fn process_storage_events(
         &mut self,
-        _now: SimTime,
+        now: SimTime,
         events: Vec<StorageEvent>,
         _out: &mut Effects<PeerMsg>,
     ) {
         for event in events {
+            self.note(now, "storage", event.tag(), String::new);
             match event {
                 StorageEvent::SnapshotDue => {
                     // Periodic WAL compaction: only rewrite the image once
@@ -890,6 +987,7 @@ impl PeerNode {
         let image = self.durable_image();
         if let Some(storage) = self.storage.as_mut() {
             storage.write_snapshot(&image);
+            self.metrics.bump("storage", "snapshot_write");
         }
     }
 
@@ -912,6 +1010,11 @@ impl PeerNode {
             return 0;
         }
         let now = ctx.now();
+        self.trace.set_cid(ctx.cid());
+        let donation_len = self.recovered_donation.len();
+        self.note(now, "api", "RestartRejoin", || {
+            format!("donating={donation_len}")
+        });
         let mut out = Effects::new();
         if let Some((peer, value)) = contact {
             self.ds.set_successor(peer, value);
@@ -1166,6 +1269,38 @@ impl Node for PeerNode {
 
     fn on_message(&mut self, ctx: &mut Context<'_, PeerMsg>, from: PeerId, msg: PeerMsg) {
         let now = ctx.now();
+        // Adopt the delivery envelope's correlation id before anything is
+        // recorded: every event this handler (and the layers below it)
+        // records is attributed to the root cause that led here.
+        self.trace.set_cid(ctx.cid());
+        if self.metrics.is_enabled() {
+            self.metrics.bump(
+                "net",
+                if ctx.is_timer() {
+                    "timer_fired"
+                } else {
+                    "msg_delivered"
+                },
+            );
+            self.metrics.bump(msg.layer_tag(), msg.tag());
+        }
+        if self.trace.enabled() {
+            let timer = ctx.is_timer();
+            let sender = from.raw();
+            self.trace.record(
+                now.as_nanos(),
+                self.id.raw(),
+                msg.layer_tag(),
+                msg.tag(),
+                || {
+                    if timer {
+                        "timer".to_string()
+                    } else {
+                        format!("from=p{sender}")
+                    }
+                },
+            );
+        }
         let mut out = Effects::new();
         self.dispatch(now, from, msg, &mut out);
         ctx.apply(out, |m| m);
@@ -1487,6 +1622,47 @@ mod tests {
         let snaps = snapshots(&sim);
         assert!(check_consistent_successor_pointers(&snaps).is_consistent());
         assert!(check_connectivity(&snaps).is_consistent());
+    }
+
+    #[test]
+    fn tracing_records_causal_events_and_metrics() {
+        let cfg = test_cfg(ProtocolConfig::pepper());
+        let pool = FreePool::new();
+        let mut sim: Simulator<PeerNode> = Simulator::new(NetworkConfig::lan(3));
+        let tc = TraceConfig::enabled().with_ring_capacity(1 << 12);
+        let cfg_first = cfg.clone();
+        let pool_first = pool.clone();
+        let first = sim.add_node(move |id| {
+            PeerNode::first(id, PeerValue(u64::MAX / 2), cfg_first, pool_first).with_trace(&tc)
+        });
+        sim.with_node_ctx(first, |node, ctx| node.start(ctx));
+        insert_keys(&mut sim, first, [10, 20, 30]);
+        sim.run_for(Duration::from_secs(1));
+        let node = sim.node(first).unwrap();
+        assert_eq!(node.metrics().counter("api", "InsertItem"), 3);
+        assert!(node.metrics().counter("net", "timer_fired") > 0);
+        let events = node.trace_events();
+        assert!(!events.is_empty());
+        // Each insert API call is a causal root with its own cid...
+        let api_cids: Vec<_> = events
+            .iter()
+            .filter(|e| e.layer == "api" && e.kind == "InsertItem")
+            .map(|e| e.cid)
+            .collect();
+        assert_eq!(api_cids.len(), 3);
+        assert!(api_cids.iter().all(|c| !c.is_none()));
+        assert_eq!(
+            api_cids.len(),
+            api_cids
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
+            "distinct roots mint distinct cids"
+        );
+        // ...and the data-store events it caused inherit that cid.
+        assert!(events
+            .iter()
+            .any(|e| e.layer == "ds" && api_cids.contains(&e.cid)));
     }
 
     #[test]

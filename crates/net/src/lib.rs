@@ -35,5 +35,9 @@ pub use failure::FailureSchedule;
 pub use latency::{ExecConfig, LatencyModel, NetworkConfig, ShardLayout};
 pub use layer::{LayerSlot, ProtocolLayer};
 pub use sim::{Context, Node, Simulator};
-pub use stats::NetStats;
+pub use stats::{EngineProfile, NetStats};
 pub use time::SimTime;
+
+// Correlation ids ride every delivery envelope (see `sim`); re-exported so
+// downstream crates can name them without a direct `pepper-trace` edge.
+pub use pepper_trace::Cid;

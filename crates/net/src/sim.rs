@@ -36,12 +36,23 @@
 //! events — they are merely deferred to the next epoch instead of joining
 //! the current one, which the [`Simulator::lookahead_deferrals`]
 //! diagnostic counts.
+//!
+//! # Correlation ids
+//!
+//! Every delivery envelope carries a [`Cid`], minted from `(virtual time,
+//! sequence number)` at each causal root — an external injection
+//! ([`Simulator::send_external`]) or a harness API call
+//! ([`Simulator::with_node_ctx`]) — and inherited by every send and timer
+//! the handler schedules. Both engines stamp and propagate ids through the
+//! same canonical state, so traces keyed by them are byte-identical across
+//! thread counts (see `pepper-trace`).
 
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::mpsc;
 use std::time::Duration;
 
+use pepper_trace::Cid;
 use pepper_types::PeerId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -49,7 +60,7 @@ use rand::SeedableRng;
 use crate::effect::{Effect, Effects, LayerCtx};
 use crate::intern::{PeerTable, DENSE_NONE};
 use crate::latency::{LatencyModel, NetworkConfig, ShardLayout};
-use crate::stats::NetStats;
+use crate::stats::{EngineProfile, NetStats};
 use crate::time::SimTime;
 use crate::wheel::EventWheel;
 
@@ -86,6 +97,7 @@ enum Payload<M> {
         msg: M,
         is_timer: bool,
         is_external: bool,
+        cid: Cid,
     },
     /// Fail-stop the peer.
     Kill { peer: PeerId },
@@ -100,6 +112,8 @@ enum Payload<M> {
 pub struct Context<'a, M> {
     self_id: PeerId,
     now: SimTime,
+    cid: Cid,
+    is_timer: bool,
     rng: &'a mut StdRng,
     out: Vec<Effect<M>>,
 }
@@ -113,6 +127,18 @@ impl<'a, M> Context<'a, M> {
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Correlation id of the event being handled. Every effect scheduled
+    /// through this context inherits it, extending the causal chain.
+    pub fn cid(&self) -> Cid {
+        self.cid
+    }
+
+    /// Whether the event being handled is a timer firing (as opposed to a
+    /// delivered message or an external/API invocation).
+    pub fn is_timer(&self) -> bool {
+        self.is_timer
     }
 
     /// A [`LayerCtx`] snapshot for handing to protocol-layer functions.
@@ -188,6 +214,7 @@ enum Outcome<M> {
         to: PeerId,
         dense: u32,
         kind: DeliverKind,
+        cid: Cid,
         effects: Vec<Effect<M>>,
     },
     Kill {
@@ -282,6 +309,7 @@ fn process_shard<N: Node>(task: ShardTask<N>) -> ShardResult<N::Msg> {
                 msg,
                 is_timer,
                 is_external,
+                cid,
             } => {
                 // SAFETY: `to` belongs to this shard.
                 let deliver = ev.dense != DENSE_NONE
@@ -299,6 +327,8 @@ fn process_shard<N: Node>(task: ShardTask<N>) -> ShardResult<N::Msg> {
                 let mut ctx = Context {
                     self_id: to,
                     now: ev.at,
+                    cid,
+                    is_timer,
                     rng,
                     out: pool.pop().unwrap_or_default(),
                 };
@@ -319,6 +349,7 @@ fn process_shard<N: Node>(task: ShardTask<N>) -> ShardResult<N::Msg> {
                         to,
                         dense: ev.dense,
                         kind,
+                        cid,
                         effects: ctx.out,
                     },
                 ));
@@ -372,6 +403,9 @@ pub struct Simulator<N: Node> {
     /// Per-shard pools of recycled effect buffers — the cross-shard
     /// extension of the classic loop's single `scratch` vector.
     shard_pools: Vec<Vec<Vec<Effect<N::Msg>>>>,
+    /// Wall-clock per-phase cost profile of the epoch engine (empty for
+    /// classic runs).
+    profile: EngineProfile,
 }
 
 /// Prune the FIFO map whenever an event lands and the map exceeds this many
@@ -406,6 +440,7 @@ impl<N: Node> Simulator<N> {
             lookahead_deferrals: 0,
             shard_rngs: Vec::new(),
             shard_pools: Vec::new(),
+            profile: EngineProfile::default(),
         }
     }
 
@@ -438,6 +473,13 @@ impl<N: Node> Simulator<N> {
     /// epoch engine is active.
     pub fn lookahead_deferrals(&self) -> u64 {
         self.lookahead_deferrals
+    }
+
+    /// Wall-clock cost profile of the epoch-parallel engine (all zero when
+    /// only the classic loop ran). Non-deterministic by nature; never part
+    /// of determinism witnesses.
+    pub fn engine_profile(&self) -> EngineProfile {
+        self.profile
     }
 
     /// Delivered events (messages + timers + external) per registered
@@ -574,8 +616,13 @@ impl<N: Node> Simulator<N> {
 
     /// Injects an external message to `to`, delivered at `at` (plus the
     /// processing delay).
+    ///
+    /// External injections are causal roots: the delivery is stamped with
+    /// a fresh [`Cid`] minted from the delivery time and the event's
+    /// sequence number, which every downstream effect inherits.
     pub fn send_external_at(&mut self, to: PeerId, msg: N::Msg, at: SimTime) {
         let at = at.max(self.now) + self.config.processing_delay;
+        let cid = Cid::new(at.as_nanos(), self.seq);
         self.push(
             at,
             Payload::Deliver {
@@ -584,6 +631,7 @@ impl<N: Node> Simulator<N> {
                 msg,
                 is_timer: false,
                 is_external: true,
+                cid,
             },
         );
     }
@@ -634,6 +682,10 @@ impl<N: Node> Simulator<N> {
     /// (e.g. "issue a range query at peer p") without going through the
     /// network.
     ///
+    /// API invocations are causal roots: the context carries a fresh
+    /// [`Cid`] minted from `(now, seq)`, which every effect the closure
+    /// emits inherits.
+    ///
     /// Returns `None` if the peer does not exist or is dead.
     pub fn with_node_ctx<R>(
         &mut self,
@@ -645,15 +697,18 @@ impl<N: Node> Simulator<N> {
             return None;
         }
         self.version += 1;
+        let cid = Cid::new(self.now.as_nanos(), self.seq);
         let mut ctx = Context {
             self_id: id,
             now: self.now,
+            cid,
+            is_timer: false,
             rng: &mut self.rng,
             out: std::mem::take(&mut self.scratch),
         };
         let result = f(self.table.node_mut(d), &mut ctx);
         let mut out = ctx.out;
-        self.schedule_effects(id, &mut out);
+        self.schedule_effects(id, cid, &mut out);
         self.scratch = out;
         Some(result)
     }
@@ -676,8 +731,10 @@ impl<N: Node> Simulator<N> {
     }
 
     /// Schedules the drained effects, leaving `effects` empty (its capacity
-    /// is returned to the scratch buffer by the caller).
-    fn schedule_effects(&mut self, from: PeerId, effects: &mut Vec<Effect<N::Msg>>) {
+    /// is returned to the scratch buffer by the caller). Every scheduled
+    /// delivery inherits `cid`, the correlation id of the event whose
+    /// handler emitted the effects.
+    fn schedule_effects(&mut self, from: PeerId, cid: Cid, effects: &mut Vec<Effect<N::Msg>>) {
         for effect in effects.drain(..) {
             match effect {
                 Effect::Send { to, msg } => {
@@ -690,6 +747,7 @@ impl<N: Node> Simulator<N> {
                             msg,
                             is_timer: false,
                             is_external: false,
+                            cid,
                         },
                     );
                 }
@@ -703,6 +761,7 @@ impl<N: Node> Simulator<N> {
                             msg,
                             is_timer: true,
                             is_external: false,
+                            cid,
                         },
                     );
                 }
@@ -751,6 +810,7 @@ impl<N: Node> Simulator<N> {
                 msg,
                 is_timer,
                 is_external,
+                cid,
             } => {
                 let d = self.table.dense(to);
                 let deliverable =
@@ -774,12 +834,14 @@ impl<N: Node> Simulator<N> {
                 let mut ctx = Context {
                     self_id: to,
                     now: self.now,
+                    cid,
+                    is_timer,
                     rng: &mut self.rng,
                     out: std::mem::take(&mut self.scratch),
                 };
                 self.table.node_mut(d).on_message(&mut ctx, from, msg);
                 let mut out = ctx.out;
-                self.schedule_effects(to, &mut out);
+                self.schedule_effects(to, cid, &mut out);
                 self.scratch = out;
             }
         }
@@ -889,6 +951,7 @@ impl<N: Node> Simulator<N> {
                 // Queue depth before the drain — replayed during the merge
                 // so peak_queue_depth matches the classic loop exactly.
                 let mut virtual_depth = self.queue.len();
+                let t_drain = std::time::Instant::now();
                 meta.clear();
                 let mut count = 0u32;
                 while let Some(at) = self.queue.peek() {
@@ -915,6 +978,18 @@ impl<N: Node> Simulator<N> {
                     });
                     count += 1;
                 }
+                // Profile bookkeeping (wall clock only — never fed back
+                // into the simulation, so determinism is untouched).
+                self.profile.windows += 1;
+                self.profile.window_events += u64::from(count);
+                self.profile.max_window_events =
+                    self.profile.max_window_events.max(u64::from(count));
+                self.profile.occupied_shard_windows +=
+                    shard_events.iter().filter(|e| !e.is_empty()).count() as u64;
+                let busiest = shard_events.iter().map(Vec::len).max().unwrap_or(0);
+                self.profile.occupancy_max_events += busiest as u64;
+                self.profile.drain_nanos += t_drain.elapsed().as_nanos() as u64;
+                let t_exec = std::time::Instant::now();
 
                 // Dispatch: worker threads when the window is wide enough,
                 // inline otherwise — same per-shard function, same records,
@@ -966,6 +1041,11 @@ impl<N: Node> Simulator<N> {
                     let (shard, recs) = result_rx.recv().expect("worker result");
                     results[shard as usize] = recs;
                 }
+                if wide {
+                    self.profile.parallel_windows += 1;
+                }
+                self.profile.exec_nanos += t_exec.elapsed().as_nanos() as u64;
+                let t_merge = std::time::Instant::now();
 
                 // Barrier merge: replay all global side effects in canonical
                 // (time, seq) order — the exact interleaving the classic
@@ -1002,6 +1082,7 @@ impl<N: Node> Simulator<N> {
                             to,
                             dense,
                             kind,
+                            cid,
                             mut effects,
                         } => {
                             match kind {
@@ -1020,6 +1101,7 @@ impl<N: Node> Simulator<N> {
                                             msg,
                                             is_timer: false,
                                             is_external: false,
+                                            cid,
                                         },
                                     ),
                                     Effect::Timer { delay, msg } => (
@@ -1030,6 +1112,7 @@ impl<N: Node> Simulator<N> {
                                             msg,
                                             is_timer: true,
                                             is_external: false,
+                                            cid,
                                         },
                                     ),
                                 };
@@ -1048,6 +1131,7 @@ impl<N: Node> Simulator<N> {
                 if killed > 0 {
                     self.table.note_killed(killed);
                 }
+                self.profile.merge_nanos += t_merge.elapsed().as_nanos() as u64;
             }
         });
     }
@@ -1482,6 +1566,130 @@ mod tests {
         normal.send_external(a2, TokenMsg::Tick);
         normal.run_for(Duration::from_secs(5));
         assert_eq!(normal.lookahead_deferrals(), 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Correlation-id propagation
+    // ------------------------------------------------------------------
+
+    /// Records the correlation id and timer flag of every delivery, and
+    /// forwards a hop counter to exercise inheritance across sends.
+    #[derive(Debug)]
+    struct CidProbe {
+        next: PeerId,
+        seen: Vec<(Cid, bool)>,
+    }
+
+    #[derive(Debug, Clone)]
+    enum ProbeMsg {
+        Fwd(u32),
+        Tick,
+    }
+
+    impl Node for CidProbe {
+        type Msg = ProbeMsg;
+
+        fn on_message(&mut self, ctx: &mut Context<'_, ProbeMsg>, _from: PeerId, msg: ProbeMsg) {
+            self.seen.push((ctx.cid(), ctx.is_timer()));
+            if let ProbeMsg::Fwd(n) = msg {
+                if n > 0 {
+                    ctx.send(self.next, ProbeMsg::Fwd(n - 1));
+                }
+            }
+        }
+    }
+
+    fn probe_pair(exec: ExecConfig) -> Simulator<CidProbe> {
+        let mut sim = Simulator::new(NetworkConfig::lan(11).with_exec(exec));
+        sim.add_node(|_| CidProbe {
+            next: PeerId(1),
+            seen: Vec::new(),
+        });
+        sim.add_node(|_| CidProbe {
+            next: PeerId(0),
+            seen: Vec::new(),
+        });
+        sim
+    }
+
+    #[test]
+    fn effects_inherit_the_root_cid_across_hops() {
+        let mut sim = probe_pair(ExecConfig::single_thread());
+        sim.send_external(PeerId(0), ProbeMsg::Fwd(4));
+        sim.run_for(Duration::from_secs(1));
+        let mut all: Vec<(Cid, bool)> = Vec::new();
+        for (_, node) in sim.nodes_iter() {
+            all.extend(node.seen.iter().copied());
+        }
+        assert_eq!(all.len(), 5, "external delivery plus four forwards");
+        let root = all[0].0;
+        assert!(!root.is_none(), "roots always mint a real cid");
+        assert!(
+            all.iter().all(|(cid, is_timer)| *cid == root && !is_timer),
+            "every hop inherits the root cid: {all:?}"
+        );
+    }
+
+    #[test]
+    fn distinct_roots_mint_distinct_cids() {
+        let mut sim = probe_pair(ExecConfig::single_thread());
+        sim.send_external(PeerId(0), ProbeMsg::Fwd(0));
+        sim.send_external(PeerId(1), ProbeMsg::Fwd(0));
+        sim.run_for(Duration::from_secs(1));
+        let a = sim.node(PeerId(0)).unwrap().seen[0].0;
+        let b = sim.node(PeerId(1)).unwrap().seen[0].0;
+        assert_ne!(a, b, "each injection is its own causal root");
+    }
+
+    #[test]
+    fn timers_inherit_the_cid_of_the_scheduling_context() {
+        let mut sim = probe_pair(ExecConfig::single_thread());
+        let root = sim
+            .with_node_ctx(PeerId(0), |_, ctx| {
+                ctx.set_timer(Duration::from_millis(5), ProbeMsg::Tick);
+                ctx.cid()
+            })
+            .unwrap();
+        assert!(!root.is_none());
+        sim.run_for(Duration::from_secs(1));
+        let seen = &sim.node(PeerId(0)).unwrap().seen;
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0], (root, true), "timer fires under the api-call cid");
+    }
+
+    #[test]
+    fn epoch_engine_stamps_identical_cids_and_profiles_itself() {
+        let run = |exec: ExecConfig| {
+            let mut sim = probe_pair(exec);
+            for i in 0..2 {
+                sim.send_external(PeerId(i), ProbeMsg::Fwd(12));
+            }
+            sim.with_node_ctx(PeerId(0), |_, ctx| {
+                ctx.set_timer(Duration::from_millis(7), ProbeMsg::Tick)
+            });
+            sim.run_for(Duration::from_secs(1));
+            let seen: Vec<Vec<(Cid, bool)>> = sim
+                .nodes_iter()
+                .map(|(_, node)| node.seen.clone())
+                .collect();
+            (seen, sim.engine_profile())
+        };
+        let (classic, classic_profile) = run(ExecConfig::single_thread());
+        let (parallel, parallel_profile) = run(ExecConfig {
+            threads: 2,
+            shards: 0,
+            layout: ShardLayout::RoundRobin,
+            parallel_threshold: 1,
+        });
+        assert_eq!(classic, parallel, "cid streams must be engine-invariant");
+        assert_eq!(
+            classic_profile,
+            EngineProfile::default(),
+            "classic loop never populates the epoch profile"
+        );
+        assert!(parallel_profile.windows > 0);
+        assert!(parallel_profile.window_events > 0);
+        assert!(parallel_profile.imbalance() >= 1.0 - 1e-9);
     }
 
     #[test]

@@ -30,3 +30,14 @@ pub enum ReplEvent {
         items: Vec<(u64, pepper_types::Item)>,
     },
 }
+
+impl ReplEvent {
+    /// Short tag used for tracing.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ReplEvent::RefreshDue => "RefreshDue",
+            ReplEvent::Recovered { .. } => "Recovered",
+            ReplEvent::ReplicasInstalled { .. } => "ReplicasInstalled",
+        }
+    }
+}

@@ -121,7 +121,8 @@ pub fn check_consistent_successor_pointers(snapshots: &[RingSnapshot]) -> Consis
     if members.len() <= 1 {
         return report;
     }
-    let member_ids: BTreeSet<PeerId> = members.iter().map(|s| s.id).collect();
+    let member_value: BTreeMap<PeerId, PeerValue> =
+        members.iter().map(|s| (s.id, s.value)).collect();
     let succ = induced_successors(&members);
 
     for p in &members {
@@ -132,10 +133,21 @@ pub fn check_consistent_successor_pointers(snapshots: &[RingSnapshot]) -> Consis
         // round. Definition 5 is about *skipping* a live JOINED peer — a
         // JOINING entry for it is knowledge, not a skip. (Entries for peers
         // that are not live JOINED members are trimmed away as before.)
+        //
+        // One incarnation subtlety: a LEAVING entry whose peer is currently a
+        // JOINED member *at a different value* refers to a previous
+        // incarnation — the recorded leave completed (there is no
+        // leave-cancel transition, see `leave.rs`) and the peer re-entered
+        // the ring elsewhere. Such residue awaits the next stabilization
+        // trim; counting it as a pointer to the peer's NEW position would
+        // misread distant churn as a local skip.
         let trim_list: Vec<PeerId> = p
             .succ_list
             .iter()
-            .filter(|e| member_ids.contains(&e.peer))
+            .filter(|e| match member_value.get(&e.peer) {
+                None => false,
+                Some(current) => !(e.state == EntryState::Leaving && *current != e.value),
+            })
             .map(|e| e.peer)
             .collect();
         if trim_list.is_empty() {
@@ -393,6 +405,41 @@ mod tests {
         assert!(dump.contains("DEAD"));
         // A clean ring yields a clean combined report.
         assert!(check_ring_invariants(&consistent_ring()).is_consistent());
+    }
+
+    #[test]
+    fn leaving_residue_for_a_rejoined_peer_is_not_a_skip() {
+        // Pinned from the macro bench `large` rung, seed 1051, step 3637:
+        // p60 left the ring at value ~387M (its range merged into p22) and
+        // rejoined at ~895M. p75, two hops behind, still carried the stale
+        // `p60:Leaving` entry at the OLD value. Trimming by peer id alone
+        // read that residue as a pointer to p60's NEW position and reported
+        // p75 as skipping the (perfectly known) p46.
+        let mut ring = vec![
+            snap(75, 100, RingPhase::Joined, &[(22, 200)], true),
+            snap(22, 200, RingPhase::Joined, &[(46, 300)], true),
+            snap(46, 300, RingPhase::Joined, &[(60, 900)], true),
+            snap(60, 900, RingPhase::Joined, &[(75, 100)], true),
+        ];
+        ring[0].succ_list = vec![
+            SuccEntry::joined_stab(PeerId(22), PeerValue(200)),
+            // Residue of p60's completed leave from its old slot at 250.
+            SuccEntry::new(PeerId(60), PeerValue(250), EntryState::Leaving),
+            SuccEntry::joined_stab(PeerId(46), PeerValue(300)),
+        ];
+        let report = check_consistent_successor_pointers(&ring);
+        assert!(report.is_consistent(), "{:?}", report.violations);
+
+        // But a LEAVING entry at the peer's CURRENT value is still
+        // knowledge (nothing proves a second incarnation), and a list that
+        // genuinely skips p46 still reds.
+        ring[0].succ_list = vec![
+            SuccEntry::joined_stab(PeerId(22), PeerValue(200)),
+            SuccEntry::new(PeerId(60), PeerValue(900), EntryState::Leaving),
+        ];
+        let report = check_consistent_successor_pointers(&ring);
+        assert!(!report.is_consistent());
+        assert!(report.violations[0].contains("p75"));
     }
 
     #[test]

@@ -11,12 +11,14 @@ use std::time::Duration;
 
 use pepper_datastore::{DsSnapshot, QueryId};
 use pepper_index::{FreePool, Observation, PeerMsg, PeerNode};
+use pepper_net::EngineProfile;
 use pepper_net::{NetworkConfig, SimTime, Simulator};
 use pepper_ring::consistency::{
     check_connectivity, check_consistent_successor_pointers, check_ring_invariants,
     ConsistencyReport, RingSnapshot,
 };
 use pepper_storage::{PeerStorage, RecoveryMode, StorageConfig};
+use pepper_trace::{Metrics, TraceConfig, TraceEvent};
 use pepper_types::{Item, ItemId, PeerId, PeerValue, RangeQuery, SearchKey, SystemConfig};
 use rand::Rng;
 
@@ -71,6 +73,9 @@ pub struct ClusterConfig {
     pub first_value: u64,
     /// Durable peer storage (off by default; the harness turns it on).
     pub durability: Option<DurabilityConfig>,
+    /// Causal tracing + metrics (off by default — and zero-overhead when
+    /// off; the trace inspector and the bench turn it on).
+    pub trace: TraceConfig,
 }
 
 impl ClusterConfig {
@@ -82,6 +87,7 @@ impl ClusterConfig {
             initial_free_peers: 0,
             first_value: u64::MAX / 2,
             durability: None,
+            trace: TraceConfig::off(),
         }
     }
 
@@ -101,6 +107,7 @@ impl ClusterConfig {
             initial_free_peers: 0,
             first_value: u64::MAX / 2,
             durability: None,
+            trace: TraceConfig::off(),
         }
     }
 
@@ -119,6 +126,12 @@ impl ClusterConfig {
     /// Builder-style enabling of durable peer storage.
     pub fn with_durability(mut self, durability: DurabilityConfig) -> Self {
         self.durability = Some(durability);
+        self
+    }
+
+    /// Builder-style enabling of causal tracing + metrics.
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
         self
     }
 }
@@ -150,6 +163,8 @@ pub struct Cluster {
     /// Base seed for per-peer storage fault injection (the network seed, so
     /// one harness seed pins the whole run — durable state included).
     storage_seed: u64,
+    /// Tracing + metrics settings every peer is constructed with.
+    trace: TraceConfig,
     next_item_seq: u64,
     /// Memoized ring-membership snapshot, keyed by the simulator's state
     /// version: the harness oracle asks for the member list once per
@@ -169,8 +184,10 @@ impl Cluster {
         let sys_first = system.clone();
         let first_value = cfg.first_value;
         let durability = cfg.durability;
+        let trace = cfg.trace;
         let first = sim.add_node(move |id| {
-            let node = PeerNode::first(id, PeerValue(first_value), sys_first, pool_first);
+            let node = PeerNode::first(id, PeerValue(first_value), sys_first, pool_first)
+                .with_trace(&trace);
             match durability {
                 Some(d) => node.with_storage(PeerStorage::new_mem(
                     Self::storage_seed_for(storage_seed, id),
@@ -187,6 +204,7 @@ impl Cluster {
             system,
             durability,
             storage_seed,
+            trace,
             next_item_seq: 0,
             members_cache: RefCell::new(None),
         };
@@ -227,8 +245,9 @@ impl Cluster {
         let pool = self.pool.clone();
         let durability = self.durability;
         let storage_seed = self.storage_seed;
+        let trace = self.trace;
         self.sim.add_node(move |id| {
-            let node = PeerNode::free(id, cfg, pool);
+            let node = PeerNode::free(id, cfg, pool).with_trace(&trace);
             match durability {
                 Some(d) => node.with_storage(PeerStorage::new_mem(
                     Self::storage_seed_for(storage_seed, id),
@@ -269,6 +288,13 @@ impl Cluster {
         if self.sim.is_alive(peer) {
             return None;
         }
+        // Carry the pre-crash trace buffer into the restarted node so a
+        // post-mortem still sees the events leading up to the crash.
+        let trace_history = self
+            .sim
+            .node(peer)
+            .map(|n| n.trace_events())
+            .unwrap_or_default();
         let storage = self.sim.node_mut(peer)?.take_storage()?;
         let recovered = storage.recover(durability.recovery);
         let outcome = RestartOutcome {
@@ -285,7 +311,9 @@ impl Cluster {
             storage,
             recovered,
             durability.recovery,
-        );
+        )
+        .with_trace(&self.trace)
+        .with_trace_history(trace_history);
         self.sim.revive(peer, node);
         // Seed the rejoin with a live contact (the lowest-id ring member):
         // a restarted process re-bootstraps from a configured contact list,
@@ -325,6 +353,37 @@ impl Cluster {
             }
         }
         h
+    }
+
+    /// The tracing + metrics settings this cluster's peers run with.
+    pub fn trace_config(&self) -> TraceConfig {
+        self.trace
+    }
+
+    /// Every peer's buffered trace events (dead peers included — the last
+    /// events before a crash are exactly what a post-mortem needs), in
+    /// increasing peer-id order. Empty when tracing is off.
+    pub fn trace_events(&self) -> Vec<(PeerId, Vec<TraceEvent>)> {
+        self.sim
+            .nodes_iter()
+            .map(|(p, n)| (p, n.trace_events()))
+            .filter(|(_, evs)| !evs.is_empty())
+            .collect()
+    }
+
+    /// The whole-cluster metrics registry: every peer's counters and
+    /// histograms absorbed into one. Empty when metrics are off.
+    pub fn metrics(&self) -> Metrics {
+        let mut total = Metrics::enabled();
+        for (_, node) in self.sim.nodes_iter() {
+            total.absorb(node.metrics());
+        }
+        total
+    }
+
+    /// Wall-clock profile of the epoch-parallel execution engine.
+    pub fn engine_profile(&self) -> EngineProfile {
+        self.sim.engine_profile()
     }
 
     /// Advances virtual time.

@@ -28,6 +28,10 @@ use pepper_types::PeerId;
 pub struct Violation {
     /// Which invariant was violated (stable kebab-case name).
     pub invariant: &'static str,
+    /// The peers the checker implicates (may be empty when the violation
+    /// is not attributable — e.g. a whole-ring connectivity failure). The
+    /// harness embeds these peers' trace tails into the failure artifact.
+    pub peers: Vec<PeerId>,
     /// Human-readable description of what exactly went wrong.
     pub details: String,
 }
@@ -74,9 +78,45 @@ pub fn check_ring(view: &SystemView) -> Vec<Violation> {
         .into_iter()
         .map(|details| Violation {
             invariant: "ring",
+            // The ring checkers report prose; recover the implicated peers
+            // from the `pNN` tokens so failure artifacts can attach their
+            // trace tails.
+            peers: peer_tokens(&details),
             details,
         })
         .collect()
+}
+
+/// Extracts every distinct `pNN` peer token from a violation message, in
+/// first-mention order.
+fn peer_tokens(details: &str) -> Vec<PeerId> {
+    let bytes = details.as_bytes();
+    let mut out: Vec<PeerId> = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'p'
+            && (i == 0 || !bytes[i - 1].is_ascii_alphanumeric())
+            && i + 1 < bytes.len()
+            && bytes[i + 1].is_ascii_digit()
+        {
+            let start = i + 1;
+            let mut end = start;
+            while end < bytes.len() && bytes[end].is_ascii_digit() {
+                end += 1;
+            }
+            let bounded = end == bytes.len() || !bytes[end].is_ascii_alphanumeric();
+            if let (true, Ok(raw)) = (bounded, details[start..end].parse::<u64>()) {
+                let id = PeerId(raw);
+                if !out.contains(&id) {
+                    out.push(id);
+                }
+            }
+            i = end;
+        } else {
+            i += 1;
+        }
+    }
+    out
 }
 
 /// Live peers' ranges must partition the value space: each range starts
@@ -99,6 +139,7 @@ pub fn check_range_partition(view: &SystemView, allow_gaps: bool) -> Vec<Violati
             if !s.transfer_in_flight() {
                 out.push(Violation {
                     invariant: "range-partition",
+                    peers: vec![s.id],
                     details: format!(
                         "peer {} claims the full circle while {} live peers exist",
                         s.id,
@@ -131,6 +172,7 @@ pub fn check_range_partition(view: &SystemView, allow_gaps: bool) -> Vec<Violati
             if !s.transfer_in_flight() && !victim.transfer_in_flight() {
                 out.push(Violation {
                     invariant: "range-partition",
+                    peers: vec![s.id, victim.id],
                     details: format!(
                         "overlap: peer {} owns {} reaching into peer {}'s range {} \
                          (no transfer in flight on either side)",
@@ -141,6 +183,7 @@ pub fn check_range_partition(view: &SystemView, allow_gaps: bool) -> Vec<Violati
         } else if !allow_gaps {
             out.push(Violation {
                 invariant: "range-partition",
+                peers: vec![s.id, prev.id],
                 details: format!(
                     "gap: peer {} owns {} but its ring predecessor {} ends at {} \
                      (keys in between are unowned, outside any failure-recovery window)",
@@ -176,6 +219,7 @@ pub fn check_recovered_range(view: &SystemView) -> Vec<Violation> {
         })
         .map(|(_, s)| Violation {
             invariant: "recovered-range",
+            peers: vec![s.id],
             details: format!(
                 "peer {} serves range {} with {} item(s) while ring-Free — a recovered \
                  stale range must never be owned before the rejoin handshake completes",
@@ -207,6 +251,7 @@ pub fn check_duplicate_items(view: &SystemView) -> Vec<Violation> {
             let ids: Vec<String> = hs.iter().map(|h| h.id.to_string()).collect();
             Violation {
                 invariant: "duplicate-items",
+                peers: hs.iter().map(|h| h.id).collect(),
                 details: format!(
                     "mapped value {m} is stored at {} simultaneously (no transfer in flight)",
                     ids.join(" and ")
@@ -224,6 +269,7 @@ pub fn check_storage_bounds(view: &SystemView, overflow_threshold: usize) -> Vec
         .filter(|s| s.mapped_keys.len() > overflow_threshold)
         .map(|s| Violation {
             invariant: "storage-bounds",
+            peers: vec![s.id],
             details: format!(
                 "peer {} holds {} items after quiescence (overflow threshold {})",
                 s.id,
@@ -256,6 +302,7 @@ pub fn check_replication(view: &SystemView, replication_factor: usize) -> Vec<Vi
                 if !replicas.contains(m) && succ.mapped_keys.binary_search(m).is_err() {
                     out.push(Violation {
                         invariant: "replication",
+                        peers: vec![owner.id, succ.id],
                         details: format!(
                             "item {m} at peer {} is missing from successor {} \
                              (hop {j} of {depth}) after quiescence",
@@ -273,6 +320,17 @@ pub fn check_replication(view: &SystemView, replication_factor: usize) -> Vec<Vi
 mod tests {
     use super::*;
     use pepper_types::CircularRange;
+
+    #[test]
+    fn peer_tokens_recovers_ids_from_violation_prose() {
+        let msg = "peer p75: trimmed successor pointer 1 is p60 but the ring \
+                   successor is p46 (a live JOINED peer was skipped)";
+        assert_eq!(peer_tokens(msg), vec![PeerId(75), PeerId(60), PeerId(46)]);
+        // Dedup, no-match, and embedded-word ("skip75d"/"p2p") cases.
+        assert_eq!(peer_tokens("p3 then p3 again"), vec![PeerId(3)]);
+        assert!(peer_tokens("the ring is broken").is_empty());
+        assert!(peer_tokens("a p2p-style stop7 grasp9").is_empty());
+    }
 
     fn store(id: u64, low: u64, high: u64, keys: &[u64]) -> DsSnapshot {
         DsSnapshot {

@@ -45,9 +45,10 @@ use std::time::Duration;
 
 use pepper_datastore::QueryId;
 use pepper_index::Observation;
-use pepper_net::{ExecConfig, NetworkConfig, SimTime};
+use pepper_net::{EngineProfile, ExecConfig, NetworkConfig, SimTime};
 use pepper_ring::consistency::format_ring;
 use pepper_storage::RecoveryMode;
+use pepper_trace::{render_trace, Metrics, TraceConfig, TraceEvent};
 use pepper_types::{ItemId, PeerId, ProtocolConfig, SearchKey, SystemConfig};
 
 use crate::cluster::{Cluster, ClusterConfig, DurabilityConfig};
@@ -131,6 +132,11 @@ pub struct HarnessConfig {
     /// value produces the same trace, stats and final-state hash, so replay
     /// artifacts do not record it and the thread-matrix tests assert it.
     pub exec: ExecConfig,
+    /// Causal tracing + metrics. Off (zero-overhead) by default; also
+    /// output-invariant when on — the recorded trace streams are derived
+    /// from virtual time and canonical sequence numbers only, so replay
+    /// artifacts do not record this either.
+    pub trace: TraceConfig,
 }
 
 impl HarnessConfig {
@@ -156,6 +162,7 @@ impl HarnessConfig {
             durability: Some(DurabilityConfig::default()),
             key_distribution: KeyDistribution::Uniform { domain: KEY_DOMAIN },
             exec: ExecConfig::default(),
+            trace: TraceConfig::off(),
         }
     }
 
@@ -191,6 +198,7 @@ impl HarnessConfig {
             durability: Some(DurabilityConfig::default()),
             key_distribution: KeyDistribution::Uniform { domain: KEY_DOMAIN },
             exec: ExecConfig::default(),
+            trace: TraceConfig::off(),
         }
     }
 
@@ -329,6 +337,7 @@ impl HarnessConfig {
             initial_free_peers: self.initial_free_peers,
             first_value: u64::MAX / 2,
             durability: self.durability,
+            trace: self.trace,
         })
     }
 
@@ -435,6 +444,15 @@ pub struct RunReport {
     /// increasing id order — the per-peer load profile for the bench's
     /// load-balance histogram.
     pub peer_deliveries: Vec<(PeerId, u64)>,
+    /// Every peer's buffered trace events at the end of the run (empty
+    /// unless [`HarnessConfig::trace`] enabled tracing).
+    pub traces: Vec<(PeerId, Vec<TraceEvent>)>,
+    /// The whole-cluster metrics registry (no entries unless
+    /// [`HarnessConfig::trace`] enabled metrics).
+    pub metrics: Metrics,
+    /// Wall-clock profile of the epoch-parallel execution engine (phase
+    /// times, shard occupancy). Never folded into determinism witnesses.
+    pub engine: EngineProfile,
     /// The frozen artifact, present iff violations were found.
     pub artifact: Option<FailureArtifact>,
 }
@@ -726,6 +744,7 @@ impl Harness {
                 if self.oracle.version(*key) == Some(*version) && !got.contains(key) {
                     self.violations.push(Violation {
                         invariant: "query-vs-oracle",
+                        peers: vec![pending.at],
                         details: format!(
                             "query {} at {} reported complete coverage but is missing key \
                              {key}, which was stably present for the query's whole duration",
@@ -747,6 +766,7 @@ impl Harness {
                 if self.oracle.version(*key) == Some(*version) && got.contains(key) {
                     self.violations.push(Violation {
                         invariant: "query-vs-oracle",
+                        peers: vec![pending.at],
                         details: format!(
                             "query {} at {} resurrected key {key}, which was stably deleted \
                              before the query was issued",
@@ -829,6 +849,7 @@ impl Harness {
             if !stored.contains(&key) {
                 found.push(Violation {
                     invariant: "item-conservation",
+                    peers: Vec::new(),
                     details: format!(
                         "key {key} was insert-acked and never deleted, but no live peer \
                          stores it after quiescence"
@@ -843,6 +864,7 @@ impl Harness {
                 if !confirmed.contains(key) && !indeterminate.contains(key) {
                     found.push(Violation {
                         invariant: "item-conservation",
+                        peers: Vec::new(),
                         details: format!(
                             "key {key} is stored after quiescence but the oracle says it \
                              should be absent (and no fail-stop could have resurrected it)"
@@ -878,6 +900,38 @@ impl Harness {
             ));
         }
         out
+    }
+
+    /// Events each implicated peer keeps in its ring buffer during the
+    /// trace-tail re-replay of a red run.
+    const TRACE_TAIL_EVENTS: usize = 64;
+
+    /// Captures the trace tail for a red artifact: re-executes the recorded
+    /// schedule with tracing enabled (bounded rings, so every peer keeps
+    /// exactly its last [`Self::TRACE_TAIL_EVENTS`] events) and renders the
+    /// buffers of the peers the violations implicate. Determinism guarantees
+    /// the traced re-run lands on the identical violation, so the rendered
+    /// tail is a genuine post-mortem of the original run.
+    fn render_trace_tail(&self) -> String {
+        let involved: BTreeSet<PeerId> = self
+            .violations
+            .iter()
+            .flat_map(|v| v.peers.iter().copied())
+            .collect();
+        if involved.is_empty() {
+            return String::new();
+        }
+        let mut cfg = self.cfg.clone();
+        cfg.trace = TraceConfig::enabled().with_ring_capacity(Self::TRACE_TAIL_EVENTS);
+        let replay = Harness::replay(cfg, &self.trace);
+        let mut traces: HashMap<PeerId, Vec<TraceEvent>> = replay.traces.into_iter().collect();
+        // Every implicated peer gets a section, even an empty one — "this
+        // peer recorded nothing" is itself a triage datum.
+        let tails: Vec<(u64, Vec<TraceEvent>)> = involved
+            .into_iter()
+            .map(|p| (p.raw(), traces.remove(&p).unwrap_or_default()))
+            .collect();
+        render_trace(&tails)
     }
 
     fn finish(mut self) -> RunReport {
@@ -947,6 +1001,15 @@ impl Harness {
         let storage_digest = self.cluster.storage_digest();
         let final_state_hash =
             fnv1a(format!("{ring_dump}\n{store_dump}\nstorage {storage_digest:016x}").as_bytes());
+        // On a red generated run, capture the implicated peers' last trace
+        // events by re-running the recorded schedule with tracing on (skip
+        // inside replays: a replayed artifact already carries its tail, and
+        // the guard also keeps the capture replay itself from recursing).
+        let trace_tail = if !self.violations.is_empty() && !self.replaying {
+            self.render_trace_tail()
+        } else {
+            String::new()
+        };
         let artifact = (!self.violations.is_empty()).then(|| FailureArtifact {
             seed: self.cfg.seed,
             profile: self.cfg.profile.clone(),
@@ -955,6 +1018,7 @@ impl Harness {
             trace: self.trace.clone(),
             ring_dump: ring_dump.clone(),
             store_dump: store_dump.clone(),
+            trace_tail,
         });
         RunReport {
             trace: self.trace,
@@ -967,6 +1031,9 @@ impl Harness {
             final_state_hash,
             query_hops: self.query_hops,
             peer_deliveries: self.cluster.sim.per_peer_deliveries(),
+            traces: self.cluster.trace_events(),
+            metrics: self.cluster.metrics(),
+            engine: self.cluster.engine_profile(),
             artifact,
         }
     }

@@ -12,6 +12,8 @@ use std::fmt::Write as _;
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use pepper_types::PeerId;
+
 use super::invariants::Violation;
 use super::scenario::OpTrace;
 
@@ -44,6 +46,11 @@ pub struct FailureArtifact {
     pub ring_dump: String,
     /// Data Store dump at the moment of the violation.
     pub store_dump: String,
+    /// Rendered trace tail of every implicated peer (the last events each
+    /// kept, captured by a traced re-replay of the same schedule). Empty
+    /// when no violation implicated a specific peer, and in artifacts
+    /// written before trace capture existed.
+    pub trace_tail: String,
 }
 
 impl FailureArtifact {
@@ -55,7 +62,14 @@ impl FailureArtifact {
         let _ = writeln!(out, "profile {}", self.profile);
         let _ = writeln!(out, "step {}", self.step);
         for v in &self.violations {
-            let _ = writeln!(out, "violation {} {}", v.invariant, v.details);
+            let peers: Vec<String> = v.peers.iter().map(|p| p.to_string()).collect();
+            let _ = writeln!(
+                out,
+                "violation {} [{}] {}",
+                v.invariant,
+                peers.join(","),
+                v.details
+            );
         }
         let _ = writeln!(out, "trace-begin");
         out.push_str(&self.trace.encode());
@@ -66,6 +80,14 @@ impl FailureArtifact {
         let _ = writeln!(out, "store-dump-begin");
         out.push_str(&self.store_dump);
         let _ = writeln!(out, "store-dump-end");
+        if !self.trace_tail.is_empty() {
+            let _ = writeln!(out, "trace-tail-begin");
+            out.push_str(&self.trace_tail);
+            if !self.trace_tail.ends_with('\n') {
+                out.push('\n');
+            }
+            let _ = writeln!(out, "trace-tail-end");
+        }
         out
     }
 
@@ -86,12 +108,14 @@ impl FailureArtifact {
         let mut trace_text = String::new();
         let mut ring_dump = String::new();
         let mut store_dump = String::new();
+        let mut trace_tail = String::new();
         #[derive(PartialEq)]
         enum Section {
             Head,
             Trace,
             Ring,
             Store,
+            Tail,
         }
         let mut section = Section::Head;
         for line in lines {
@@ -104,9 +128,25 @@ impl FailureArtifact {
                     } else if let Some(rest) = line.strip_prefix("step ") {
                         step = rest.trim().parse().unwrap_or(0);
                     } else if let Some(rest) = line.strip_prefix("violation ") {
-                        let (inv, details) = rest.split_once(' ').unwrap_or((rest, ""));
+                        let (inv, rest) = rest.split_once(' ').unwrap_or((rest, ""));
+                        // Optional implicated-peer list `[p1,p2]` between
+                        // the invariant name and the details (absent in
+                        // artifacts written before trace capture existed).
+                        let (peers, details) =
+                            match rest.strip_prefix('[').and_then(|tail| tail.split_once(']')) {
+                                Some((list, details)) => (
+                                    list.split(',')
+                                        .filter_map(|t| t.trim().strip_prefix('p'))
+                                        .filter_map(|t| t.parse::<u64>().ok())
+                                        .map(PeerId)
+                                        .collect(),
+                                    details.trim_start(),
+                                ),
+                                None => (Vec::new(), rest),
+                            };
                         violations.push(Violation {
                             invariant: leak_invariant_name(inv),
+                            peers,
                             details: details.to_string(),
                         });
                     } else if line.trim() == "trace-begin" {
@@ -137,12 +177,22 @@ impl FailureArtifact {
                         store_dump.push('\n');
                     }
                 }
+                Section::Tail => {
+                    if line.trim() == "trace-tail-end" {
+                        section = Section::Head;
+                    } else {
+                        trace_tail.push_str(line);
+                        trace_tail.push('\n');
+                    }
+                }
             }
             if section == Section::Head {
                 if line.trim() == "ring-dump-begin" {
                     section = Section::Ring;
                 } else if line.trim() == "store-dump-begin" {
                     section = Section::Store;
+                } else if line.trim() == "trace-tail-begin" {
+                    section = Section::Tail;
                 }
             }
         }
@@ -154,6 +204,7 @@ impl FailureArtifact {
             trace: OpTrace::decode(&trace_text)?,
             ring_dump,
             store_dump,
+            trace_tail,
         })
     }
 
@@ -213,11 +264,13 @@ mod tests {
             step: 2,
             violations: vec![Violation {
                 invariant: "range-partition",
+                peers: vec![PeerId(2), PeerId(3)],
                 details: "gap: peer p2 owns (30, 50] …".to_string(),
             }],
             trace,
             ring_dump: "p0 value=10 phase=Joined alive succ=[]\n".to_string(),
             store_dump: "p0 Live (0, 10] items=[1, 2]\n".to_string(),
+            trace_tail: "peer 2 (1 events)\n1000 p2 c500.2 ds/ScanStep hop=1\n".to_string(),
         }
     }
 
@@ -232,13 +285,30 @@ mod tests {
         assert_eq!(b.trace, a.trace);
         assert_eq!(b.violations.len(), 1);
         assert_eq!(b.violations[0].invariant, "range-partition");
+        assert_eq!(b.violations[0].peers, vec![PeerId(2), PeerId(3)]);
         assert!(b.ring_dump.contains("p0"));
         assert!(b.store_dump.contains("Live"));
+        assert_eq!(b.trace_tail, a.trace_tail);
         // Re-encoding the parse is stable.
         assert_eq!(
             FailureArtifact::parse(&b.encode()).unwrap().encode(),
             b.encode()
         );
+    }
+
+    #[test]
+    fn parse_accepts_violation_lines_without_peer_lists() {
+        // Artifacts written before trace capture existed have no `[...]`
+        // peer list after the invariant name.
+        let text = format!(
+            "{ARTIFACT_HEADER}\nseed 1\nprofile quick\nstep 0\n\
+             violation ring succ pointer wrong\ntrace-begin\ntrace-end\n"
+        );
+        let a = FailureArtifact::parse(&text).unwrap();
+        assert_eq!(a.violations.len(), 1);
+        assert!(a.violations[0].peers.is_empty());
+        assert_eq!(a.violations[0].details, "succ pointer wrong");
+        assert!(a.trace_tail.is_empty());
     }
 
     #[test]

@@ -34,4 +34,6 @@ pub use metrics::{Stats, Table};
 // Simulator execution-engine knobs, re-exported so harness drivers (bench,
 // integration tests) can set thread/shard counts without depending on
 // `pepper-net` directly.
-pub use pepper_net::{ExecConfig, ShardLayout};
+pub use pepper_net::{EngineProfile, ExecConfig, ShardLayout};
+// Observability knobs and collectors, re-exported for the same reason.
+pub use pepper_trace::{chrome_trace_json, render_trace, Cid, Metrics, TraceConfig, TraceEvent};

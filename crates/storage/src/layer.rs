@@ -39,6 +39,15 @@ pub enum StorageEvent {
     SnapshotDue,
 }
 
+impl StorageEvent {
+    /// Short tag used for tracing.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            StorageEvent::SnapshotDue => "SnapshotDue",
+        }
+    }
+}
+
 /// The storage layer state machine.
 #[derive(Debug, Clone)]
 pub struct StorageLayer {

@@ -1,0 +1,89 @@
+//! Chrome trace-event JSON rendering.
+
+use crate::event::TraceEvent;
+
+/// Escapes a string for embedding in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a multi-peer trace as Chrome trace-event JSON, loadable in
+/// `chrome://tracing` or Perfetto.
+///
+/// Each [`TraceEvent`] becomes an *instant* event (`"ph": "i"`): `pid` and
+/// `tid` are the peer id (one row per peer), `ts` is virtual time in
+/// microseconds, `cat` is the protocol layer and `args` carries the
+/// correlation id and detail — so the UI's flow/search tools can follow a
+/// causal chain by filtering on its `cid`.
+pub fn chrome_trace_json(traces: &[(u64, Vec<TraceEvent>)]) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    for (peer, events) in traces {
+        for ev in events {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\
+                 \"ts\":{}.{:03},\"pid\":{},\"tid\":{},\
+                 \"args\":{{\"cid\":\"{}\",\"detail\":\"{}\"}}}}",
+                esc(ev.kind),
+                esc(ev.layer),
+                ev.at / 1_000,
+                ev.at % 1_000,
+                peer,
+                peer,
+                ev.cid,
+                esc(&ev.detail),
+            ));
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cid::Cid;
+
+    #[test]
+    fn renders_instant_events_with_escaped_args() {
+        let traces = vec![(
+            7,
+            vec![TraceEvent {
+                at: 1_234_567,
+                peer: 7,
+                cid: Cid::new(10, 2),
+                layer: "ds",
+                kind: "ScanStep",
+                detail: "q=\"a\"\n".into(),
+            }],
+        )];
+        let json = chrome_trace_json(&traces);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ts\":1234.567"));
+        assert!(json.contains("\"pid\":7"));
+        assert!(json.contains("\"cid\":\"c10.2\""));
+        assert!(json.contains("q=\\\"a\\\"\\n"));
+        assert!(json.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn empty_trace_is_valid_json() {
+        assert_eq!(chrome_trace_json(&[]), "{\"traceEvents\":[\n\n]}\n");
+    }
+}

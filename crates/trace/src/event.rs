@@ -1,0 +1,105 @@
+//! Structured trace events and their canonical text rendering.
+
+use std::fmt;
+
+use crate::cid::Cid;
+
+/// One structured trace event, recorded by a peer while it handles a
+/// message, fires a timer, emits a layer event or touches durable storage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time of the event, in nanoseconds.
+    pub at: u64,
+    /// Raw id of the peer the event happened at.
+    pub peer: u64,
+    /// Correlation id of the causal chain the event belongs to.
+    pub cid: Cid,
+    /// Which protocol layer the event belongs to (`"ring"`, `"ds"`,
+    /// `"repl"`, `"router"`, `"storage"`, `"index"`, `"net"`).
+    pub layer: &'static str,
+    /// The message/event tag (e.g. `"ScanStep"`, `"PredTakeover"`).
+    pub kind: &'static str,
+    /// Free-form detail, built lazily only when tracing is enabled.
+    pub detail: String,
+}
+
+impl TraceEvent {
+    /// Renders the event as one canonical text line. This is the format
+    /// hashed by the determinism tests and embedded in failure artifacts,
+    /// so it must be a pure function of the fields.
+    pub fn render(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} p{} {} {}/{}{}{}",
+            self.at,
+            self.peer,
+            self.cid,
+            self.layer,
+            self.kind,
+            if self.detail.is_empty() { "" } else { " " },
+            self.detail
+        )
+    }
+}
+
+/// Renders a whole multi-peer trace as one canonical string: peers in the
+/// order given, each peer's events in recording order (which is the
+/// canonical delivery order). Used by the byte-identity tests and the
+/// inspector CLI.
+pub fn render_trace(traces: &[(u64, Vec<TraceEvent>)]) -> String {
+    let mut out = String::new();
+    for (peer, events) in traces {
+        out.push_str(&format!("peer {peer} ({} events)\n", events.len()));
+        for ev in events {
+            out.push_str(&ev.render());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_stable() {
+        let ev = TraceEvent {
+            at: 1_000,
+            peer: 3,
+            cid: Cid::new(500, 2),
+            layer: "ds",
+            kind: "ScanStep",
+            detail: "hop=1".into(),
+        };
+        assert_eq!(ev.render(), "1000 p3 c500.2 ds/ScanStep hop=1");
+        let bare = TraceEvent {
+            detail: String::new(),
+            ..ev
+        };
+        assert_eq!(bare.render(), "1000 p3 c500.2 ds/ScanStep");
+    }
+
+    #[test]
+    fn render_trace_concatenates_per_peer() {
+        let ev = TraceEvent {
+            at: 5,
+            peer: 1,
+            cid: Cid::NONE,
+            layer: "ring",
+            kind: "Ping",
+            detail: String::new(),
+        };
+        let s = render_trace(&[(1, vec![ev]), (2, vec![])]);
+        assert_eq!(
+            s,
+            "peer 1 (1 events)\n5 p1 c- ring/Ping\npeer 2 (0 events)\n"
+        );
+    }
+}

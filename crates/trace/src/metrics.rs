@@ -1,0 +1,267 @@
+//! The per-layer metrics registry: counters and log₂ histograms.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A log₂-bucketed histogram over `u64` samples (typically virtual-time
+/// nanoseconds or hop counts).
+///
+/// Bucket `k` holds samples whose value has bit length `k` (bucket 0 holds
+/// the value 0), i.e. sample `v` lands in bucket `64 - v.leading_zeros()`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Number of samples observed.
+    pub count: u64,
+    /// Sum of all samples (saturating).
+    pub sum: u64,
+    /// Largest sample observed.
+    pub max: u64,
+    /// Sample counts per power-of-two bucket.
+    pub buckets: [u64; 65],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            max: 0,
+            buckets: [0; 65],
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    #[inline]
+    pub fn observe(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+        self.buckets[(64 - v.leading_zeros()) as usize] += 1;
+    }
+
+    /// Mean sample value (0 for an empty histogram).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Merges another histogram into this one.
+    pub fn absorb(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "count={} sum={} mean={:.1} max={}",
+            self.count,
+            self.sum,
+            self.mean(),
+            self.max
+        )?;
+        for (k, n) in self.buckets.iter().enumerate().filter(|(_, n)| **n > 0) {
+            if k == 0 {
+                write!(f, " 0:{n}")?;
+            } else {
+                write!(f, " 2^{}:{}", k - 1, n)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A registry of per-layer counters and histograms, keyed by
+/// `(layer, name)` pairs of static strings so registration is just the
+/// first bump.
+///
+/// Disabled registries ([`Metrics::disabled`]) reduce every update to an
+/// inlined boolean check. All iteration orders are `BTreeMap` orders, so
+/// snapshots render deterministically.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Metrics {
+    enabled: bool,
+    counters: BTreeMap<(&'static str, &'static str), u64>,
+    histograms: BTreeMap<(&'static str, &'static str), Histogram>,
+}
+
+impl Metrics {
+    /// A registry that ignores every update.
+    pub fn disabled() -> Self {
+        Metrics::default()
+    }
+
+    /// A live registry.
+    pub fn enabled() -> Self {
+        Metrics {
+            enabled: true,
+            ..Metrics::default()
+        }
+    }
+
+    /// Whether updates are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Increments the counter `(layer, name)` by one.
+    #[inline]
+    pub fn bump(&mut self, layer: &'static str, name: &'static str) {
+        self.add(layer, name, 1);
+    }
+
+    /// Adds `n` to the counter `(layer, name)`.
+    #[inline]
+    pub fn add(&mut self, layer: &'static str, name: &'static str, n: u64) {
+        if self.enabled {
+            *self.counters.entry((layer, name)).or_insert(0) += n;
+        }
+    }
+
+    /// Records a sample into the histogram `(layer, name)`.
+    #[inline]
+    pub fn observe(&mut self, layer: &'static str, name: &'static str, v: u64) {
+        if self.enabled {
+            self.histograms.entry((layer, name)).or_default().observe(v);
+        }
+    }
+
+    /// Reads a counter (0 if never bumped).
+    pub fn counter(&self, layer: &str, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|((l, n), _)| *l == layer && *n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Reads a histogram, if any samples were recorded.
+    pub fn histogram(&self, layer: &str, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|((l, n), _)| *l == layer && *n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Iterates all counters in deterministic `(layer, name)` order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, &'static str, u64)> + '_ {
+        self.counters.iter().map(|(&(l, n), &v)| (l, n, v))
+    }
+
+    /// Iterates all histograms in deterministic `(layer, name)` order.
+    pub fn histograms(
+        &self,
+    ) -> impl Iterator<Item = (&'static str, &'static str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(&(l, n), h)| (l, n, h))
+    }
+
+    /// Merges another registry's values into this one (used to aggregate
+    /// per-peer registries into a cluster-wide view). Enables this
+    /// registry if the other was enabled.
+    pub fn absorb(&mut self, other: &Metrics) {
+        if !other.enabled {
+            return;
+        }
+        self.enabled = true;
+        for (&key, &v) in &other.counters {
+            *self.counters.entry(key).or_insert(0) += v;
+        }
+        for (&key, h) in &other.histograms {
+            self.histograms.entry(key).or_default().absorb(h);
+        }
+    }
+
+    /// Renders the registry as a deterministic text table, grouped by
+    /// layer.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut last_layer = "";
+        for (layer, name, v) in self.counters() {
+            if layer != last_layer {
+                out.push_str(&format!("[{layer}]\n"));
+                last_layer = layer;
+            }
+            out.push_str(&format!("  {name} = {v}\n"));
+        }
+        last_layer = "";
+        for (layer, name, h) in self.histograms() {
+            if layer != last_layer {
+                out.push_str(&format!("[{layer} histograms]\n"));
+                last_layer = layer;
+            }
+            out.push_str(&format!("  {name}: {h}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 4, 1024] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 6);
+        assert_eq!(h.sum, 1034);
+        assert_eq!(h.max, 1024);
+        assert_eq!(h.buckets[0], 1); // 0
+        assert_eq!(h.buckets[1], 1); // 1
+        assert_eq!(h.buckets[2], 2); // 2, 3
+        assert_eq!(h.buckets[3], 1); // 4
+        assert_eq!(h.buckets[11], 1); // 1024
+        assert!((h.mean() - 1034.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disabled_registry_ignores_updates() {
+        let mut m = Metrics::disabled();
+        m.bump("ds", "ScanStep");
+        m.observe("ds", "scan_elapsed", 100);
+        assert_eq!(m.counter("ds", "ScanStep"), 0);
+        assert!(m.histogram("ds", "scan_elapsed").is_none());
+        assert!(m.render().is_empty());
+    }
+
+    #[test]
+    fn enabled_registry_counts_and_absorbs() {
+        let mut a = Metrics::enabled();
+        a.bump("ring", "Ping");
+        a.bump("ring", "Ping");
+        a.observe("ds", "hops", 3);
+        let mut b = Metrics::enabled();
+        b.bump("ring", "Ping");
+        b.observe("ds", "hops", 5);
+        a.absorb(&b);
+        assert_eq!(a.counter("ring", "Ping"), 3);
+        let h = a.histogram("ds", "hops").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.max, 5);
+        let rendered = a.render();
+        assert!(rendered.contains("[ring]"));
+        assert!(rendered.contains("Ping = 3"));
+    }
+
+    #[test]
+    fn absorbing_disabled_changes_nothing() {
+        let mut a = Metrics::enabled();
+        a.bump("ds", "x");
+        let before = a.clone();
+        a.absorb(&Metrics::disabled());
+        assert_eq!(a, before);
+    }
+}

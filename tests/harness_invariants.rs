@@ -217,7 +217,24 @@ fn broken_recovery_serving_the_stale_range_is_caught_by_the_oracle() {
     );
     // And its artifact replays to the same violations byte-for-byte.
     let artifact = report.artifact.as_ref().expect("red runs freeze artifacts");
+    // The violation implicates the restarted peer, so the artifact embeds
+    // its last trace events (captured by a traced re-replay of the same
+    // schedule) — the raw material of the inspector CLI's triage workflow.
+    let implicated = report
+        .violations
+        .iter()
+        .find(|v| v.invariant == "recovered-range")
+        .and_then(|v| v.peers.first().copied())
+        .expect("recovered-range implicates a peer");
+    assert!(
+        artifact
+            .trace_tail
+            .contains(&format!("peer {}", implicated.raw())),
+        "trace tail must cover the implicated peer:\n{}",
+        artifact.trace_tail
+    );
     let parsed = FailureArtifact::parse(&artifact.encode()).expect("round-trips");
+    assert_eq!(parsed.trace_tail, artifact.trace_tail);
     let replayed = Harness::replay_artifact(&parsed).expect("profile reconstructs");
     assert_eq!(replayed.trace.hash(), report.trace.hash());
     assert_eq!(replayed.final_state_hash, report.final_state_hash);
@@ -248,6 +265,7 @@ fn crash_restart_scenarios_replay_byte_identical_from_artifacts() {
         trace: report.trace.clone(),
         ring_dump: String::new(),
         store_dump: String::new(),
+        trace_tail: String::new(),
     };
     let parsed = FailureArtifact::parse(&artifact.encode()).expect("round-trips");
     let replayed = Harness::replay_artifact(&parsed).expect("profile reconstructs");

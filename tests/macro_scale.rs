@@ -71,6 +71,7 @@ fn medium_profile_is_deterministic_and_its_artifact_replays() {
         trace: a.trace.clone(),
         ring_dump: String::new(),
         store_dump: String::new(),
+        trace_tail: String::new(),
     };
     let parsed = FailureArtifact::parse(&artifact.encode()).expect("round-trips");
     assert_eq!(parsed.trace.hash(), a.trace.hash());

@@ -10,7 +10,7 @@
 //! not the inline fallback — process the shards.
 
 use pepper_sim::harness::{Harness, HarnessConfig};
-use pepper_sim::{ExecConfig, ShardLayout};
+use pepper_sim::{render_trace, ExecConfig, ShardLayout, TraceConfig, TraceEvent};
 
 /// Everything observable about a run, collapsed for equality assertions.
 #[derive(Debug, PartialEq)]
@@ -99,6 +99,55 @@ fn shard_count_is_output_invariant() {
             parallel_threshold: 4,
         }));
         assert_eq!(classic, parallel, "shards={shards} diverged");
+    }
+}
+
+/// With tracing and metrics enabled, the rendered trace streams and the
+/// aggregated metrics registry are byte-identical across thread counts and
+/// shard layouts — the observability layer is part of the determinism
+/// contract, not an exception to it.
+#[test]
+fn trace_streams_are_byte_identical_across_threads_and_layouts() {
+    let base = |exec| {
+        let mut cfg = HarnessConfig::medium(1003);
+        cfg.ops = 120;
+        cfg.trace = TraceConfig::enabled().with_ring_capacity(512);
+        cfg.exec = exec;
+        cfg
+    };
+    let observe = |cfg| {
+        let report = Harness::run_generated(cfg);
+        let streams: Vec<(u64, Vec<TraceEvent>)> = report
+            .traces
+            .iter()
+            .map(|(p, evs)| (p.raw(), evs.clone()))
+            .collect();
+        format!(
+            "{}\n---\n{}",
+            render_trace(&streams),
+            report.metrics.render()
+        )
+    };
+    let classic = observe(base(ExecConfig::single_thread()));
+    assert!(
+        classic.contains("QueryCompleted") || classic.contains("scan_hops"),
+        "the traced run must actually record query activity"
+    );
+    for (threads, layout) in [
+        (2, ShardLayout::RoundRobin),
+        (4, ShardLayout::Blocks),
+        (4, ShardLayout::RoundRobin),
+    ] {
+        let parallel = observe(base(ExecConfig {
+            threads,
+            shards: 0,
+            layout,
+            parallel_threshold: 4,
+        }));
+        assert_eq!(
+            classic, parallel,
+            "traced run diverged at threads={threads} layout={layout:?}"
+        );
     }
 }
 

@@ -1,0 +1,172 @@
+//! Causal-timeline reconstruction from per-peer trace buffers.
+//!
+//! The tracing layer's core promise (ARCHITECTURE.md, "Observability") is
+//! that one correlation id, minted where an external stimulus enters the
+//! simulation, survives every hop the stimulus causes — so the full
+//! cross-peer story of a range query or a crash-recovery cascade can be
+//! reassembled after the fact by filtering every peer's buffer on that id.
+//! These tests hold the instrumented stack to that promise end to end.
+
+use std::time::Duration;
+
+use pepper_sim::cluster::{Cluster, ClusterConfig, DurabilityConfig};
+use pepper_sim::{TraceConfig, TraceEvent};
+use pepper_trace::Cid;
+use pepper_types::PeerId;
+
+/// Big enough that nothing is evicted during these short runs.
+const DEEP_RING: usize = 1 << 16;
+
+fn traced_cluster(seed: u64, durable: bool) -> Cluster {
+    let mut cfg = ClusterConfig::fast(seed)
+        .with_free_peers(4)
+        .with_trace(TraceConfig::enabled().with_ring_capacity(DEEP_RING));
+    if durable {
+        cfg = cfg.with_durability(DurabilityConfig::default());
+    }
+    Cluster::new(cfg)
+}
+
+/// Grows the cluster to at least `members` ring members by inserting keys
+/// (splits draw from the free pool) and letting the protocol settle.
+fn grow(cluster: &mut Cluster, members: usize) {
+    for k in 1..=16u64 {
+        cluster.insert_key(k * 50_000_000);
+        cluster.run(Duration::from_millis(40));
+    }
+    cluster.run_secs(4);
+    assert!(
+        cluster.ring_members().len() >= members,
+        "cluster only reached {} members",
+        cluster.ring_members().len()
+    );
+}
+
+/// All events across all peers sharing `cid`, in causal (virtual-time,
+/// then peer) order.
+fn timeline_for(traces: &[(PeerId, Vec<TraceEvent>)], cid: Cid) -> Vec<TraceEvent> {
+    let mut line: Vec<TraceEvent> = traces
+        .iter()
+        .flat_map(|(_, evs)| evs.iter().filter(|e| e.cid == cid).cloned())
+        .collect();
+    line.sort_by_key(|e| (e.at, e.peer));
+    line
+}
+
+/// A range query's whole journey — issue, per-hop scan traffic, completion
+/// — is recoverable from the correlation id stamped at the issuing peer.
+#[test]
+fn range_query_timeline_is_reconstructable_from_its_cid() {
+    let mut cluster = traced_cluster(41, false);
+    grow(&mut cluster, 3);
+
+    let issuer = cluster.first;
+    let id = cluster.query_at(issuer, 20_000_000, 780_000_000).unwrap();
+    let outcome = cluster
+        .wait_for_query(issuer, id, Duration::from_secs(10))
+        .expect("query completes");
+    assert!(outcome.complete, "query must cover its interval");
+    assert!(outcome.hops > 0, "query must actually traverse the ring");
+
+    let traces = cluster.trace_events();
+    // The issue site: the most recent api/RangeQuery note at the issuer.
+    let issue = traces
+        .iter()
+        .find(|(p, _)| *p == issuer)
+        .and_then(|(_, evs)| {
+            evs.iter()
+                .rev()
+                .find(|e| e.layer == "api" && e.kind == "RangeQuery")
+        })
+        .expect("issuer recorded the RangeQuery entry point")
+        .clone();
+    assert_ne!(
+        issue.cid,
+        Cid::NONE,
+        "entry points must run under a minted correlation id"
+    );
+
+    let line = timeline_for(&traces, issue.cid);
+    assert!(
+        line.len() >= 3,
+        "expected a multi-event timeline, got {line:?}"
+    );
+    // The timeline starts at the issue site and ends with the completion
+    // observation flowing back to the issuer.
+    assert_eq!(line.first().unwrap().kind, "RangeQuery");
+    assert!(
+        line.iter()
+            .any(|e| e.layer == "ds" && e.kind == "QueryCompleted" && e.peer == issuer.raw()),
+        "completion must be recorded at the issuer under the same cid"
+    );
+    // The scan visited other peers: the shared cid shows up away from the
+    // issuer too.
+    let peers_touched: std::collections::BTreeSet<u64> = line.iter().map(|e| e.peer).collect();
+    assert!(
+        peers_touched.len() >= 2,
+        "a multi-hop query must leave the issuer; timeline touched {peers_touched:?}"
+    );
+    // Causal order: virtual time never runs backwards along the timeline.
+    assert!(line.windows(2).all(|w| w[0].at <= w[1].at));
+}
+
+/// A crash-restart cascade is reconstructable: survivors record the
+/// failure detection and takeover, and the restarted peer's buffer still
+/// holds its pre-crash history (carried across the restart) next to its
+/// rejoin events.
+#[test]
+fn crash_restart_cascade_timeline_spans_the_crash() {
+    let mut cluster = traced_cluster(43, true);
+    grow(&mut cluster, 3);
+
+    let victim = *cluster
+        .ring_members()
+        .iter()
+        .find(|p| **p != cluster.first)
+        .expect("a non-bootstrap member to crash");
+    let crash_at = cluster.now().as_nanos();
+    assert!(cluster.crash_peer(victim));
+    cluster.run_secs(6);
+    cluster.restart_peer(victim).expect("victim restarts");
+    let restart_at = cluster.now().as_nanos();
+    cluster.run_secs(4);
+
+    let traces = cluster.trace_events();
+
+    // Survivors noticed and repaired: failure-detection / takeover events
+    // appear after the crash instant.
+    let cascade: Vec<&TraceEvent> = traces
+        .iter()
+        .filter(|(p, _)| *p != victim)
+        .flat_map(|(_, evs)| evs.iter())
+        .filter(|e| {
+            e.at >= crash_at
+                && matches!(
+                    e.kind,
+                    "SuccessorFailed" | "TakeoverExtend" | "PredTakeover" | "NewSuccessor"
+                )
+        })
+        .collect();
+    assert!(
+        !cascade.is_empty(),
+        "survivors must record the failure-handling cascade"
+    );
+
+    // The restarted victim's buffer spans the crash: pre-crash events were
+    // preloaded into the fresh node, and the rejoin left new ones.
+    let victim_events = &traces
+        .iter()
+        .find(|(p, _)| *p == victim)
+        .expect("victim has a trace buffer")
+        .1;
+    assert!(
+        victim_events.iter().any(|e| e.at < crash_at),
+        "pre-crash history must survive the restart"
+    );
+    assert!(
+        victim_events
+            .iter()
+            .any(|e| e.at >= restart_at && e.kind == "RestartRejoin"),
+        "the rejoin entry point must be recorded post-restart"
+    );
+}
